@@ -1,0 +1,153 @@
+package dvp_test
+
+import (
+	"testing"
+	"time"
+
+	"dvp"
+	"dvp/internal/harness"
+	"dvp/internal/wal"
+	"dvp/internal/wire"
+)
+
+// --- experiment benches ------------------------------------------------------
+//
+// One benchmark per table/figure in DESIGN.md §3. Each iteration runs
+// the experiment in Quick mode and reports its row count; the tables
+// themselves are printed by `go run ./cmd/dvpsim -exp <id>`. These
+// exist so `go test -bench=.` regenerates every result end to end.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := harness.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(harness.Options{Quick: true, Seed: int64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Table.Rows()) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		b.ReportMetric(float64(len(res.Table.Rows())), "rows")
+	}
+}
+
+func BenchmarkT1NormalCaseScaling(b *testing.B)     { benchExperiment(b, "T1") }
+func BenchmarkT2PartitionAvailability(b *testing.B) { benchExperiment(b, "T2") }
+func BenchmarkT3IndependentRecovery(b *testing.B)   { benchExperiment(b, "T3") }
+func BenchmarkT4ReadCost(b *testing.B)              { benchExperiment(b, "T4") }
+func BenchmarkT5ConcurrencyControl(b *testing.B)    { benchExperiment(b, "T5") }
+func BenchmarkF1SkewVsAskPolicy(b *testing.B)       { benchExperiment(b, "F1") }
+func BenchmarkF2BlockingBound(b *testing.B)         { benchExperiment(b, "F2") }
+func BenchmarkF3HotSpot(b *testing.B)               { benchExperiment(b, "F3") }
+func BenchmarkF4VmUnderLoss(b *testing.B)           { benchExperiment(b, "F4") }
+func BenchmarkF5PartitionTimeline(b *testing.B)     { benchExperiment(b, "F5") }
+func BenchmarkF6QuotaDynamics(b *testing.B)         { benchExperiment(b, "F6") }
+func BenchmarkA1RebalancerAblation(b *testing.B)    { benchExperiment(b, "A1") }
+func BenchmarkA2GrantPolicyAblation(b *testing.B)   { benchExperiment(b, "A2") }
+
+// --- micro benches -----------------------------------------------------------
+
+// BenchmarkLocalCommit measures the paper's common case: a write-only
+// transaction touching only local quota (§5's "write-only transactions
+// ... can be processed at the local site").
+func BenchmarkLocalCommit(b *testing.B) {
+	c, err := dvp.NewCluster(dvp.Config{Sites: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.CreateItem("bench", dvp.Value(b.N)+1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := c.At(1).Reserve("bench", 1); !res.Committed() {
+			b.Fatalf("local reserve aborted: %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkRedistribution measures the §3 slow path: every transaction
+// must pull quota from a peer first.
+func BenchmarkRedistribution(b *testing.B) {
+	c, err := dvp.NewCluster(dvp.Config{Sites: 2, Seed: 1, RetransmitEvery: 5 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.CreateItemShares("bench", []dvp.Value{0, dvp.Value(b.N) + 1_000_000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.At(1).Run(dvp.NewTxn().Sub("bench", 1).Timeout(time.Second))
+		if !res.Committed() {
+			b.Fatalf("redistribution reserve aborted: %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkFullRead measures the expensive operation the paper
+// concedes (§8): gathering all of Π⁻¹(d) before reading.
+func BenchmarkFullRead(b *testing.B) {
+	c, err := dvp.NewCluster(dvp.Config{Sites: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	c.CreateItem("bench", 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.At(i%4+1).RunRetry(dvp.NewTxn().Read("bench").Timeout(time.Second), 3)
+		if !res.Committed() {
+			b.Fatalf("read aborted: %v", res.Status)
+		}
+	}
+}
+
+// BenchmarkEnvelopeCodec measures the wire codec round trip.
+func BenchmarkEnvelopeCodec(b *testing.B) {
+	env := &wire.Envelope{
+		From: 1, To: 2, Lamport: 12345, AckUpTo: 99,
+		Msg: &wire.Vm{Seq: 7, Item: "flight/A", Amount: 5, ReqTxn: 42},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := env.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWalAppend measures the in-memory stable log.
+func BenchmarkWalAppend(b *testing.B) {
+	l := wal.NewMemLog()
+	rec := (&wal.CommitRec{Txn: 42, Actions: []wal.Action{{Item: "x", Delta: -1, SetTS: 42}}}).Encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(wal.RecCommit, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFileWalAppend measures the CRC-framed file log (no fsync).
+func BenchmarkFileWalAppend(b *testing.B) {
+	l, err := wal.OpenFileLog(b.TempDir()+"/bench.wal", wal.FileLogOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	rec := (&wal.CommitRec{Txn: 42, Actions: []wal.Action{{Item: "x", Delta: -1, SetTS: 42}}}).Encode()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(wal.RecCommit, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,291 @@
+package dvp
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"dvp/internal/cc"
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/simnet"
+	"dvp/internal/site"
+	"dvp/internal/store"
+	"dvp/internal/wal"
+)
+
+// Cluster is a set of DvP sites over a fault-injectable simulated
+// network. All methods are safe for concurrent use.
+type Cluster struct {
+	cfg   Config
+	net   *simnet.Net
+	sites []*site.Site
+	logs  []wal.Log
+	dbs   []*store.Durable
+	peers []ident.SiteID
+}
+
+// NewCluster assembles and starts a cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.Sites <= 0 {
+		cfg.Sites = 4
+	}
+	if cfg.CC == 0 {
+		cfg.CC = Conc1
+	}
+	if cfg.Grant == nil {
+		cfg.Grant = GrantExact
+	}
+	c := &Cluster{
+		cfg: cfg,
+		net: simnet.New(simnet.Config{
+			Seed:            cfg.Seed,
+			MinDelay:        cfg.MinDelay,
+			MaxDelay:        cfg.MaxDelay,
+			LossProb:        cfg.LossProb,
+			DupProb:         cfg.DupProb,
+			OrderPreserving: cfg.OrderPreserving,
+		}),
+	}
+	for i := 1; i <= cfg.Sites; i++ {
+		c.peers = append(c.peers, ident.SiteID(i))
+	}
+	for i := 1; i <= cfg.Sites; i++ {
+		var log wal.Log
+		if cfg.FileLogDir != "" {
+			fl, err := wal.OpenFileLog(
+				filepath.Join(cfg.FileLogDir, fmt.Sprintf("site%d.wal", i)),
+				wal.FileLogOptions{})
+			if err != nil {
+				return nil, err
+			}
+			log = fl
+		} else {
+			log = wal.NewMemLog()
+		}
+		log = wal.NewSlowLog(log, cfg.LogAppendDelay, nil)
+		db := store.New()
+		sc := site.Config{
+			ID:              ident.SiteID(i),
+			Peers:           c.peers,
+			Log:             log,
+			DB:              db,
+			Endpoint:        c.net.Endpoint(ident.SiteID(i)),
+			CC:              cc.New(cfg.CC),
+			Grant:           cfg.Grant,
+			RetransmitEvery: cfg.RetransmitEvery,
+			DefaultTimeout:  cfg.DefaultTimeout,
+		}
+		if cfg.OnCommit != nil {
+			hook := cfg.OnCommit
+			sc.OnCommit = func(ci site.CommitInfo) {
+				out := CommitInfo{
+					Site:      int(ci.Site),
+					TS:        uint64(ci.TS),
+					Deltas:    make(map[string]int64, len(ci.Deltas)),
+					Reads:     make(map[string]int64, len(ci.Reads)),
+					WriterIdx: make(map[string]uint64, len(ci.WriterIdx)),
+					ReadVec:   make(map[string]map[int]uint64, len(ci.ReadVec)),
+					Label:     ci.Label,
+				}
+				for k, v := range ci.Deltas {
+					out.Deltas[string(k)] = int64(v)
+				}
+				for k, v := range ci.Reads {
+					out.Reads[string(k)] = int64(v)
+				}
+				for k, v := range ci.WriterIdx {
+					out.WriterIdx[string(k)] = v
+				}
+				for k, vec := range ci.ReadVec {
+					m := make(map[int]uint64, len(vec))
+					for st, c := range vec {
+						m[int(st)] = c
+					}
+					out.ReadVec[string(k)] = m
+				}
+				hook(out)
+			}
+		}
+		s, err := site.New(sc)
+		if err != nil {
+			return nil, err
+		}
+		c.sites = append(c.sites, s)
+		c.logs = append(c.logs, log)
+		c.dbs = append(c.dbs, db)
+	}
+	for _, s := range c.sites {
+		s.Start()
+	}
+	return c, nil
+}
+
+// Close shuts the cluster down. In-flight messages are dropped.
+func (c *Cluster) Close() {
+	for _, s := range c.sites {
+		s.Crash()
+	}
+	c.net.Close()
+	for _, l := range c.logs {
+		l.Close()
+	}
+}
+
+// Sites returns the number of sites.
+func (c *Cluster) Sites() int { return len(c.sites) }
+
+// checkSite validates a 1-based site index.
+func (c *Cluster) checkSite(i int) *site.Site {
+	if i < 1 || i > len(c.sites) {
+		panic(fmt.Sprintf("dvp: site index %d out of range 1..%d", i, len(c.sites)))
+	}
+	return c.sites[i-1]
+}
+
+// --- item creation ----------------------------------------------------------
+
+// CreateItem splits total evenly across all sites (the paper's §3
+// initial distribution: 100 seats over 4 sites → 25 each).
+func (c *Cluster) CreateItem(item string, total Value) error {
+	return c.CreateItemShares(item, core.EvenShares(total, len(c.sites)))
+}
+
+// CreateItemShares installs explicit per-site quotas (one per site).
+func (c *Cluster) CreateItemShares(item string, shares []Value) error {
+	if len(shares) != len(c.sites) {
+		return fmt.Errorf("dvp: %d shares for %d sites", len(shares), len(c.sites))
+	}
+	for i, s := range c.sites {
+		if err := s.DB().Create(toItem(item), shares[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateItemWeighted splits total proportionally to per-site demand
+// weights.
+func (c *Cluster) CreateItemWeighted(item string, total Value, weights []float64) error {
+	return c.CreateItemShares(item, core.WeightedShares(total, weights))
+}
+
+// --- failure injection --------------------------------------------------------
+
+// PartitionGroups splits the network into groups of 1-based site
+// indices; unlisted sites are isolated.
+func (c *Cluster) PartitionGroups(groups ...[]int) {
+	gs := make([][]ident.SiteID, len(groups))
+	for i, g := range groups {
+		for _, s := range g {
+			gs[i] = append(gs[i], ident.SiteID(s))
+		}
+	}
+	c.net.Partition(gs...)
+}
+
+// Heal removes any partition.
+func (c *Cluster) Heal() { c.net.Heal() }
+
+// SetLink fails (up=false) or restores the directed link a→b.
+func (c *Cluster) SetLink(a, b int, up bool) {
+	c.net.SetLink(ident.SiteID(a), ident.SiteID(b), up)
+}
+
+// Crash kills site i: volatile state is lost; log and store survive.
+// In-progress transactions at the site abort with SiteDown.
+func (c *Cluster) Crash(i int) { c.checkSite(i).Crash() }
+
+// Restart recovers site i from its stable log — independently, with
+// no communication — and rejoins it to the network.
+func (c *Cluster) Restart(i int) error { return c.checkSite(i).Restart() }
+
+// SiteUp reports whether site i is running.
+func (c *Cluster) SiteUp(i int) bool { return c.checkSite(i).Up() }
+
+// --- introspection ------------------------------------------------------------
+
+// Quota returns site i's local share of item (N_i).
+func (c *Cluster) Quota(i int, item string) Value {
+	return c.checkSite(i).DB().Value(toItem(item))
+}
+
+// GlobalTotal computes N = Σ N_i + Σ in-flight Vm for item: the
+// conserved quantity. Only meaningful at quiescent points (use
+// Quiesce in tests).
+func (c *Cluster) GlobalTotal(item string) Value {
+	id := toItem(item)
+	var sum Value
+	for _, s := range c.sites {
+		sum += s.DB().Value(id)
+	}
+	for _, si := range c.sites {
+		for _, sj := range c.sites {
+			if si == sj {
+				continue
+			}
+			for _, v := range si.VM().PendingTo(sj.ID()) {
+				if v.Item == id && !sj.VM().Accepted(si.ID(), v.Seq) {
+					sum += v.Amount
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// Quiesce blocks until all in-flight network traffic has drained and
+// no Vm awaits retransmission, or the deadline passes.
+func (c *Cluster) Quiesce(deadline time.Duration) {
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		c.net.Quiesce()
+		pending := 0
+		for _, s := range c.sites {
+			pending += len(s.VM().PendingAll())
+		}
+		if pending == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// SiteStats returns site i's event counters.
+func (c *Cluster) SiteStats(i int) site.Stats { return c.checkSite(i).Stats() }
+
+// NetStats returns the network's counters.
+func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
+
+// Checkpoint writes a checkpoint record at site i, bounding its
+// future recovery scans.
+func (c *Cluster) Checkpoint(i int) error { return c.checkSite(i).Checkpoint() }
+
+// RecoverySummary describes what site i's most recent recovery pass
+// did. NetworkCalls is always zero: recovery is independent (§7).
+type RecoverySummary struct {
+	CheckpointLSN  uint64
+	RecordsScanned int
+	ActionsRedone  int
+	VmRestored     int
+	NetworkCalls   int
+}
+
+// LastRecovery reports site i's most recent recovery summary.
+func (c *Cluster) LastRecovery(i int) RecoverySummary {
+	r := c.checkSite(i).LastRecovery()
+	return RecoverySummary{
+		CheckpointLSN:  r.CheckpointLSN,
+		RecordsScanned: r.RecordsScanned,
+		ActionsRedone:  r.ActionsRedone,
+		VmRestored:     r.VmRestored,
+		NetworkCalls:   r.NetworkCalls,
+	}
+}
+
+// LogRecords returns the number of stable-log records at site i.
+func (c *Cluster) LogRecords(i int) uint64 { return c.checkSite(i).LogLastLSN() }
+
+// Net exposes the underlying simulated network for advanced fault
+// scenarios (kind-selective filters, traces).
+func (c *Cluster) Net() *simnet.Net { return c.net }

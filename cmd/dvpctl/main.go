@@ -1,0 +1,51 @@
+// Command dvpctl is the client for dvpnode's control port.
+//
+//	dvpctl -addr :8101 reserve flight/A 3
+//	dvpctl -addr :8102 read flight/A
+//	dvpctl -addr :8101 transfer flight/A flight/B 2
+//	dvpctl -addr :8103 quota flight/A
+//	dvpctl -addr :8101 stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8101", "dvpnode control address")
+	timeout := flag.Duration("timeout", 5*time.Second, "round-trip timeout")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dvpctl [-addr host:port] <reserve|cancel|transfer|read|quota|stats|ping> [args...]")
+		os.Exit(2)
+	}
+
+	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(*timeout))
+
+	if _, err := fmt.Fprintln(conn, strings.Join(flag.Args(), " ")); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		fmt.Fprintln(os.Stderr, "no reply")
+		os.Exit(1)
+	}
+	reply := sc.Text()
+	fmt.Println(reply)
+	if strings.HasPrefix(reply, "ERR") || strings.HasPrefix(reply, "ABORT") {
+		os.Exit(1)
+	}
+}

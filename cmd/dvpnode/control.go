@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/site"
+	"dvp/internal/store"
+	"dvp/internal/txn"
+)
+
+// controlServer speaks a tiny line protocol for clients (dvpctl):
+//
+//	RESERVE <item> <n>      decrement (bounded at zero)
+//	CANCEL  <item> <n>      increment
+//	TRANSFER <from> <to> <n> move value between items
+//	READ    <item>          full read (gathers all shares here)
+//	QUOTA   <item>          this site's local share (no txn)
+//	STATS                   site counters
+//	PING                    liveness
+//
+// Replies are single lines: "OK ...", "ABORT <status>", "ERR <msg>".
+type controlServer struct {
+	site *site.Site
+	db   *store.Durable
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+func (c *controlServer) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.wg.Add(1)
+			go c.serve(conn)
+		}
+	}()
+	return nil
+}
+
+func (c *controlServer) addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+func (c *controlServer) close() {
+	c.mu.Lock()
+	ln := c.ln
+	c.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	c.wg.Wait()
+}
+
+func (c *controlServer) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		reply := c.handle(strings.Fields(sc.Text()))
+		if _, err := fmt.Fprintln(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (c *controlServer) handle(args []string) string {
+	if len(args) == 0 {
+		return "ERR empty command"
+	}
+	switch strings.ToUpper(args[0]) {
+	case "PING":
+		return "OK pong"
+	case "QUOTA":
+		if len(args) != 2 {
+			return "ERR usage: QUOTA <item>"
+		}
+		return fmt.Sprintf("OK %d", c.db.Value(ident.ItemID(args[1])))
+	case "STATS":
+		st := c.site.Stats()
+		return fmt.Sprintf("OK committed=%d aborts=%d honored=%d vm-accepted=%d retransmits=%d",
+			st.Committed,
+			st.AbortLockConflict+st.AbortCCRejected+st.AbortTimeout+st.AbortSiteDown,
+			st.RequestsHonored, st.VmAccepted, st.Retransmissions)
+	case "RESERVE", "CANCEL":
+		if len(args) != 3 {
+			return "ERR usage: " + args[0] + " <item> <n>"
+		}
+		n, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil || n < 0 {
+			return "ERR bad amount"
+		}
+		var op core.Op = core.Decr{M: core.Value(n)}
+		if strings.EqualFold(args[0], "CANCEL") {
+			op = core.Incr{M: core.Value(n)}
+		}
+		res := c.runRetry(&txn.Txn{
+			Ops:   []txn.ItemOp{{Item: ident.ItemID(args[1]), Op: op}},
+			Ask:   txn.AskAll,
+			Label: strings.ToLower(args[0]),
+		})
+		return txnReply(res, "")
+	case "TRANSFER":
+		if len(args) != 4 {
+			return "ERR usage: TRANSFER <from> <to> <n>"
+		}
+		n, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil || n < 0 {
+			return "ERR bad amount"
+		}
+		res := c.runRetry(&txn.Txn{
+			Ops: []txn.ItemOp{
+				{Item: ident.ItemID(args[1]), Op: core.Decr{M: core.Value(n)}},
+				{Item: ident.ItemID(args[2]), Op: core.Incr{M: core.Value(n)}},
+			},
+			Ask:   txn.AskAll,
+			Label: "transfer",
+		})
+		return txnReply(res, "")
+	case "READ":
+		if len(args) != 2 {
+			return "ERR usage: READ <item>"
+		}
+		item := ident.ItemID(args[1])
+		res := c.runRetry(&txn.Txn{Reads: []ident.ItemID{item}, Ask: txn.AskAll, Label: "read"})
+		if res.Committed() {
+			return fmt.Sprintf("OK %d", res.Reads[item])
+		}
+		return txnReply(res, "")
+	default:
+		return "ERR unknown command " + args[0]
+	}
+}
+
+// runRetry is the application-level retry loop the paper assumes
+// (§5): aborted transactions are simply resubmitted; each attempt
+// draws a fresher timestamp, which also heals post-recovery and
+// post-decline conditions.
+func (c *controlServer) runRetry(t *txn.Txn) *txn.Result {
+	var res *txn.Result
+	for i := 0; i < 3; i++ {
+		res = c.site.Run(t)
+		if res.Committed() {
+			return res
+		}
+	}
+	return res
+}
+
+func txnReply(res *txn.Result, extra string) string {
+	if res.Committed() {
+		return strings.TrimSpace(fmt.Sprintf("OK committed in %.2fms %s",
+			float64(res.Latency.Microseconds())/1000, extra))
+	}
+	return "ABORT " + res.Status.String()
+}

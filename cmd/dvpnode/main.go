@@ -1,0 +1,189 @@
+// Command dvpnode runs one DvP site as a real OS process: the site
+// engine from internal/site over TCP (internal/tcpnet), with a
+// file-backed stable log, plus a small line-oriented control port for
+// clients (see cmd/dvpctl).
+//
+// A three-site cluster on one machine:
+//
+//	dvpnode -site 1 -listen :7101 -ctl :8101 -peers 1=:7101,2=:7102,3=:7103 \
+//	        -wal /tmp/site1.wal -create flight/A=40
+//	dvpnode -site 2 -listen :7102 -ctl :8102 -peers 1=:7101,2=:7102,3=:7103 \
+//	        -wal /tmp/site2.wal -create flight/A=30
+//	dvpnode -site 3 -listen :7103 -ctl :8103 -peers 1=:7101,2=:7102,3=:7103 \
+//	        -wal /tmp/site3.wal -create flight/A=30
+//
+// then: dvpctl -addr :8101 reserve flight/A 35
+//
+// -create installs this site's LOCAL share of the item (each node
+// declares its own quota; the item's total is their sum). On restart
+// with an existing WAL, state recovers from the log and -create is
+// skipped for items already present.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dvp/internal/cc"
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/site"
+	"dvp/internal/store"
+	"dvp/internal/tcpnet"
+	"dvp/internal/wal"
+)
+
+func main() {
+	var (
+		siteID   = flag.Int("site", 0, "this site's id (1-based, required)")
+		listen   = flag.String("listen", "", "peer-protocol listen address (required)")
+		ctlAddr  = flag.String("ctl", "", "control-port listen address (required)")
+		peersArg = flag.String("peers", "", "comma list id=addr covering every site (required)")
+		walPath  = flag.String("wal", "", "stable log file (required)")
+		creates  = flag.String("create", "", "comma list item=localshare installed if absent")
+		scheme   = flag.String("cc", "conc1", "concurrency control: conc1 or conc2")
+		timeout  = flag.Duration("timeout", 250*time.Millisecond, "default transaction timeout")
+		sync     = flag.Bool("sync", false, "fsync the WAL on every append")
+		ckptIv   = flag.Duration("checkpoint", 0, "write a checkpoint record on this interval (0 disables)")
+	)
+	flag.Parse()
+	if *siteID <= 0 || *listen == "" || *ctlAddr == "" || *peersArg == "" || *walPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	peers, addrs, err := parsePeers(*peersArg)
+	if err != nil {
+		log.Fatalf("bad -peers: %v", err)
+	}
+	self := ident.SiteID(*siteID)
+	if _, ok := addrs[self]; !ok {
+		log.Fatalf("-peers must include this site (%d)", *siteID)
+	}
+
+	logFile, err := wal.OpenFileLog(*walPath, wal.FileLogOptions{Sync: *sync})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer logFile.Close()
+
+	ep, err := tcpnet.New(tcpnet.Config{Site: self, Listen: *listen, Peers: addrs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+
+	ccPolicy := cc.New(cc.Conc1)
+	if strings.EqualFold(*scheme, "conc2") {
+		ccPolicy = cc.New(cc.Conc2)
+	}
+
+	db := store.New()
+	s, err := site.New(site.Config{
+		ID: self, Peers: peers,
+		Log: logFile, DB: db,
+		Endpoint:        ep,
+		CC:              ccPolicy,
+		DefaultTimeout:  *timeout,
+		RetransmitEvery: 25 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := s.LastRecovery()
+	log.Printf("site %v recovered: %d records scanned, %d actions redone, %d vm restored",
+		self, rec.RecordsScanned, rec.ActionsRedone, rec.VmRestored)
+
+	if *creates != "" {
+		for _, kv := range strings.Split(*creates, ",") {
+			item, share, err := parseCreate(kv)
+			if err != nil {
+				log.Fatalf("bad -create: %v", err)
+			}
+			if _, exists := db.Get(item); exists {
+				log.Printf("item %s already in recovered state; -create skipped", item)
+				continue
+			}
+			// Unlike the in-process simulation (where the store
+			// object survives crashes like disk pages), a real
+			// process rebuilds its store from the WAL — so the
+			// initial share must itself be a logged action.
+			rec := &wal.CommitRec{Actions: []wal.Action{{Item: item, Delta: share}}}
+			lsn, err := logFile.Append(wal.RecCommit, rec.Encode())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := db.ApplyAll(lsn, rec.Actions); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("created local share %s = %d", item, share)
+		}
+	}
+
+	s.Start()
+	log.Printf("site %v serving peers on %s", self, ep.Addr())
+
+	if *ckptIv > 0 {
+		go func() {
+			ticker := time.NewTicker(*ckptIv)
+			defer ticker.Stop()
+			for range ticker.C {
+				if err := s.Checkpoint(); err != nil {
+					log.Printf("checkpoint: %v", err)
+				}
+			}
+		}()
+	}
+
+	ctl := &controlServer{site: s, db: db}
+	if err := ctl.listen(*ctlAddr); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("control port on %s", ctl.addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	ctl.close()
+	s.Crash()
+}
+
+// parsePeers parses "1=host:port,2=host:port,...".
+func parsePeers(arg string) ([]ident.SiteID, map[ident.SiteID]string, error) {
+	addrs := make(map[ident.SiteID]string)
+	var peers []ident.SiteID
+	for _, kv := range strings.Split(arg, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return nil, nil, fmt.Errorf("entry %q is not id=addr", kv)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil || id <= 0 {
+			return nil, nil, fmt.Errorf("bad site id %q", parts[0])
+		}
+		addrs[ident.SiteID(id)] = parts[1]
+		peers = append(peers, ident.SiteID(id))
+	}
+	return ident.SortSites(peers), addrs, nil
+}
+
+// parseCreate parses "item=share".
+func parseCreate(kv string) (ident.ItemID, core.Value, error) {
+	parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+	if len(parts) != 2 {
+		return "", 0, fmt.Errorf("entry %q is not item=share", kv)
+	}
+	share, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || share < 0 {
+		return "", 0, fmt.Errorf("bad share %q", parts[1])
+	}
+	return ident.ItemID(parts[0]), core.Value(share), nil
+}

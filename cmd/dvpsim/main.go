@@ -1,0 +1,78 @@
+// Command dvpsim runs the repository's evaluation: every table
+// (T1–T5), figure (F1–F6) and ablation (A1–A2) from DESIGN.md §3,
+// each testing one claim of "Data-value Partitioning and Virtual
+// Messages" against the traditional baselines (2PC, quorum,
+// primary-copy, escrow).
+//
+// Usage:
+//
+//	dvpsim -list
+//	dvpsim -exp T2
+//	dvpsim -exp all -quick
+//	dvpsim -exp F4 -seed 7 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dvp/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (T1..T5, F1..F6, A1..A2, or 'all')")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		quick = flag.Bool("quick", false, "smaller sweeps (seconds instead of minutes)")
+		seed  = flag.Int64("seed", 1, "workload and fault-schedule seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-3s %s\n      claim: %s\n", e.ID, e.Title, e.Claim)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: dvpsim -exp <id>   (or -exp all)")
+		}
+		return
+	}
+
+	opts := harness.Options{Quick: *quick, Seed: *seed}
+	var exps []harness.Experiment
+	if strings.EqualFold(*exp, "all") {
+		exps = harness.All()
+	} else {
+		e, err := harness.ByID(strings.ToUpper(*exp))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	for _, e := range exps {
+		fmt.Printf("\n### %s — %s\n", e.ID, e.Title)
+		fmt.Printf("claim under test: %s\n\n", e.Claim)
+		t0 := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(res.Table.CSV())
+		} else {
+			fmt.Print(res.Table.String())
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+		fmt.Printf("  (ran in %v)\n", time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,165 @@
+// Package dvp is a Go implementation of Data-value Partitioning and
+// Virtual Messages (Soparkar & Silberschatz, PODS 1990): a distributed
+// transaction system for partitionable quantities — seats, money,
+// stock — that stays available and non-blocking through network
+// partitions, message loss, and site crashes.
+//
+// Instead of replicating a value N at every site, DvP splits N into
+// per-site quotas N_1 + … + N_n = N. Every transaction runs at exactly
+// one site against local quota; when the local quota is inadequate the
+// site asks peers to transfer some of theirs, carried by Virtual
+// Messages — transfers anchored in stable logs at both ends so no
+// value is ever lost or duplicated, whatever the network does. There
+// is no commit protocol spanning sites, hence nothing to block.
+//
+// # Quick start
+//
+//	c, err := dvp.NewCluster(dvp.Config{Sites: 4})
+//	if err != nil { ... }
+//	defer c.Close()
+//	c.CreateItem("flight/A", 100) // 25 per site
+//
+//	res := c.At(1).Reserve("flight/A", 3) // runs entirely at site 1
+//	if res.Committed() { ... }
+//
+//	c.PartitionGroups([]int{1, 2}, []int{3, 4}) // split brain
+//	c.At(3).Reserve("flight/A", 2)              // still works
+//
+// The cluster runs in-process over a fault-injecting simulated network
+// (loss, duplication, reordering, delay, partitions, crashes), so the
+// failure behaviour is exercisable from tests and examples. The same
+// site engine also runs over real TCP via cmd/dvpnode.
+package dvp
+
+import (
+	"time"
+
+	"dvp/internal/cc"
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/txn"
+)
+
+// Scheme selects the concurrency control scheme.
+type Scheme = cc.Scheme
+
+// Concurrency control schemes (paper §6).
+const (
+	// Conc1 is timestamp-based: a transaction may lock a value only
+	// if its timestamp exceeds the value's (§6.1). The default.
+	Conc1 = cc.Conc1
+	// Conc2 is strict two-phase locking, sound under order-
+	// preserving links (§6.2). Pair with Config.OrderPreserving.
+	Conc2 = cc.Conc2
+)
+
+// AskPolicy chooses which peers receive redistribution requests.
+type AskPolicy = txn.AskPolicy
+
+// Ask policies.
+const (
+	// AskAll broadcasts requests to every peer (default).
+	AskAll = txn.AskAll
+	// AskOne asks a single rotating peer.
+	AskOne = txn.AskOne
+	// AskTwo asks two rotating peers.
+	AskTwo = txn.AskTwo
+)
+
+// GrantPolicy decides how much quota a site surrenders per honored
+// request.
+type GrantPolicy = core.SplitPolicy
+
+// Grant policies.
+var (
+	// GrantExact surrenders exactly what was asked (default).
+	GrantExact GrantPolicy = core.GrantExact{}
+	// GrantAll surrenders the whole holding.
+	GrantAll GrantPolicy = core.GrantAll{}
+	// GrantHalfExcess surrenders the request plus half the surplus.
+	GrantHalfExcess GrantPolicy = core.GrantHalfExcess{}
+)
+
+// Status is a transaction outcome.
+type Status = txn.Status
+
+// Transaction outcomes. Every transaction reaches one of these within
+// its timeout — the system is non-blocking by construction.
+const (
+	// Committed: the commit record is stable; effects are durable.
+	Committed = txn.StatusCommitted
+	// LockConflict: a needed local value was locked (no-wait abort).
+	LockConflict = txn.StatusLockConflict
+	// CCRejected: the concurrency control scheme refused the lock
+	// (Conc1 timestamp admission); retry draws a fresher timestamp.
+	CCRejected = txn.StatusCCRejected
+	// Timeout: required value did not arrive in time (§5 step 3).
+	Timeout = txn.StatusTimeout
+	// SiteDown: the executing site crashed before commit.
+	SiteDown = txn.StatusSiteDown
+)
+
+// Result reports a transaction's outcome.
+type Result = txn.Result
+
+// Config assembles a Cluster.
+type Config struct {
+	// Sites is the number of sites (≥ 1). Default 4.
+	Sites int
+	// CC selects the concurrency scheme. Default Conc1.
+	CC Scheme
+	// Grant is the quota-surrender policy. Default GrantExact.
+	Grant GrantPolicy
+	// DefaultTimeout bounds transactions that don't set their own.
+	// Default 100ms.
+	DefaultTimeout time.Duration
+	// RetransmitEvery paces Vm retransmission. Default 15ms.
+	RetransmitEvery time.Duration
+
+	// Seed drives network fault sampling (0 means 1).
+	Seed int64
+	// MinDelay/MaxDelay bound simulated message latency.
+	MinDelay, MaxDelay time.Duration
+	// LossProb / DupProb inject message loss and duplication.
+	LossProb, DupProb float64
+	// OrderPreserving makes links FIFO (required for Conc2).
+	OrderPreserving bool
+
+	// FileLogDir, when set, backs each site's stable log with a real
+	// CRC-framed file under this directory instead of memory.
+	FileLogDir string
+	// LogAppendDelay simulates stable-storage force-write latency on
+	// every log append (e.g. 200µs ≈ SSD fsync). It makes commit
+	// cost a wait rather than CPU, so concurrency behaviour is
+	// realistic regardless of host core count.
+	LogAppendDelay time.Duration
+
+	// OnCommit observes every committed transaction (metrics,
+	// serializability checking). Called from transaction goroutines.
+	OnCommit func(CommitInfo)
+}
+
+// CommitInfo describes one committed transaction to the OnCommit hook.
+type CommitInfo struct {
+	// Site is the (1-based) site the transaction ran at.
+	Site int
+	// TS is the packed timestamp/identifier.
+	TS uint64
+	// Deltas is the net change per item; Reads the observed full
+	// reads. Label is the transaction's tag.
+	Deltas map[string]int64
+	Reads  map[string]int64
+	// WriterIdx gives, per written item, this transaction's local
+	// writer index at its site; ReadVec gives, per fully-read item,
+	// the observation vector (site → writers seen). Together they
+	// drive the exact serializability checker on crash-free
+	// histories.
+	WriterIdx map[string]uint64
+	ReadVec   map[string]map[int]uint64
+	Label     string
+}
+
+// Value is a quantity (Γ in the paper: non-negative int64).
+type Value = core.Value
+
+func toItem(item string) ident.ItemID { return ident.ItemID(item) }

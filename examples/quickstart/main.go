@@ -1,0 +1,72 @@
+// Quickstart: the paper's §3 airline example in ~60 lines.
+//
+// Four sites share flight A's 100 seats as quotas of 25 each. Seats
+// are reserved at individual sites with no cross-site coordination;
+// when site X runs short, value is redistributed to it by Virtual
+// Messages; a full read drains every share to one site and reports
+// the exact total.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dvp"
+)
+
+func main() {
+	c, err := dvp.NewCluster(dvp.Config{Sites: 4, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// N = 100 seats, split 25/25/25/25 — the paper's opening state.
+	if err := c.CreateItem("flight/A", 100); err != nil {
+		log.Fatal(err)
+	}
+	printQuotas(c, "initial")
+
+	// Customers requesting 3, 4 and 5 seats arrive at site W (=1).
+	for _, seats := range []dvp.Value{3, 4, 5} {
+		res := c.At(1).Reserve("flight/A", seats)
+		fmt.Printf("reserve %d at s1: %v (%.1fms, local only: %d requests)\n",
+			seats, res.Status, float64(res.Latency.Microseconds())/1000, res.RequestsSent)
+	}
+	printQuotas(c, "after reservations at s1")
+
+	// Drain the other sites toward the paper's (2,3,10,15) shape,
+	// then a customer needing 5 seats arrives at site X (=2) whose
+	// local quota is inadequate — redistribution kicks in.
+	c.At(2).Reserve("flight/A", 22)
+	c.At(3).Reserve("flight/A", 15)
+	c.At(4).Reserve("flight/A", 10)
+	printQuotas(c, "later state")
+
+	res := c.At(2).Reserve("flight/A", 5)
+	fmt.Printf("reserve 5 at s2: %v (sent %d redistribution requests, accepted %d Vm)\n",
+		res.Status, res.RequestsSent, res.VmAccepted)
+	printQuotas(c, "after redistribution")
+
+	// A full read: every share (and in-flight Vm) is gathered at the
+	// reading site first, so the answer is exact.
+	audit := c.At(3).RunRetry(dvp.NewTxn().Read("flight/A"), 3)
+	n, _ := dvp.ReadValue(audit, "flight/A")
+	fmt.Printf("audit at s3: N = %d seats remain (%v)\n", n, audit.Status)
+	printQuotas(c, "after audit (all value at s3)")
+}
+
+func printQuotas(c *dvp.Cluster, label string) {
+	c.Quiesce(time.Second)
+	fmt.Printf("%-32s", label+":")
+	var total dvp.Value
+	for i := 1; i <= c.Sites(); i++ {
+		q := c.Quota(i, "flight/A")
+		total += q
+		fmt.Printf("  N%d=%-3d", i, q)
+	}
+	fmt.Printf("  Σ=%d (global %d)\n", total, c.GlobalTotal("flight/A"))
+}

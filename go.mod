@@ -1,0 +1,3 @@
+module dvp
+
+go 1.22

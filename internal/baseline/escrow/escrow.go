@@ -1,0 +1,211 @@
+// Package escrow implements the Escrow transactional method of O'Neil
+// (ACM TODS 1986), which the paper cites (§8, [7]) as the established
+// treatment of "hot spot" aggregate fields: quantities updated only by
+// increments and decrements, accessed so frequently that holding a
+// conventional exclusive lock for a transaction's duration serializes
+// the whole system.
+//
+// Escrow's idea: a transaction asks the escrow manager to set aside
+// ("escrow") the quantity it intends to take. The test uses worst-case
+// bounds over all uncommitted holds, so a granted hold can always
+// commit regardless of how concurrent transactions finish. The lock is
+// held only for the duration of the escrow test, not the transaction —
+// many transactions proceed concurrently against one field.
+//
+// Relation to DvP: escrow solves contention *within one site*; DvP
+// partitions the value *across sites* (and §8 notes DvP can be seen as
+// taking the escrow idea to a distributed, partition-tolerant
+// setting). Experiment F3 compares: naive locking vs escrow vs DvP.
+package escrow
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dvp/internal/core"
+)
+
+// ErrInsufficient reports a failed escrow test: granting the hold
+// could drive the field below its floor in some completion order.
+var ErrInsufficient = errors.New("escrow: insufficient escrowable quantity")
+
+// ErrResolved reports Commit/Abort on an already resolved hold.
+var ErrResolved = errors.New("escrow: hold already resolved")
+
+// Account is one escrow-managed aggregate field with floor 0 (the
+// bounded-decrement rule shared with DvP quantities).
+type Account struct {
+	mu sync.Mutex
+	// val is the committed value.
+	val core.Value
+	// outDecr is the sum of uncommitted decrement holds; outIncr the
+	// sum of uncommitted increment holds. The escrow test uses the
+	// pessimal bound val - outDecr.
+	outDecr core.Value
+	outIncr core.Value
+	holds   uint64 // active hold count (sanity/introspection)
+}
+
+// NewAccount returns an account with the given committed value.
+func NewAccount(initial core.Value) (*Account, error) {
+	if initial < 0 {
+		return nil, fmt.Errorf("%w: initial %d", core.ErrNegative, initial)
+	}
+	return &Account{val: initial}, nil
+}
+
+// Hold is one escrowed (not yet committed) quantity adjustment.
+type Hold struct {
+	acct     *Account
+	amount   core.Value // positive
+	incr     bool
+	resolved bool
+}
+
+// EscrowDecr attempts to set aside amount for a decrement. The test
+// is pessimistic: it succeeds only if the decrement can commit even if
+// every other uncommitted decrement commits and every uncommitted
+// increment aborts.
+func (a *Account) EscrowDecr(amount core.Value) (*Hold, error) {
+	if amount < 0 {
+		return nil, fmt.Errorf("%w: %d", core.ErrNegative, amount)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.val-a.outDecr-amount < 0 {
+		return nil, fmt.Errorf("%w: want %d, escrowable %d",
+			ErrInsufficient, amount, a.val-a.outDecr)
+	}
+	a.outDecr += amount
+	a.holds++
+	return &Hold{acct: a, amount: amount}, nil
+}
+
+// EscrowIncr sets aside an intended increment (always grantable with
+// an unbounded ceiling; tracked so reads can report uncertainty).
+func (a *Account) EscrowIncr(amount core.Value) (*Hold, error) {
+	if amount < 0 {
+		return nil, fmt.Errorf("%w: %d", core.ErrNegative, amount)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.outIncr += amount
+	a.holds++
+	return &Hold{acct: a, amount: amount, incr: true}, nil
+}
+
+// Commit applies the held adjustment to the committed value.
+func (h *Hold) Commit() error {
+	a := h.acct
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h.resolved {
+		return ErrResolved
+	}
+	h.resolved = true
+	a.holds--
+	if h.incr {
+		a.outIncr -= h.amount
+		a.val += h.amount
+	} else {
+		a.outDecr -= h.amount
+		a.val -= h.amount
+	}
+	if a.val < 0 || a.outDecr < 0 || a.outIncr < 0 {
+		panic("escrow: invariant violated on commit")
+	}
+	return nil
+}
+
+// Abort releases the hold without applying it.
+func (h *Hold) Abort() error {
+	a := h.acct
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h.resolved {
+		return ErrResolved
+	}
+	h.resolved = true
+	a.holds--
+	if h.incr {
+		a.outIncr -= h.amount
+	} else {
+		a.outDecr -= h.amount
+	}
+	return nil
+}
+
+// Bounds returns the interval the true value is guaranteed to lie in
+// once all outstanding holds resolve: [committed-outDecr,
+// committed+outIncr].
+func (a *Account) Bounds() (lo, hi core.Value) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.val - a.outDecr, a.val + a.outIncr
+}
+
+// Committed returns the committed value (exact only when no holds are
+// outstanding — like a DvP full read requiring quiescence).
+func (a *Account) Committed() core.Value {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.val
+}
+
+// ActiveHolds reports the number of unresolved holds.
+func (a *Account) ActiveHolds() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.holds
+}
+
+// LockedAccount is the naive alternative escrow exists to beat: an
+// exclusive lock held for the entire transaction. Begin blocks until
+// the account is free; the returned release function ends the
+// critical section. Throughput collapses as transaction duration or
+// concurrency grows — the F3 baseline curve.
+type LockedAccount struct {
+	mu  sync.Mutex
+	val core.Value
+}
+
+// NewLockedAccount returns a lock-per-transaction account.
+func NewLockedAccount(initial core.Value) *LockedAccount {
+	return &LockedAccount{val: initial}
+}
+
+// Begin enters the exclusive critical section and returns the current
+// value plus commit/abort closures. commit(delta) applies a bounded
+// delta; both release the lock.
+func (l *LockedAccount) Begin() (val core.Value, commit func(delta core.Value) bool, abort func()) {
+	l.mu.Lock()
+	done := false
+	commit = func(delta core.Value) bool {
+		if done {
+			return false
+		}
+		done = true
+		ok := l.val+delta >= 0
+		if ok {
+			l.val += delta
+		}
+		l.mu.Unlock()
+		return ok
+	}
+	abort = func() {
+		if done {
+			return
+		}
+		done = true
+		l.mu.Unlock()
+	}
+	return l.val, commit, abort
+}
+
+// Value reads the committed value.
+func (l *LockedAccount) Value() core.Value {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.val
+}

@@ -1,0 +1,228 @@
+package escrow
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dvp/internal/core"
+)
+
+func TestNewAccountRejectsNegative(t *testing.T) {
+	if _, err := NewAccount(-1); err == nil {
+		t.Error("negative initial must be rejected")
+	}
+}
+
+func TestEscrowDecrCommit(t *testing.T) {
+	a, _ := NewAccount(100)
+	h, err := a.EscrowDecr(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed value unchanged until commit; bounds reflect the hold.
+	if a.Committed() != 100 {
+		t.Error("escrow must not change the committed value")
+	}
+	lo, hi := a.Bounds()
+	if lo != 70 || hi != 100 {
+		t.Errorf("bounds = [%d,%d], want [70,100]", lo, hi)
+	}
+	if err := h.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Committed() != 70 {
+		t.Errorf("committed = %d, want 70", a.Committed())
+	}
+}
+
+func TestEscrowDecrAbortRestores(t *testing.T) {
+	a, _ := NewAccount(10)
+	h, _ := a.EscrowDecr(10)
+	// Everything escrowed: nothing more grantable.
+	if _, err := a.EscrowDecr(1); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient, got %v", err)
+	}
+	h.Abort()
+	if _, err := a.EscrowDecr(10); err != nil {
+		t.Errorf("after abort the quantity must be escrowable again: %v", err)
+	}
+}
+
+func TestEscrowTestIsPessimistic(t *testing.T) {
+	a, _ := NewAccount(10)
+	// An uncommitted increment must NOT be spendable.
+	ih, _ := a.EscrowIncr(50)
+	if _, err := a.EscrowDecr(20); !errors.Is(err, ErrInsufficient) {
+		t.Error("uncommitted increment was spendable (escrow test broken)")
+	}
+	ih.Commit()
+	if _, err := a.EscrowDecr(20); err != nil {
+		t.Errorf("committed increment must be spendable: %v", err)
+	}
+}
+
+func TestDoubleResolveRejected(t *testing.T) {
+	a, _ := NewAccount(5)
+	h, _ := a.EscrowDecr(5)
+	h.Commit()
+	if err := h.Commit(); !errors.Is(err, ErrResolved) {
+		t.Error("double commit must fail")
+	}
+	if err := h.Abort(); !errors.Is(err, ErrResolved) {
+		t.Error("abort after commit must fail")
+	}
+	if a.Committed() != 0 {
+		t.Errorf("committed = %d", a.Committed())
+	}
+}
+
+func TestNegativeAmountsRejected(t *testing.T) {
+	a, _ := NewAccount(5)
+	if _, err := a.EscrowDecr(-1); err == nil {
+		t.Error("negative decr accepted")
+	}
+	if _, err := a.EscrowIncr(-1); err == nil {
+		t.Error("negative incr accepted")
+	}
+}
+
+func TestConcurrentEscrowNeverOversells(t *testing.T) {
+	const initial = 1000
+	a, _ := NewAccount(initial)
+	var granted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				amt := core.Value(rng.Intn(10) + 1)
+				h, err := a.EscrowDecr(amt)
+				if err != nil {
+					continue
+				}
+				if rng.Intn(10) == 0 {
+					h.Abort()
+				} else {
+					h.Commit()
+					mu.Lock()
+					granted += int64(amt)
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if a.ActiveHolds() != 0 {
+		t.Errorf("%d holds leaked", a.ActiveHolds())
+	}
+	if got := a.Committed(); got != core.Value(initial-int(granted)) {
+		t.Errorf("committed = %d, want %d", got, initial-int(granted))
+	}
+	if a.Committed() < 0 {
+		t.Error("account oversold")
+	}
+}
+
+// Property: any sequence of grant/commit/abort keeps the invariant
+// committed ≥ outstanding decrements ≥ 0 and bounds are honest.
+func TestEscrowInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := NewAccount(core.Value(rng.Intn(200)))
+		var open []*Hold
+		model := a.Committed() // committed value mirror
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				if h, err := a.EscrowDecr(core.Value(rng.Intn(20))); err == nil {
+					open = append(open, h)
+				}
+			case 1:
+				if h, err := a.EscrowIncr(core.Value(rng.Intn(20))); err == nil {
+					open = append(open, h)
+				}
+			case 2, 3:
+				if len(open) == 0 {
+					continue
+				}
+				i := rng.Intn(len(open))
+				h := open[i]
+				open = append(open[:i], open[i+1:]...)
+				if rng.Intn(2) == 0 {
+					if h.Commit() == nil {
+						if h.incr {
+							model += h.amount
+						} else {
+							model -= h.amount
+						}
+					}
+				} else {
+					h.Abort()
+				}
+			}
+			lo, hi := a.Bounds()
+			if lo < 0 || lo > hi || a.Committed() != model || a.Committed() < lo || a.Committed() > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLockedAccountBasics(t *testing.T) {
+	l := NewLockedAccount(10)
+	v, commit, _ := l.Begin()
+	if v != 10 {
+		t.Errorf("Begin value = %d", v)
+	}
+	if !commit(-4) {
+		t.Error("commit(-4) should succeed")
+	}
+	if l.Value() != 6 {
+		t.Errorf("value = %d", l.Value())
+	}
+	// Bounded at zero.
+	_, commit2, _ := l.Begin()
+	if commit2(-100) {
+		t.Error("overdraw committed")
+	}
+	if l.Value() != 6 {
+		t.Errorf("value changed on failed commit: %d", l.Value())
+	}
+	// Abort releases.
+	_, _, abort := l.Begin()
+	abort()
+	_, commit3, _ := l.Begin()
+	commit3(1)
+	if l.Value() != 7 {
+		t.Errorf("value = %d", l.Value())
+	}
+}
+
+func TestLockedAccountSerializes(t *testing.T) {
+	l := NewLockedAccount(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, commit, _ := l.Begin()
+				commit(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Value() != 800 {
+		t.Errorf("value = %d, want 800", l.Value())
+	}
+}

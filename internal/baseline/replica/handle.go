@@ -1,0 +1,191 @@
+package replica
+
+import (
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/lock"
+	"dvp/internal/tstamp"
+	"dvp/internal/txn"
+	"dvp/internal/wire"
+)
+
+// handle dispatches replica-control traffic.
+func (s *Site) handle(env *wire.Envelope) {
+	s.mu.Lock()
+	up := s.up
+	s.mu.Unlock()
+	if !up {
+		return
+	}
+	s.clock.Observe(env.Lamport)
+
+	switch m := env.Msg.(type) {
+	case *wire.LockReq:
+		go func() {
+			// Near-no-wait: long waits at replicas convoy the whole
+			// quorum (every coordinator holds its local replica's
+			// lock while waiting for the others); deny fast and let
+			// the coordinator's retry with backoff break the tie.
+			ok := s.locks.Lock(m.Txn.Txn(), m.Item, lock.Exclusive, s.cfg.LockTimeout/8)
+			s.send(env.From, &wire.LockReply{Txn: m.Txn, Item: m.Item, Granted: ok})
+			if ok {
+				// Lease: a grant whose coordinator has abandoned the
+				// transaction (timed out before our reply arrived)
+				// would otherwise be held forever. Auto-release well
+				// after any live coordinator would have installed.
+				go func() {
+					s.cfg.Clock.Sleep(s.cfg.Timeout)
+					s.locks.Unlock(m.Txn.Txn(), m.Item)
+				}()
+			}
+		}()
+	case *wire.ReadReq:
+		s.mu.Lock()
+		cs := s.copies[m.Item]
+		s.mu.Unlock()
+		s.send(env.From, &wire.ReadReply{
+			Txn: m.Txn, Item: m.Item, Value: cs.val, Version: cs.ver, OK: true,
+		})
+	case *wire.QWrite:
+		if m.Version > 0 {
+			s.applyQWrite(m.Item, m.Value, m.Version)
+			s.send(env.From, &wire.QWriteAck{Txn: m.Txn, Item: m.Item, OK: true})
+		}
+		// Version 0 (or any) releases the transaction's lock here.
+		s.locks.ReleaseAll(m.Txn.Txn())
+	case *wire.Forward:
+		s.onForward(env.From, m)
+	case *wire.LockReply, *wire.QWriteAck, *wire.ReadReply, *wire.ForwardReply:
+		s.routeToWaiter(env.From, env.Msg)
+	}
+}
+
+// routeToWaiter hands a reply to the coordinator goroutine waiting on
+// the transaction named inside the message.
+func (s *Site) routeToWaiter(from ident.SiteID, msg wire.Msg) {
+	var id ident.TxnID
+	switch m := msg.(type) {
+	case *wire.LockReply:
+		id = m.Txn.Txn()
+	case *wire.QWriteAck:
+		id = m.Txn.Txn()
+	case *wire.ReadReply:
+		id = m.Txn.Txn()
+	case *wire.ForwardReply:
+		id = m.Txn.Txn()
+	default:
+		return
+	}
+	s.mu.Lock()
+	ch := s.waiters[id]
+	s.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- inMsg{from: from, msg: msg}:
+	default:
+	}
+}
+
+// onForward executes one forwarded operation as the primary for the
+// item: serialize through the local lock, apply bounded delta or read.
+func (s *Site) onForward(from ident.SiteID, m *wire.Forward) {
+	id := m.Txn.Txn()
+	if !s.locks.Lock(id, m.Item, lock.Exclusive, s.cfg.LockTimeout) {
+		s.send(from, &wire.ForwardReply{Txn: m.Txn, Item: m.Item, OK: false})
+		return
+	}
+	defer s.locks.Unlock(id, m.Item)
+	s.mu.Lock()
+	cs := s.copies[m.Item]
+	if m.Read {
+		s.mu.Unlock()
+		s.send(from, &wire.ForwardReply{Txn: m.Txn, Item: m.Item, OK: true, Value: cs.val})
+		return
+	}
+	nv := cs.val + m.Delta
+	if nv < 0 {
+		s.mu.Unlock()
+		s.send(from, &wire.ForwardReply{Txn: m.Txn, Item: m.Item, OK: false, Value: cs.val})
+		return
+	}
+	s.copies[m.Item] = copyState{val: nv, ver: cs.ver + 1}
+	s.mu.Unlock()
+	s.send(from, &wire.ForwardReply{Txn: m.Txn, Item: m.Item, OK: true, Value: nv})
+}
+
+// runPrimary executes t under primary-copy control: every operation is
+// forwarded to (or executed at) the item's primary site.
+func (s *Site) runPrimary(ts tstamp.TS, t *txn.Txn, res *txn.Result) (bool, map[ident.ItemID]core.Value) {
+	id := ts.Txn()
+	ch := make(chan inMsg, 8)
+	s.mu.Lock()
+	s.waiters[id] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.waiters, id)
+		s.mu.Unlock()
+	}()
+
+	reads := make(map[ident.ItemID]core.Value)
+	do := func(item ident.ItemID, delta core.Value, read bool) (core.Value, bool) {
+		primary := s.cfg.Primary(item)
+		if primary == s.cfg.ID {
+			// We are the primary: execute locally through onForward's
+			// logic by calling it against ourselves synchronously.
+			return s.localPrimaryOp(id, item, delta, read)
+		}
+		s.send(primary, &wire.Forward{Txn: ts, Item: item, Delta: delta, Read: read})
+		res.RequestsSent++
+		deadline := s.cfg.Clock.After(s.cfg.Timeout)
+		for {
+			select {
+			case m := <-ch:
+				if fr, ok := m.msg.(*wire.ForwardReply); ok && fr.Item == item {
+					return fr.Value, fr.OK
+				}
+			case <-deadline:
+				s.mu.Lock()
+				s.stats.PrimaryUnreachable++
+				s.mu.Unlock()
+				return 0, false
+			}
+		}
+	}
+
+	for _, item := range t.Reads {
+		v, ok := do(item, 0, true)
+		if !ok {
+			return false, nil
+		}
+		reads[item] = v
+	}
+	for item, d := range t.Deltas() {
+		if _, ok := do(item, d, false); !ok {
+			return false, nil
+		}
+	}
+	return true, reads
+}
+
+// localPrimaryOp is the primary executing its own operation.
+func (s *Site) localPrimaryOp(id ident.TxnID, item ident.ItemID, delta core.Value, read bool) (core.Value, bool) {
+	if !s.locks.Lock(id, item, lock.Exclusive, s.cfg.LockTimeout) {
+		return 0, false
+	}
+	defer s.locks.Unlock(id, item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.copies[item]
+	if read {
+		return cs.val, true
+	}
+	nv := cs.val + delta
+	if nv < 0 {
+		return cs.val, false
+	}
+	s.copies[item] = copyState{val: nv, ver: cs.ver + 1}
+	return nv, true
+}

@@ -1,0 +1,205 @@
+package replica
+
+import (
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/lock"
+	"dvp/internal/tstamp"
+	"dvp/internal/txn"
+	"dvp/internal/wire"
+)
+
+// runQuorum executes t under quorum consensus: X-lock a write quorum,
+// read versioned copies, compute, install (value, version+1) at the
+// quorum. Reads collect a read quorum and take the newest version.
+func (s *Site) runQuorum(ts tstamp.TS, t *txn.Txn, res *txn.Result) (bool, map[ident.ItemID]core.Value, txn.Status) {
+	id := ts.Txn()
+	ch := make(chan inMsg, len(s.cfg.Peers)*8)
+	s.mu.Lock()
+	s.waiters[id] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.waiters, id)
+		s.mu.Unlock()
+	}()
+
+	reads := make(map[ident.ItemID]core.Value)
+
+	// Pure reads: collect a read quorum of versioned copies.
+	for _, item := range t.Reads {
+		v, ok := s.quorumRead(ts, id, item, ch, res)
+		if !ok {
+			s.bumpQuorumFailed()
+			return false, nil, txn.StatusTimeout
+		}
+		reads[item] = v
+	}
+
+	// Writes: per item, lock quorum → read → apply ops → install.
+	deltas := t.Deltas()
+	needs := t.Needs()
+	for item := range deltas {
+		if !s.quorumWrite(ts, id, item, deltas[item], needs[item], ch, res) {
+			s.releaseEverywhere(ts, id, item)
+			s.bumpQuorumFailed()
+			return false, nil, txn.StatusTimeout
+		}
+	}
+	return true, reads, txn.StatusCommitted
+}
+
+// quorumRead collects R = majority versioned copies of item.
+func (s *Site) quorumRead(ts tstamp.TS, id ident.TxnID, item ident.ItemID, ch chan inMsg, res *txn.Result) (core.Value, bool) {
+	// Local copy counts as one reply.
+	s.mu.Lock()
+	best := s.copies[item]
+	s.mu.Unlock()
+	got := 1
+	for _, p := range ident.SortSites(s.cfg.Peers) {
+		if p == s.cfg.ID {
+			continue
+		}
+		s.send(p, &wire.ReadReq{Txn: ts, Item: item})
+		res.RequestsSent++
+	}
+	deadline := s.cfg.Clock.After(s.cfg.Timeout)
+	for got < s.quorumSize() {
+		select {
+		case m := <-ch:
+			if rr, ok := m.msg.(*wire.ReadReply); ok && rr.Item == item && rr.OK {
+				if rr.Version > best.ver {
+					best = copyState{val: rr.Value, ver: rr.Version}
+				}
+				got++
+			}
+		case <-deadline:
+			return 0, false
+		}
+	}
+	return best.val, true
+}
+
+// quorumWrite locks a write quorum of replicas, reads the newest
+// version among them, applies the delta (bounded at `need`), and
+// installs the new (value, version).
+func (s *Site) quorumWrite(ts tstamp.TS, id ident.TxnID, item ident.ItemID, delta, need core.Value, ch chan inMsg, res *txn.Result) bool {
+	// Lock the local copy opportunistically (fast deny): with n-1
+	// remote replicas a quorum can assemble without it.
+	locked := []ident.SiteID{}
+	if s.locks.Lock(id, item, lock.Exclusive, s.cfg.LockTimeout/8) {
+		locked = append(locked, s.cfg.ID)
+	}
+	for _, p := range ident.SortSites(s.cfg.Peers) {
+		if p == s.cfg.ID {
+			continue
+		}
+		s.send(p, &wire.LockReq{Txn: ts, Item: item, Mode: wire.LockExclusive})
+		res.RequestsSent++
+	}
+	deadline := s.cfg.Clock.After(s.cfg.Timeout)
+	// Collect lock grants until a quorum is locked (extra grants are
+	// released along with the quorum at install time).
+	for len(locked) < s.quorumSize() {
+		select {
+		case m := <-ch:
+			// Denied grants are ignored: a quorum does not need
+			// every replica, only enough of them. The timeout is
+			// the abort path if a quorum never assembles.
+			if lr, ok := m.msg.(*wire.LockReply); ok && lr.Item == item && lr.Granted {
+				locked = append(locked, m.from)
+			}
+		case <-deadline:
+			return false
+		}
+	}
+
+	// Read versions from the locked quorum.
+	s.mu.Lock()
+	best := s.copies[item]
+	s.mu.Unlock()
+	got := 0
+	for _, p := range locked {
+		if p == s.cfg.ID {
+			got++ // local copy already read above
+			continue
+		}
+		s.send(p, &wire.ReadReq{Txn: ts, Item: item})
+		res.RequestsSent++
+	}
+	deadline = s.cfg.Clock.After(s.cfg.Timeout)
+	for got < len(locked) {
+		select {
+		case m := <-ch:
+			if rr, ok := m.msg.(*wire.ReadReply); ok && rr.Item == item && rr.OK {
+				if rr.Version > best.ver {
+					best = copyState{val: rr.Value, ver: rr.Version}
+				}
+				got++
+			}
+		case <-deadline:
+			return false
+		}
+	}
+
+	// Apply the delta with the bounded-decrement rule.
+	nv := best.val + delta
+	if best.val < need || nv < 0 {
+		return false
+	}
+	newVer := best.ver + 1
+
+	// Install at the locked quorum, release as we go.
+	acked := 0
+	for _, p := range locked {
+		if p == s.cfg.ID {
+			s.applyQWrite(item, nv, newVer)
+			s.locks.Unlock(id, item)
+			acked++
+			continue
+		}
+		s.send(p, &wire.QWrite{Txn: ts, Item: item, Value: nv, Version: newVer})
+		res.RequestsSent++
+	}
+	deadline = s.cfg.Clock.After(s.cfg.Timeout)
+	for acked < len(locked) {
+		select {
+		case m := <-ch:
+			if qa, ok := m.msg.(*wire.QWriteAck); ok && qa.Item == item && qa.OK {
+				acked++
+			}
+		case <-deadline:
+			// Partial install: versions repair on the next quorum
+			// read (newest wins). Report success only with a full
+			// quorum of acks to keep the experiment conservative.
+			return false
+		}
+	}
+	return true
+}
+
+// releaseEverywhere drops locks for an aborted quorum write.
+func (s *Site) releaseEverywhere(ts tstamp.TS, id ident.TxnID, item ident.ItemID) {
+	s.locks.ReleaseAll(id)
+	for _, p := range s.cfg.Peers {
+		if p == s.cfg.ID {
+			continue
+		}
+		// A zero-version QWrite is a pure lock release.
+		s.send(p, &wire.QWrite{Txn: ts, Item: item, Version: 0})
+	}
+}
+
+func (s *Site) applyQWrite(item ident.ItemID, v core.Value, ver uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur := s.copies[item]; ver > cur.ver {
+		s.copies[item] = copyState{val: v, ver: ver}
+	}
+}
+
+func (s *Site) bumpQuorumFailed() {
+	s.mu.Lock()
+	s.stats.QuorumFailed++
+	s.mu.Unlock()
+}

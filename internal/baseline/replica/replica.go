@@ -1,0 +1,214 @@
+// Package replica implements the replica-control strategies the paper
+// surveys through Davidson et al. [3] (§2.2) as the conventional
+// answers to partitioned operation:
+//
+//   - Quorum consensus: every item replicated everywhere with a
+//     version number; a write locks and installs (value, version+1) at
+//     a write quorum W, a read collects R versioned copies and takes
+//     the newest, with R + W > n. During a partition only a group
+//     containing a quorum can operate; minority groups are dead.
+//
+//   - Primary copy: each item has a primary site through which all
+//     operations flow. A partition separating a client from the
+//     primary makes the item unavailable to that client ("it is not
+//     always possible to ensure that a single group accesses the item
+//     (e.g., a quorum is not reached, or a primary copy site fails)").
+//
+// These baselines are intentionally not crash-durable (no WAL): the
+// experiments use them for partition-availability comparisons (T2),
+// where the interesting failure is the network, not the disk.
+package replica
+
+import (
+	"sync"
+	"time"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/lock"
+	"dvp/internal/tstamp"
+	"dvp/internal/txn"
+	"dvp/internal/vclock"
+	"dvp/internal/wire"
+)
+
+// Mode selects the replica-control strategy.
+type Mode uint8
+
+// Strategies.
+const (
+	// Quorum is majority read/write quorum consensus.
+	Quorum Mode = iota + 1
+	// PrimaryCopy routes all operations through an item's primary.
+	PrimaryCopy
+)
+
+func (m Mode) String() string {
+	if m == PrimaryCopy {
+		return "primary-copy"
+	}
+	return "quorum"
+}
+
+// Config assembles a replica-control site.
+type Config struct {
+	ID       ident.SiteID
+	Peers    []ident.SiteID
+	Endpoint wire.Endpoint
+	Clock    vclock.Clock
+	Mode     Mode
+	// Primary maps items to their primary site under PrimaryCopy
+	// (default: site 1 for everything).
+	Primary func(ident.ItemID) ident.SiteID
+	// Timeout bounds quorum collection / primary round trips.
+	// Default 80ms.
+	Timeout time.Duration
+	// LockTimeout bounds replica lock waits. Default 40ms.
+	LockTimeout time.Duration
+}
+
+// Stats counts outcomes.
+type Stats struct {
+	Committed          uint64
+	Aborted            uint64
+	QuorumFailed       uint64
+	PrimaryUnreachable uint64
+}
+
+type copyState struct {
+	val core.Value
+	ver uint64
+}
+
+// Site is one replica-control site.
+type Site struct {
+	cfg   Config
+	clock *tstamp.Clock
+	locks *lock.Queue
+
+	mu      sync.Mutex
+	up      bool
+	copies  map[ident.ItemID]copyState
+	waiters map[ident.TxnID]chan inMsg
+	stats   Stats
+}
+
+// inMsg pairs an inbound reply with its sender for waiter routing.
+type inMsg struct {
+	from ident.SiteID
+	msg  wire.Msg
+}
+
+// New assembles a site.
+func New(cfg Config) *Site {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 80 * time.Millisecond
+	}
+	if cfg.LockTimeout <= 0 {
+		cfg.LockTimeout = 40 * time.Millisecond
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = Quorum
+	}
+	if cfg.Primary == nil {
+		cfg.Primary = func(ident.ItemID) ident.SiteID { return 1 }
+	}
+	return &Site{
+		cfg:     cfg,
+		clock:   tstamp.NewClock(cfg.ID),
+		locks:   lock.NewQueue(cfg.Clock),
+		copies:  make(map[ident.ItemID]copyState),
+		waiters: make(map[ident.TxnID]chan inMsg),
+	}
+}
+
+// Start attaches the site to the network.
+func (s *Site) Start() {
+	s.mu.Lock()
+	s.up = true
+	s.mu.Unlock()
+	s.cfg.Endpoint.SetHandler(s.handle)
+	_ = s.cfg.Endpoint.Open()
+}
+
+// Stop detaches.
+func (s *Site) Stop() {
+	s.mu.Lock()
+	s.up = false
+	s.mu.Unlock()
+	s.cfg.Endpoint.Close()
+}
+
+// ID returns the site identity.
+func (s *Site) ID() ident.SiteID { return s.cfg.ID }
+
+// Create installs a replica of item with value v at this site.
+func (s *Site) Create(item ident.ItemID, v core.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.copies[item] = copyState{val: v, ver: 1}
+}
+
+// Value reads this site's local copy (tests/monitors).
+func (s *Site) Value(item ident.ItemID) core.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.copies[item].val
+}
+
+// Stats snapshots the counters.
+func (s *Site) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Site) quorumSize() int { return len(s.cfg.Peers)/2 + 1 }
+
+func (s *Site) send(to ident.SiteID, msg wire.Msg) {
+	env := &wire.Envelope{To: to, Lamport: tstamp.Make(s.clock.Current(), s.cfg.ID), Msg: msg}
+	_ = s.cfg.Endpoint.Send(env)
+}
+
+// Run executes a single-item transaction (the baseline supports the
+// same reserve/cancel/read shapes the experiments drive; multi-item
+// transactions would need full 2PC — that baseline lives in
+// internal/baseline/twopc).
+func (s *Site) Run(t *txn.Txn) *txn.Result {
+	start := s.cfg.Clock.Now()
+	res := &txn.Result{}
+	finish := func(status txn.Status, ok bool) *txn.Result {
+		res.Status = status
+		res.Latency = s.cfg.Clock.Now().Sub(start)
+		s.mu.Lock()
+		if ok {
+			s.stats.Committed++
+		} else {
+			s.stats.Aborted++
+		}
+		s.mu.Unlock()
+		return res
+	}
+	ts := s.clock.Next()
+	res.TS = ts
+
+	switch s.cfg.Mode {
+	case PrimaryCopy:
+		ok, vals := s.runPrimary(ts, t, res)
+		if !ok {
+			return finish(txn.StatusTimeout, false)
+		}
+		res.Reads = vals
+		return finish(txn.StatusCommitted, true)
+	default:
+		ok, vals, status := s.runQuorum(ts, t, res)
+		if !ok {
+			return finish(status, false)
+		}
+		res.Reads = vals
+		return finish(txn.StatusCommitted, true)
+	}
+}

@@ -1,0 +1,168 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/simnet"
+	"dvp/internal/txn"
+)
+
+func newCluster(t *testing.T, n int, mode Mode, netCfg simnet.Config) (*simnet.Net, []*Site) {
+	t.Helper()
+	net := simnet.New(netCfg)
+	peers := make([]ident.SiteID, n)
+	for i := range peers {
+		peers[i] = ident.SiteID(i + 1)
+	}
+	var sites []*Site
+	for i := 0; i < n; i++ {
+		s := New(Config{
+			ID:          peers[i],
+			Peers:       peers,
+			Endpoint:    net.Endpoint(peers[i]),
+			Mode:        mode,
+			Timeout:     60 * time.Millisecond,
+			LockTimeout: 30 * time.Millisecond,
+		})
+		sites = append(sites, s)
+	}
+	for _, s := range sites {
+		s.Start()
+	}
+	t.Cleanup(net.Close)
+	return net, sites
+}
+
+func createEverywhere(sites []*Site, item ident.ItemID, v core.Value) {
+	for _, s := range sites {
+		s.Create(item, v)
+	}
+}
+
+func reserveTxn(item ident.ItemID, m core.Value) *txn.Txn {
+	return &txn.Txn{Ops: []txn.ItemOp{{Item: item, Op: core.Decr{M: m}}}}
+}
+
+func TestQuorumWriteAndRead(t *testing.T) {
+	net, sites := newCluster(t, 5, Quorum, simnet.Config{Seed: 1, MaxDelay: time.Millisecond})
+	createEverywhere(sites, "flight/A", 100)
+	res := sites[0].Run(reserveTxn("flight/A", 10))
+	if !res.Committed() {
+		t.Fatalf("quorum write: %v", res.Status)
+	}
+	net.Quiesce()
+	// Read from a different site sees the newest version.
+	res2 := sites[4].Run(&txn.Txn{Reads: []ident.ItemID{"flight/A"}})
+	if !res2.Committed() {
+		t.Fatalf("quorum read: %v", res2.Status)
+	}
+	if res2.Reads["flight/A"] != 90 {
+		t.Errorf("read = %d, want 90", res2.Reads["flight/A"])
+	}
+}
+
+func TestQuorumBoundedDecrement(t *testing.T) {
+	_, sites := newCluster(t, 3, Quorum, simnet.Config{Seed: 2})
+	createEverywhere(sites, "flight/A", 5)
+	if res := sites[1].Run(reserveTxn("flight/A", 10)); res.Committed() {
+		t.Fatal("over-reserve committed under quorum")
+	}
+}
+
+func TestQuorumMinorityPartitionDies(t *testing.T) {
+	net, sites := newCluster(t, 5, Quorum, simnet.Config{Seed: 3})
+	createEverywhere(sites, "flight/A", 100)
+	// Split 2 | 3: the 2-group has no majority.
+	net.Partition([]ident.SiteID{1, 2}, []ident.SiteID{3, 4, 5})
+	if res := sites[0].Run(reserveTxn("flight/A", 1)); res.Committed() {
+		t.Error("minority group committed a quorum write")
+	}
+	// The majority side still works.
+	if res := sites[2].Run(reserveTxn("flight/A", 1)); !res.Committed() {
+		t.Errorf("majority group write: %v", res.Status)
+	}
+	// Reads also fail in the minority.
+	if res := sites[1].Run(&txn.Txn{Reads: []ident.ItemID{"flight/A"}}); res.Committed() {
+		t.Error("minority group read reached a quorum")
+	}
+	// Heal: the stale minority replica catches up via version repair.
+	net.Heal()
+	res := sites[0].Run(&txn.Txn{Reads: []ident.ItemID{"flight/A"}})
+	if !res.Committed() || res.Reads["flight/A"] != 99 {
+		t.Errorf("post-heal read = %v %v", res.Status, res.Reads)
+	}
+}
+
+func TestQuorumSequentialFromAllSites(t *testing.T) {
+	net, sites := newCluster(t, 3, Quorum, simnet.Config{Seed: 4, MaxDelay: time.Millisecond})
+	createEverywhere(sites, "a", 60)
+	want := core.Value(60)
+	for i := 0; i < 9; i++ {
+		if res := sites[i%3].Run(reserveTxn("a", 2)); res.Committed() {
+			want -= 2
+		}
+		net.Quiesce()
+	}
+	res := sites[0].Run(&txn.Txn{Reads: []ident.ItemID{"a"}})
+	if !res.Committed() || res.Reads["a"] != want {
+		t.Errorf("read = %d (status %v), want %d", res.Reads["a"], res.Status, want)
+	}
+}
+
+func TestPrimaryCopyRoutesToPrimary(t *testing.T) {
+	net, sites := newCluster(t, 3, PrimaryCopy, simnet.Config{Seed: 5, MaxDelay: time.Millisecond})
+	createEverywhere(sites, "flight/A", 100)
+	// From a non-primary site: forwarded to site 1.
+	res := sites[2].Run(reserveTxn("flight/A", 10))
+	if !res.Committed() {
+		t.Fatalf("forwarded write: %v", res.Status)
+	}
+	net.Quiesce()
+	if v := sites[0].Value("flight/A"); v != 90 {
+		t.Errorf("primary copy = %d, want 90", v)
+	}
+	// From the primary itself.
+	res2 := sites[0].Run(reserveTxn("flight/A", 5))
+	if !res2.Committed() {
+		t.Fatalf("local primary write: %v", res2.Status)
+	}
+	if v := sites[0].Value("flight/A"); v != 85 {
+		t.Errorf("primary copy = %d, want 85", v)
+	}
+}
+
+func TestPrimaryCopyUnavailableWhenPrimaryCut(t *testing.T) {
+	net, sites := newCluster(t, 3, PrimaryCopy, simnet.Config{Seed: 6})
+	createEverywhere(sites, "flight/A", 100)
+	net.Partition([]ident.SiteID{1}, []ident.SiteID{2, 3})
+	// Non-primary group: every operation fails (paper §2.2).
+	if res := sites[1].Run(reserveTxn("flight/A", 1)); res.Committed() {
+		t.Error("write committed without reaching the primary")
+	}
+	st := sites[1].Stats()
+	if st.PrimaryUnreachable == 0 {
+		t.Error("PrimaryUnreachable not counted")
+	}
+	// The primary's own group continues.
+	if res := sites[0].Run(reserveTxn("flight/A", 1)); !res.Committed() {
+		t.Errorf("primary-side write: %v", res.Status)
+	}
+}
+
+func TestPrimaryCopyRead(t *testing.T) {
+	_, sites := newCluster(t, 2, PrimaryCopy, simnet.Config{Seed: 7})
+	createEverywhere(sites, "x", 42)
+	res := sites[1].Run(&txn.Txn{Reads: []ident.ItemID{"x"}})
+	if !res.Committed() || res.Reads["x"] != 42 {
+		t.Errorf("read = %v %v", res.Status, res.Reads)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Quorum.String() != "quorum" || PrimaryCopy.String() != "primary-copy" {
+		t.Error("mode strings")
+	}
+}

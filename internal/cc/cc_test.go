@@ -1,0 +1,60 @@
+package cc
+
+import (
+	"testing"
+
+	"dvp/internal/tstamp"
+)
+
+func TestConc1AllowLock(t *testing.T) {
+	p := New(Conc1)
+	newer := tstamp.Make(5, 1)
+	older := tstamp.Make(3, 2)
+	if !p.AllowLock(newer, older) {
+		t.Error("newer txn must be allowed on older value")
+	}
+	if p.AllowLock(older, newer) {
+		t.Error("older txn must be rejected (TS(t) > TS(d) required)")
+	}
+	if p.AllowLock(newer, newer) {
+		t.Error("equal timestamps must be rejected (strict inequality)")
+	}
+	if !p.StampOnLock() {
+		t.Error("Conc1 stamps on lock")
+	}
+	if p.Scheme() != Conc1 {
+		t.Error("scheme identity")
+	}
+}
+
+func TestConc1ZeroTimestampAlwaysLockable(t *testing.T) {
+	p := New(Conc1)
+	if !p.AllowLock(tstamp.Make(1, 1), 0) {
+		t.Error("fresh data value (TS 0) must be lockable by any txn")
+	}
+}
+
+func TestConc2AlwaysAllows(t *testing.T) {
+	p := New(Conc2)
+	if !p.AllowLock(tstamp.Make(1, 1), tstamp.Make(100, 2)) {
+		t.Error("Conc2 has no timestamp admission check")
+	}
+	if p.StampOnLock() {
+		t.Error("Conc2 does not stamp")
+	}
+	if p.Scheme() != Conc2 {
+		t.Error("scheme identity")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if Conc1.String() != "conc1" || Conc2.String() != "conc2" || Scheme(0).String() != "cc?" {
+		t.Error("scheme strings")
+	}
+}
+
+func TestNewDefaultsToConc1(t *testing.T) {
+	if New(Scheme(99)).Scheme() != Conc1 {
+		t.Error("unknown scheme must default to Conc1")
+	}
+}

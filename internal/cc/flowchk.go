@@ -1,0 +1,233 @@
+package cc
+
+import (
+	"fmt"
+	"sort"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+)
+
+// CheckSerializableFlow verifies serializability subject to
+// redistribution using *value-flow vectors* (see internal/site's flow
+// clocks): every committed writer is identified by (site, local
+// index), and every full read carries, per item, the vector of writer
+// counts whose effects had flowed into its gathered value. The vector
+// is exact — a read observed writer (j, k) iff its vector's component
+// for j is ≥ k — so the checker can test the existence of an
+// equivalent serial order directly:
+//
+//  1. Per item, the reads' vectors must be totally ordered
+//     (component-wise): two full reads whose observation sets are
+//     incomparable cannot both be serial prefixes.
+//  2. Each read's observed value must equal the initial value plus
+//     the deltas of exactly the writers its vector covers.
+//  3. Conservation: initial + all writer deltas = final.
+//  4. Across items, the per-item read orders and read/writer
+//     observation constraints must embed into one acyclic order.
+//
+// Unlike CheckSerializable (which replays in timestamp order — the
+// Conc1 proof's serial order), this check is scheme-agnostic: it
+// verifies Conc2 histories, whose equivalent serial order uses the
+// §6.2 proof's hypothetical timestamps that are not observable at
+// runtime. Flow vectors are volatile diagnostics, so it applies to
+// crash-free histories.
+func CheckSerializableFlow(
+	initial map[ident.ItemID]core.Value,
+	final map[ident.ItemID]core.Value,
+	txns []CommittedTxn,
+) error {
+	type writer struct {
+		txn   int // index into txns
+		idx   uint64
+		delta core.Value
+	}
+	type reader struct {
+		txn  int
+		vec  map[ident.SiteID]uint64
+		want core.Value
+	}
+	writersBySite := make(map[ident.ItemID]map[ident.SiteID][]writer)
+	readers := make(map[ident.ItemID][]reader)
+
+	for i, t := range txns {
+		for item, d := range t.Deltas {
+			if d == 0 {
+				continue
+			}
+			idx, ok := t.WriterIdx[item]
+			if !ok {
+				return fmt.Errorf("flowchk: txn %v missing writer index for %q", t.TS, item)
+			}
+			m := writersBySite[item]
+			if m == nil {
+				m = make(map[ident.SiteID][]writer)
+				writersBySite[item] = m
+			}
+			m[t.Site] = append(m[t.Site], writer{txn: i, idx: idx, delta: d})
+		}
+		for item, want := range t.Reads {
+			vec, ok := t.ReadVec[item]
+			if !ok {
+				return fmt.Errorf("flowchk: txn %v missing read vector for %q", t.TS, item)
+			}
+			readers[item] = append(readers[item], reader{txn: i, vec: vec, want: want})
+		}
+	}
+
+	// Constraint edges for the global-order check.
+	adj := make(map[int][]int)
+
+	items := make([]ident.ItemID, 0, len(writersBySite)+len(readers))
+	seen := map[ident.ItemID]bool{}
+	for it := range writersBySite {
+		items = append(items, it)
+		seen[it] = true
+	}
+	for it := range readers {
+		if !seen[it] {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+
+	for _, item := range items {
+		bySite := writersBySite[item]
+		for site := range bySite {
+			ws := bySite[site]
+			sort.Slice(ws, func(a, b int) bool { return ws[a].idx < ws[b].idx })
+			// Local writer indices must be dense and unique — each
+			// site hands them out under the item's lock.
+			for k, w := range ws {
+				if w.idx != uint64(k+1) {
+					return fmt.Errorf("flowchk: %q writers at %v have non-dense indices", item, site)
+				}
+			}
+			bySite[site] = ws
+		}
+
+		// Order the reads by observation-set size; then verify the
+		// vectors are actually nested (totally ordered).
+		rs := readers[item]
+		sort.SliceStable(rs, func(a, b int) bool {
+			return vecSum(rs[a].vec) < vecSum(rs[b].vec)
+		})
+		for i := 1; i < len(rs); i++ {
+			if !vecLE(rs[i-1].vec, rs[i].vec) {
+				return fmt.Errorf(
+					"flowchk: %q reads by txns %v and %v observed incomparable writer sets — not serializable",
+					item, txns[rs[i-1].txn].TS, txns[rs[i].txn].TS)
+			}
+		}
+
+		// Each read's value must equal initial + covered deltas; add
+		// order constraints: covered writers → read → uncovered
+		// writers, and the read chain itself.
+		for i, r := range rs {
+			expect := initial[item]
+			for site, ws := range bySite {
+				covered := r.vec[site]
+				for _, w := range ws {
+					if w.txn == r.txn {
+						// A transaction's own write: the §5 protocol
+						// records reads before applying ops, so the
+						// read excludes it by construction. No
+						// ordering constraint against itself.
+						continue
+					}
+					if w.idx <= covered {
+						expect += w.delta
+						adj[w.txn] = append(adj[w.txn], r.txn)
+					} else {
+						adj[r.txn] = append(adj[r.txn], w.txn)
+					}
+				}
+			}
+			if expect != r.want {
+				return fmt.Errorf(
+					"flowchk: txn %v at %v read %q=%d, its observation set sums to %d",
+					txns[r.txn].TS, txns[r.txn].Site, item, r.want, expect)
+			}
+			if i > 0 {
+				adj[rs[i-1].txn] = append(adj[rs[i-1].txn], r.txn)
+			}
+		}
+
+		// Conservation.
+		state := initial[item]
+		for _, ws := range bySite {
+			for _, w := range ws {
+				state += w.delta
+			}
+		}
+		if want, ok := final[item]; ok && state != want {
+			return fmt.Errorf(
+				"flowchk: item %q final total %d, committed deltas yield %d (conservation violated)",
+				item, want, state)
+		}
+	}
+
+	if findCycle(adj, len(txns)) {
+		return fmt.Errorf("flowchk: observation constraints are cyclic — no single serial order exists")
+	}
+	return nil
+}
+
+func vecSum(v map[ident.SiteID]uint64) uint64 {
+	var s uint64
+	for _, c := range v {
+		s += c
+	}
+	return s
+}
+
+// vecLE reports a ≤ b component-wise.
+func vecLE(a, b map[ident.SiteID]uint64) bool {
+	for s, c := range a {
+		if c > b[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// findCycle runs an iterative three-color DFS over the constraint
+// graph.
+func findCycle(adj map[int][]int, n int) bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]uint8, n)
+	for start := 0; start < n; start++ {
+		if color[start] != white {
+			continue
+		}
+		type frame struct {
+			node int
+			next int
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			edges := adj[f.node]
+			if f.next < len(edges) {
+				nxt := edges[f.next]
+				f.next++
+				switch color[nxt] {
+				case white:
+					color[nxt] = gray
+					stack = append(stack, frame{node: nxt})
+				case gray:
+					return true
+				}
+				continue
+			}
+			color[f.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return false
+}

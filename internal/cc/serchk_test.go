@@ -1,0 +1,144 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/tstamp"
+)
+
+func v(x int64) core.Value { return core.Value(x) }
+
+func TestCheckSerializableHappyPath(t *testing.T) {
+	initial := map[ident.ItemID]core.Value{"a": 100}
+	txns := []CommittedTxn{
+		{TS: tstamp.Make(1, 1), Deltas: map[ident.ItemID]core.Value{"a": -10}},
+		{TS: tstamp.Make(2, 2), Deltas: map[ident.ItemID]core.Value{"a": -5}},
+		{TS: tstamp.Make(3, 1), Reads: map[ident.ItemID]core.Value{"a": 85}},
+		{TS: tstamp.Make(4, 2), Deltas: map[ident.ItemID]core.Value{"a": 7}},
+	}
+	final := map[ident.ItemID]core.Value{"a": 92}
+	if err := CheckSerializable(initial, final, txns); err != nil {
+		t.Errorf("valid history rejected: %v", err)
+	}
+}
+
+func TestCheckSerializableOrderInsensitiveInput(t *testing.T) {
+	initial := map[ident.ItemID]core.Value{"a": 10}
+	txns := []CommittedTxn{
+		{TS: tstamp.Make(2, 1), Reads: map[ident.ItemID]core.Value{"a": 5}},
+		{TS: tstamp.Make(1, 1), Deltas: map[ident.ItemID]core.Value{"a": -5}},
+	}
+	final := map[ident.ItemID]core.Value{"a": 5}
+	if err := CheckSerializable(initial, final, txns); err != nil {
+		t.Errorf("checker must sort by TS itself: %v", err)
+	}
+}
+
+func TestCheckSerializableDetectsBadRead(t *testing.T) {
+	initial := map[ident.ItemID]core.Value{"a": 100}
+	txns := []CommittedTxn{
+		{TS: tstamp.Make(1, 1), Deltas: map[ident.ItemID]core.Value{"a": -10}},
+		// Read that saw a value inconsistent with the serial order.
+		{TS: tstamp.Make(2, 1), Reads: map[ident.ItemID]core.Value{"a": 100}},
+	}
+	final := map[ident.ItemID]core.Value{"a": 90}
+	if err := CheckSerializable(initial, final, txns); err == nil {
+		t.Error("stale read must be detected")
+	}
+}
+
+func TestCheckSerializableDetectsConservationViolation(t *testing.T) {
+	initial := map[ident.ItemID]core.Value{"a": 100}
+	txns := []CommittedTxn{
+		{TS: tstamp.Make(1, 1), Deltas: map[ident.ItemID]core.Value{"a": -10}},
+	}
+	// Final total claims value appeared from nowhere.
+	final := map[ident.ItemID]core.Value{"a": 95}
+	if err := CheckSerializable(initial, final, txns); err == nil {
+		t.Error("conservation violation must be detected")
+	}
+}
+
+func TestCheckSerializableDetectsNegativeDip(t *testing.T) {
+	initial := map[ident.ItemID]core.Value{"a": 5}
+	txns := []CommittedTxn{
+		{TS: tstamp.Make(1, 1), Deltas: map[ident.ItemID]core.Value{"a": -10}},
+		{TS: tstamp.Make(2, 1), Deltas: map[ident.ItemID]core.Value{"a": 10}},
+	}
+	final := map[ident.ItemID]core.Value{"a": 5}
+	if err := CheckSerializable(initial, final, txns); err == nil {
+		t.Error("serial replay dipping below zero must be detected")
+	}
+}
+
+func TestCheckSerializableDuplicateTS(t *testing.T) {
+	initial := map[ident.ItemID]core.Value{}
+	ts := tstamp.Make(1, 1)
+	txns := []CommittedTxn{{TS: ts}, {TS: ts}}
+	if err := CheckSerializable(initial, nil, txns); err == nil {
+		t.Error("duplicate timestamps must be detected")
+	}
+}
+
+func TestCheckSerializableEmptyHistory(t *testing.T) {
+	initial := map[ident.ItemID]core.Value{"a": 3}
+	final := map[ident.ItemID]core.Value{"a": 3}
+	if err := CheckSerializable(initial, final, nil); err != nil {
+		t.Errorf("empty history: %v", err)
+	}
+}
+
+// Randomized soak: simulate a truly serial execution (so it must pass)
+// with interleaved reads, many items, many txns.
+func TestCheckSerializableRandomSerialHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	items := []ident.ItemID{"a", "b", "c"}
+	for trial := 0; trial < 100; trial++ {
+		initial := map[ident.ItemID]core.Value{}
+		state := map[ident.ItemID]core.Value{}
+		for _, it := range items {
+			v0 := core.Value(rng.Intn(50))
+			initial[it] = v0
+			state[it] = v0
+		}
+		var txns []CommittedTxn
+		for i := 1; i <= 30; i++ {
+			ts := tstamp.Make(uint64(i), ident.SiteID(rng.Intn(4)+1))
+			t1 := CommittedTxn{TS: ts,
+				Deltas: map[ident.ItemID]core.Value{},
+				Reads:  map[ident.ItemID]core.Value{}}
+			it := items[rng.Intn(len(items))]
+			switch rng.Intn(3) {
+			case 0:
+				d := core.Value(rng.Intn(10))
+				t1.Deltas[it] = d
+				state[it] += d
+			case 1:
+				d := core.Value(rng.Intn(10))
+				if state[it] >= d {
+					t1.Deltas[it] = -d
+					state[it] -= d
+				}
+			case 2:
+				t1.Reads[it] = state[it]
+			}
+			txns = append(txns, t1)
+		}
+		final := map[ident.ItemID]core.Value{}
+		for _, it := range items {
+			final[it] = state[it]
+		}
+		if err := CheckSerializable(initial, final, txns); err != nil {
+			t.Fatalf("trial %d: serial history rejected: %v", trial, err)
+		}
+	}
+}
+
+func TestValueHelper(t *testing.T) {
+	if v(5) != 5 {
+		t.Error("helper sanity")
+	}
+}

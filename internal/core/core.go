@@ -1,0 +1,184 @@
+// Package core implements the paper's §4.1 formalism: Data-value
+// Partitioning (DvP).
+//
+// A data item d is drawn from a domain Γ. The system never stores d
+// itself; it stores a non-empty multiset b ∈ Γ⁺ of constituent values
+// whose image under a surjective mapping Π : Γ⁺ → Γ is d. The paper's
+// running example — and the domain this package makes concrete — is
+// quantities (seats, money, inventory units) with Π = summation.
+//
+// The package states three algebraic notions and provides them for the
+// summation domain:
+//
+//   - the partitionable property of Π: partitioning a multiset and
+//     re-collapsing the pieces preserves its image (Π(b′) = Π(b));
+//   - partitionable operators f whose effective application to one
+//     element of the multiset acts on the whole item
+//     (f(Π(b)) = Π(b′)), with "ineffective" applications behaving as
+//     no-ops;
+//   - redistribution operators h that reshuffle the multiset without
+//     changing the item's value (Π(h(b)) = Π(b)).
+//
+// These laws are what make single-site, non-blocking transaction
+// processing sound; they are verified exhaustively by property tests.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Value is an element of the domain Γ: a quantity of some divisible,
+// interchangeable resource (seats on a flight, cents in an account,
+// units of stock). The system maintains the invariant that every
+// stored constituent value is non-negative; quantities model resources
+// and a site cannot hold a negative amount of a resource.
+type Value int64
+
+// ErrNotEffective reports that a partitionable operator could not be
+// effectively applied to the given value (paper §4.1: "ineffective
+// applications result when, for reasons particular to the argument,
+// the result is equivalent to a 'no-operation'"). The canonical case
+// is decrementing below zero.
+var ErrNotEffective = errors.New("core: operator not effectively applicable")
+
+// ErrNegative reports an attempt to construct a negative quantity.
+var ErrNegative = errors.New("core: negative quantity")
+
+// Op is a partitionable operator for the summation domain. Apply
+// attempts an effective application to a single constituent value and
+// reports the new value, or ok=false when the application would be
+// ineffective on this value (in which case the value is unchanged).
+//
+// Implementations must satisfy the partitionable-operator law: if
+// Apply(x) = (x′, true) then for any multiset b containing x, replacing
+// x by x′ yields b′ with Π(b′) = f(Π(b)) where f is the operator's
+// effect on whole values. Delta reports that effect as a signed
+// change, which is what the law reduces to under summation.
+type Op interface {
+	// Apply attempts the operator on one constituent value.
+	Apply(v Value) (Value, bool)
+	// Delta is the signed change to Π the operator causes when
+	// effectively applied.
+	Delta() Value
+	// Needs reports the minimum constituent value required for the
+	// application to be effective. Transactions use it to decide
+	// whether local quota suffices or redistribution is needed
+	// (paper §5 step 2).
+	Needs() Value
+	// String describes the operator for logs and traces.
+	String() string
+}
+
+// Incr is the paper's "increment the argument by m" operator. It is
+// effective on every value (m ≥ 0).
+type Incr struct{ M Value }
+
+// Apply implements Op.
+func (o Incr) Apply(v Value) (Value, bool) {
+	if o.M < 0 {
+		return v, false
+	}
+	return v + o.M, true
+}
+
+// Delta implements Op.
+func (o Incr) Delta() Value { return o.M }
+
+// Needs implements Op: increments never need local quota.
+func (o Incr) Needs() Value { return 0 }
+
+func (o Incr) String() string { return fmt.Sprintf("incr(%d)", o.M) }
+
+// Decr is the paper's "decrement the argument by m if the result does
+// not fall below 0" operator — the operator that motivates the
+// effectiveness condition. It is effective exactly when v ≥ m.
+type Decr struct{ M Value }
+
+// Apply implements Op.
+func (o Decr) Apply(v Value) (Value, bool) {
+	if o.M < 0 || v < o.M {
+		return v, false
+	}
+	return v - o.M, true
+}
+
+// Delta implements Op.
+func (o Decr) Delta() Value { return -o.M }
+
+// Needs implements Op: a bounded decrement needs at least M locally.
+func (o Decr) Needs() Value { return o.M }
+
+func (o Decr) String() string { return fmt.Sprintf("decr(%d)", o.M) }
+
+// Noop is the identity operator; it is how an aborted transaction
+// appears to the data item (paper §6: "aborted transactions can be
+// regarded as Rds transactions").
+type Noop struct{}
+
+// Apply implements Op.
+func (Noop) Apply(v Value) (Value, bool) { return v, true }
+
+// Delta implements Op.
+func (Noop) Delta() Value { return 0 }
+
+// Needs implements Op.
+func (Noop) Needs() Value { return 0 }
+
+func (Noop) String() string { return "noop" }
+
+// Compose returns the operator that applies ops left to right as one
+// effective unit: it is effective iff the sequence can be applied with
+// every intermediate result staying in the domain. Composition of
+// partitionable operators is partitionable (the paper applies several
+// operators within one transaction).
+func Compose(ops ...Op) Op { return composite(ops) }
+
+type composite []Op
+
+func (c composite) Apply(v Value) (Value, bool) {
+	cur := v
+	for _, op := range c {
+		next, ok := op.Apply(cur)
+		if !ok {
+			return v, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+func (c composite) Delta() Value {
+	var d Value
+	for _, op := range c {
+		d += op.Delta()
+	}
+	return d
+}
+
+func (c composite) Needs() Value {
+	// Worst-case running requirement: the sequence is effective on v
+	// iff v + prefixDelta never dips below the next op's Needs.
+	var need, run Value
+	for _, op := range c {
+		if n := op.Needs() - run; n > need {
+			need = n
+		}
+		run += op.Delta()
+	}
+	if need < 0 {
+		need = 0
+	}
+	return need
+}
+
+func (c composite) String() string {
+	s := "seq("
+	for i, op := range c {
+		if i > 0 {
+			s += ";"
+		}
+		s += op.String()
+	}
+	return s + ")"
+}

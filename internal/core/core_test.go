@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIncrAlwaysEffective(t *testing.T) {
+	op := Incr{M: 5}
+	got, ok := op.Apply(0)
+	if !ok || got != 5 {
+		t.Errorf("Incr{5}.Apply(0) = (%d,%v), want (5,true)", got, ok)
+	}
+	if op.Delta() != 5 || op.Needs() != 0 {
+		t.Errorf("Incr{5}: Delta=%d Needs=%d", op.Delta(), op.Needs())
+	}
+}
+
+func TestIncrNegativeIneffective(t *testing.T) {
+	op := Incr{M: -1}
+	got, ok := op.Apply(7)
+	if ok || got != 7 {
+		t.Errorf("Incr{-1}.Apply(7) = (%d,%v), want (7,false)", got, ok)
+	}
+}
+
+func TestDecrBounded(t *testing.T) {
+	op := Decr{M: 5}
+	if got, ok := op.Apply(13); !ok || got != 8 {
+		t.Errorf("Decr{5}.Apply(13) = (%d,%v), want (8,true)", got, ok)
+	}
+	// The defining case: effective application must not go below zero.
+	if got, ok := op.Apply(3); ok || got != 3 {
+		t.Errorf("Decr{5}.Apply(3) = (%d,%v), want ineffective no-op", got, ok)
+	}
+	if got, ok := op.Apply(5); !ok || got != 0 {
+		t.Errorf("Decr{5}.Apply(5) = (%d,%v), want (0,true)", got, ok)
+	}
+	if op.Needs() != 5 {
+		t.Errorf("Decr{5}.Needs() = %d, want 5", op.Needs())
+	}
+}
+
+func TestDecrNeverNegativeProperty(t *testing.T) {
+	f := func(v, m int64) bool {
+		v &= 1<<40 - 1 // non-negative holdings
+		if m < 0 {
+			m = -m
+		}
+		m &= 1<<40 - 1
+		got, ok := Decr{M: Value(m)}.Apply(Value(v))
+		if ok {
+			return got >= 0 && got == Value(v-m)
+		}
+		return got == Value(v) && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoop(t *testing.T) {
+	got, ok := Noop{}.Apply(42)
+	if !ok || got != 42 {
+		t.Errorf("Noop.Apply(42) = (%d,%v)", got, ok)
+	}
+	if (Noop{}).Delta() != 0 || (Noop{}).Needs() != 0 {
+		t.Error("Noop must have zero delta and zero needs")
+	}
+}
+
+func TestComposeSequence(t *testing.T) {
+	// decr 3 then incr 10 then decr 5: net +2, needs 3 locally.
+	op := Compose(Decr{3}, Incr{10}, Decr{5})
+	if op.Delta() != 2 {
+		t.Errorf("Delta = %d, want 2", op.Delta())
+	}
+	if op.Needs() != 3 {
+		t.Errorf("Needs = %d, want 3", op.Needs())
+	}
+	if got, ok := op.Apply(3); !ok || got != 5 {
+		t.Errorf("Apply(3) = (%d,%v), want (5,true)", got, ok)
+	}
+	if got, ok := op.Apply(2); ok || got != 2 {
+		t.Errorf("Apply(2) = (%d,%v), want ineffective", got, ok)
+	}
+}
+
+func TestComposeNeedsIntermediateDip(t *testing.T) {
+	// incr 1 then decr 5: the dip means we need 4 up front.
+	op := Compose(Incr{1}, Decr{5})
+	if op.Needs() != 4 {
+		t.Errorf("Needs = %d, want 4", op.Needs())
+	}
+	if _, ok := op.Apply(4); !ok {
+		t.Error("Apply(4) should be effective")
+	}
+	if _, ok := op.Apply(3); ok {
+		t.Error("Apply(3) should be ineffective (dips below zero)")
+	}
+}
+
+func TestComposeIneffectiveLeavesValue(t *testing.T) {
+	op := Compose(Decr{1}, Decr{100})
+	got, ok := op.Apply(50)
+	if ok || got != 50 {
+		t.Errorf("Apply(50) = (%d,%v), want unchanged no-op", got, ok)
+	}
+}
+
+func TestComposeEmptyIsNoop(t *testing.T) {
+	op := Compose()
+	if got, ok := op.Apply(9); !ok || got != 9 {
+		t.Errorf("empty Compose.Apply(9) = (%d,%v)", got, ok)
+	}
+}
+
+// TestComposeNeedsMatchesApply cross-checks Needs() against Apply():
+// the sequence is effective exactly on values ≥ Needs().
+func TestComposeNeedsMatchesApplyProperty(t *testing.T) {
+	f := func(ops []int8, probe uint16) bool {
+		seq := make([]Op, 0, len(ops))
+		for _, m := range ops {
+			if m >= 0 {
+				seq = append(seq, Incr{Value(m)})
+			} else {
+				seq = append(seq, Decr{Value(-int64(m))})
+			}
+		}
+		op := Compose(seq...)
+		need := op.Needs()
+		v := Value(probe)
+		_, ok := op.Apply(v)
+		return ok == (v >= need)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's central commutativity claim (§4.1): two partitionable
+// operators applied to separate portions commute, g(h(d)) = h(g(d)).
+func TestOperatorCommutativityProperty(t *testing.T) {
+	f := func(d uint16, g, h int8) bool {
+		mk := func(m int8) Op {
+			if m >= 0 {
+				return Incr{Value(m)}
+			}
+			return Decr{Value(-int64(m))}
+		}
+		gOp, hOp := mk(g), mk(h)
+		v := Value(d)
+		// Apply in both orders to the whole value; where both orders
+		// are effective, results must agree.
+		gh, ok1a := gOp.Apply(v)
+		if ok1a {
+			gh, ok1a = hOp.Apply(gh)
+		}
+		hg, ok2a := hOp.Apply(v)
+		if ok2a {
+			hg, ok2a = gOp.Apply(hg)
+		}
+		if ok1a && ok2a && gh != hg {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Incr{3}, "incr(3)"},
+		{Decr{4}, "decr(4)"},
+		{Noop{}, "noop"},
+		{Compose(Incr{1}, Decr{2}), "seq(incr(1);decr(2))"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multiset is an element of Γ⁺: a finite multiset of constituent
+// values. The stored representation of a data item d is a multiset b
+// with Pi(b) = d, its elements scattered across sites and in-flight
+// virtual messages.
+//
+// Multiset is a value type; operations return new multisets and never
+// alias the receiver's backing array, so concurrent readers are safe.
+type Multiset struct {
+	elems []Value
+}
+
+// NewMultiset builds a multiset from the given values. It returns an
+// error if any value is negative (quantities are non-negative) or the
+// multiset would be empty (Γ⁺ contains non-empty multisets only).
+func NewMultiset(vals ...Value) (Multiset, error) {
+	if len(vals) == 0 {
+		return Multiset{}, fmt.Errorf("core: multiset must be non-empty")
+	}
+	elems := make([]Value, len(vals))
+	for i, v := range vals {
+		if v < 0 {
+			return Multiset{}, fmt.Errorf("%w: %d", ErrNegative, v)
+		}
+		elems[i] = v
+	}
+	return Multiset{elems: elems}, nil
+}
+
+// MustMultiset is NewMultiset for tests and examples with known-good
+// literals; it panics on invalid input.
+func MustMultiset(vals ...Value) Multiset {
+	b, err := NewMultiset(vals...)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Pi is the mapping Π : Γ⁺ → Γ for the summation domain: the value of
+// the data item the multiset represents. Π is surjective (every
+// quantity d is Π of the singleton {d}) and trivially "easily
+// computed" as the paper requires.
+func (b Multiset) Pi() Value {
+	var sum Value
+	for _, v := range b.elems {
+		sum += v
+	}
+	return sum
+}
+
+// Len returns the number of constituent values.
+func (b Multiset) Len() int { return len(b.elems) }
+
+// Elems returns a copy of the constituent values.
+func (b Multiset) Elems() []Value {
+	out := make([]Value, len(b.elems))
+	copy(out, b.elems)
+	return out
+}
+
+// At returns the i-th constituent value.
+func (b Multiset) At(i int) Value { return b.elems[i] }
+
+// Split partitions the multiset into m pieces round-robin, returning
+// the pieces b_1..b_m (empty pieces are dropped, keeping every piece in
+// Γ⁺). It is the entry point for checking the partitionable property.
+func (b Multiset) Split(m int) []Multiset {
+	if m < 1 {
+		m = 1
+	}
+	parts := make([][]Value, m)
+	for i, v := range b.elems {
+		parts[i%m] = append(parts[i%m], v)
+	}
+	out := make([]Multiset, 0, m)
+	for _, p := range parts {
+		if len(p) > 0 {
+			out = append(out, Multiset{elems: p})
+		}
+	}
+	return out
+}
+
+// Collapse applies the paper's partitionable-property construction:
+// given pieces b_1..b_m it forms the multiset b′ whose elements are
+// Π(b_1), …, Π(b_m). The property Π(b′) = Π(b) is what lets each site
+// treat its local share as a single value.
+func Collapse(pieces []Multiset) (Multiset, error) {
+	if len(pieces) == 0 {
+		return Multiset{}, fmt.Errorf("core: collapse of zero pieces")
+	}
+	vals := make([]Value, len(pieces))
+	for i, p := range pieces {
+		vals[i] = p.Pi()
+	}
+	return NewMultiset(vals...)
+}
+
+// ApplyAt applies a partitionable operator to the i-th element,
+// returning the new multiset and whether the application was
+// effective. An ineffective application leaves the multiset unchanged
+// (no-operation), matching the paper's definition.
+func (b Multiset) ApplyAt(i int, op Op) (Multiset, bool) {
+	if i < 0 || i >= len(b.elems) {
+		return b, false
+	}
+	nv, ok := op.Apply(b.elems[i])
+	if !ok {
+		return b, false
+	}
+	out := make([]Value, len(b.elems))
+	copy(out, b.elems)
+	out[i] = nv
+	return Multiset{elems: out}, true
+}
+
+// Redistribute is a redistribution operator h: it moves amount from
+// element i to element j. Π(h(b)) = Π(b) by construction; it fails
+// (ineffective) if element i holds less than amount. Virtual-message
+// transfer between sites is exactly this operator with i on the sender
+// and j on the receiver.
+func (b Multiset) Redistribute(i, j int, amount Value) (Multiset, bool) {
+	if i < 0 || j < 0 || i >= len(b.elems) || j >= len(b.elems) || amount < 0 {
+		return b, false
+	}
+	if b.elems[i] < amount {
+		return b, false
+	}
+	out := make([]Value, len(b.elems))
+	copy(out, b.elems)
+	out[i] -= amount
+	out[j] += amount
+	return Multiset{elems: out}, true
+}
+
+// Equal reports whether two multisets contain the same values with the
+// same multiplicities (order-insensitive).
+func (b Multiset) Equal(o Multiset) bool {
+	if len(b.elems) != len(o.elems) {
+		return false
+	}
+	x := append([]Value(nil), b.elems...)
+	y := append([]Value(nil), o.elems...)
+	sort.Slice(x, func(i, j int) bool { return x[i] < x[j] })
+	sort.Slice(y, func(i, j int) bool { return y[i] < y[j] })
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "{2 3 10 15}".
+func (b Multiset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, v := range b.elems {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMultisetRejectsEmpty(t *testing.T) {
+	if _, err := NewMultiset(); err == nil {
+		t.Error("empty multiset must be rejected (Γ⁺ is non-empty multisets)")
+	}
+}
+
+func TestNewMultisetRejectsNegative(t *testing.T) {
+	if _, err := NewMultiset(1, -2, 3); err == nil {
+		t.Error("negative constituent value must be rejected")
+	}
+}
+
+func TestPiSums(t *testing.T) {
+	// The paper's §3 state: N_W=2, N_X=3, N_Y=10, N_Z=15 → N=30.
+	b := MustMultiset(2, 3, 10, 15)
+	if b.Pi() != 30 {
+		t.Errorf("Pi = %d, want 30", b.Pi())
+	}
+}
+
+func TestPiSurjectiveViaSingleton(t *testing.T) {
+	// Every d ∈ Γ is Π of the singleton {d}.
+	f := func(d uint32) bool {
+		return MustMultiset(Value(d)).Pi() == Value(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElemsIsCopy(t *testing.T) {
+	b := MustMultiset(1, 2, 3)
+	e := b.Elems()
+	e[0] = 99
+	if b.At(0) != 1 {
+		t.Error("Elems must return a copy, not alias the multiset")
+	}
+}
+
+// TestPartitionableProperty verifies the paper's defining law for Π:
+// for any multiset b partitioned into b_1..b_m, the multiset b′ of the
+// images Π(b_i) satisfies Π(b′) = Π(b).
+func TestPartitionablePropertyQuick(t *testing.T) {
+	f := func(raw []uint16, m uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]Value, len(raw))
+		for i, r := range raw {
+			vals[i] = Value(r)
+		}
+		b := MustMultiset(vals...)
+		pieces := b.Split(int(m%8) + 1)
+		collapsed, err := Collapse(pieces)
+		if err != nil {
+			return false
+		}
+		return collapsed.Pi() == b.Pi()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitDropsNoValue(t *testing.T) {
+	b := MustMultiset(5, 7, 11)
+	pieces := b.Split(10) // more pieces than elements
+	var total Value
+	var count int
+	for _, p := range pieces {
+		total += p.Pi()
+		count += p.Len()
+	}
+	if total != b.Pi() || count != b.Len() {
+		t.Errorf("Split lost value: total=%d count=%d", total, count)
+	}
+	for _, p := range pieces {
+		if p.Len() == 0 {
+			t.Error("Split produced an empty piece (not in Γ⁺)")
+		}
+	}
+}
+
+func TestCollapseEmptyRejected(t *testing.T) {
+	if _, err := Collapse(nil); err == nil {
+		t.Error("Collapse of zero pieces must error")
+	}
+}
+
+// TestPartitionableOperatorLaw verifies f(Π(b)) = Π(b′) where b′ is b
+// with f effectively applied to one element (§4.1's derivation).
+func TestPartitionableOperatorLawQuick(t *testing.T) {
+	f := func(raw []uint16, idx uint8, m int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]Value, len(raw))
+		for i, r := range raw {
+			vals[i] = Value(r)
+		}
+		b := MustMultiset(vals...)
+		i := int(idx) % b.Len()
+		var op Op
+		if m >= 0 {
+			op = Incr{Value(m)}
+		} else {
+			op = Decr{Value(-int64(m))}
+		}
+		b2, ok := b.ApplyAt(i, op)
+		if !ok {
+			// Ineffective: must be a no-op on the multiset.
+			return b2.Equal(b)
+		}
+		want, wok := op.Apply(b.Pi())
+		// If effective on one element it is effective on the whole
+		// (the whole is at least as large for our domain).
+		return wok && b2.Pi() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRedistributionLaw verifies Π(h(b)) = Π(b) for the transfer
+// redistribution operator.
+func TestRedistributionLawQuick(t *testing.T) {
+	f := func(raw []uint16, i8, j8, amt8 uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vals := make([]Value, len(raw))
+		for k, r := range raw {
+			vals[k] = Value(r)
+		}
+		b := MustMultiset(vals...)
+		i := int(i8) % b.Len()
+		j := int(j8) % b.Len()
+		b2, ok := b.Redistribute(i, j, Value(amt8))
+		if !ok {
+			return b2.Equal(b)
+		}
+		if b2.Pi() != b.Pi() {
+			return false
+		}
+		for _, v := range b2.Elems() {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRedistributeInsufficient(t *testing.T) {
+	b := MustMultiset(3, 9)
+	if _, ok := b.Redistribute(0, 1, 4); ok {
+		t.Error("Redistribute must fail when the source holds too little")
+	}
+}
+
+func TestRedistributeSelfTransfer(t *testing.T) {
+	b := MustMultiset(3, 9)
+	b2, ok := b.Redistribute(1, 1, 5)
+	if !ok || !b2.Equal(b) {
+		t.Errorf("self transfer should be an effective no-op, got %v ok=%v", b2, ok)
+	}
+}
+
+func TestApplyAtOutOfRange(t *testing.T) {
+	b := MustMultiset(1)
+	if _, ok := b.ApplyAt(5, Incr{1}); ok {
+		t.Error("ApplyAt out of range must be ineffective")
+	}
+	if _, ok := b.ApplyAt(-1, Incr{1}); ok {
+		t.Error("ApplyAt negative index must be ineffective")
+	}
+}
+
+func TestApplyAtDoesNotMutateOriginal(t *testing.T) {
+	b := MustMultiset(10, 20)
+	b2, ok := b.ApplyAt(0, Decr{5})
+	if !ok || b2.At(0) != 5 {
+		t.Fatalf("ApplyAt = %v ok=%v", b2, ok)
+	}
+	if b.At(0) != 10 {
+		t.Error("ApplyAt mutated the original multiset")
+	}
+}
+
+func TestEqualOrderInsensitive(t *testing.T) {
+	a := MustMultiset(1, 2, 2, 3)
+	b := MustMultiset(3, 2, 1, 2)
+	if !a.Equal(b) {
+		t.Error("multiset equality must ignore order")
+	}
+	c := MustMultiset(1, 2, 3, 3)
+	if a.Equal(c) {
+		t.Error("different multiplicities must not be equal")
+	}
+	d := MustMultiset(1, 2, 2)
+	if a.Equal(d) {
+		t.Error("different sizes must not be equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := MustMultiset(2, 3, 10, 15).String(); got != "{2 3 10 15}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestSection3Worked replays the paper's §3 worked example end to end
+// on the algebra: 100 seats split 25/25/25/25; reservations of 3, 4, 5
+// at W; later state (2,3,10,15); X needs 5, Z grants 5; X allocates.
+func TestSection3Worked(t *testing.T) {
+	b := MustMultiset(EvenShares(100, 4)...)
+	if b.Pi() != 100 {
+		t.Fatalf("initial Pi = %d", b.Pi())
+	}
+	const W, X, Z = 0, 1, 3
+	for _, m := range []Value{3, 4, 5} {
+		var ok bool
+		b, ok = b.ApplyAt(W, Decr{m})
+		if !ok {
+			t.Fatalf("reserving %d seats at W should be effective", m)
+		}
+	}
+	if b.At(W) != 13 {
+		t.Fatalf("N_W = %d, want 13", b.At(W))
+	}
+	// Jump to the paper's later state.
+	b = MustMultiset(2, 3, 10, 15)
+	// Customer wants 5 at X; local value 3 is inadequate.
+	if _, ok := b.ApplyAt(X, Decr{5}); ok {
+		t.Fatal("allocation at X must be ineffective before redistribution")
+	}
+	// Z sends 5 (a redistribution operator): N_Z 15→10, N_X 3→8.
+	b2, ok := b.Redistribute(Z, X, 5)
+	if !ok {
+		t.Fatal("Z must be able to grant 5")
+	}
+	if b2.Pi() != b.Pi() {
+		t.Fatalf("redistribution changed N: %d → %d", b.Pi(), b2.Pi())
+	}
+	b3, ok := b2.ApplyAt(X, Decr{5})
+	if !ok {
+		t.Fatal("allocation at X must succeed after redistribution")
+	}
+	want := MustMultiset(2, 3, 10, 10)
+	if !b3.Equal(want) {
+		t.Errorf("final state %v, want %v", b3, want)
+	}
+	if b3.Pi() != 25 {
+		t.Errorf("final N = %d, want 25", b3.Pi())
+	}
+}
+
+// Fuzz-style randomized soak: arbitrary interleavings of partitionable
+// and redistribution operators conserve exactly the serial delta sum.
+func TestConservationUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(6) + 1
+		vals := make([]Value, n)
+		for i := range vals {
+			vals[i] = Value(rng.Intn(100))
+		}
+		b := MustMultiset(vals...)
+		expect := b.Pi()
+		for step := 0; step < 200; step++ {
+			switch rng.Intn(3) {
+			case 0: // incr
+				m := Value(rng.Intn(10))
+				if nb, ok := b.ApplyAt(rng.Intn(n), Incr{m}); ok {
+					b = nb
+					expect += m
+				}
+			case 1: // bounded decr
+				m := Value(rng.Intn(10))
+				if nb, ok := b.ApplyAt(rng.Intn(n), Decr{m}); ok {
+					b = nb
+					expect -= m
+				}
+			case 2: // redistribute
+				if nb, ok := b.Redistribute(rng.Intn(n), rng.Intn(n), Value(rng.Intn(20))); ok {
+					b = nb
+				}
+			}
+			if b.Pi() != expect {
+				t.Fatalf("trial %d step %d: Pi=%d expect=%d", trial, step, b.Pi(), expect)
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import "fmt"
+
+// SplitPolicy decides how much of its local quota a site surrenders
+// when honoring a redistribution request for `want` units while
+// holding `have` (paper §3: "Suppose that site Z decides to send 5
+// seats as a response" — how much to send is a policy choice the paper
+// leaves open; §8 calls for exactly this kind of performance study).
+//
+// The returned grant must satisfy 0 ≤ grant ≤ have; the conservation
+// invariant does not care which policy is used, only experiments F1/T4
+// do.
+type SplitPolicy interface {
+	// Grant returns how much to surrender for a request of want
+	// against a local holding of have.
+	Grant(have, want Value) Value
+	// String names the policy for experiment output.
+	String() string
+}
+
+// GrantExact surrenders min(have, want): just enough to satisfy the
+// request, keeping the rest local. Minimizes value motion; maximizes
+// future remote requests.
+type GrantExact struct{}
+
+// Grant implements SplitPolicy.
+func (GrantExact) Grant(have, want Value) Value {
+	if want < 0 {
+		return 0
+	}
+	if have < want {
+		return have
+	}
+	return want
+}
+
+func (GrantExact) String() string { return "exact" }
+
+// GrantAll surrenders the entire local holding. This is the behaviour
+// required when honoring a full read: the requester must assemble all
+// of Π⁻¹(d) (paper §5), so partial grants are useless.
+type GrantAll struct{}
+
+// Grant implements SplitPolicy.
+func (GrantAll) Grant(have, want Value) Value { return have }
+
+func (GrantAll) String() string { return "all" }
+
+// GrantHalfExcess surrenders the request plus half the surplus beyond
+// it, anticipating that a requester short of quota now is likely to be
+// short again. A middle ground between exact and all.
+type GrantHalfExcess struct{}
+
+// Grant implements SplitPolicy.
+func (GrantHalfExcess) Grant(have, want Value) Value {
+	if want < 0 {
+		want = 0
+	}
+	if have <= want {
+		return have
+	}
+	return want + (have-want)/2
+}
+
+func (GrantHalfExcess) String() string { return "half-excess" }
+
+// GrantFraction surrenders a fixed fraction of the holding (at least
+// the request if possible). Num/Den is the fraction; e.g. 1/4.
+type GrantFraction struct {
+	Num, Den Value
+}
+
+// Grant implements SplitPolicy.
+func (g GrantFraction) Grant(have, want Value) Value {
+	if g.Den <= 0 || g.Num < 0 {
+		return 0
+	}
+	grant := have * g.Num / g.Den
+	if grant < want {
+		grant = want
+	}
+	if grant > have {
+		grant = have
+	}
+	if grant < 0 {
+		grant = 0
+	}
+	return grant
+}
+
+func (g GrantFraction) String() string { return fmt.Sprintf("frac(%d/%d)", g.Num, g.Den) }
+
+// EvenShares computes the initial partitioning of a total value into n
+// site quotas, as in the paper's §3 example (N=100 over four sites →
+// 25/25/25/25). Remainders go to the lowest-indexed sites, so the
+// shares always sum to total exactly.
+func EvenShares(total Value, n int) []Value {
+	if n <= 0 || total < 0 {
+		return nil
+	}
+	base := total / Value(n)
+	rem := total % Value(n)
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = base
+		if Value(i) < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// WeightedShares partitions total proportionally to non-negative
+// weights (e.g. expected per-site demand), distributing rounding
+// remainders to the largest fractional parts first and then by index.
+// The shares always sum to total exactly. A zero weight vector falls
+// back to even shares.
+func WeightedShares(total Value, weights []float64) []Value {
+	n := len(weights)
+	if n == 0 || total < 0 {
+		return nil
+	}
+	var wsum float64
+	for _, w := range weights {
+		if w > 0 {
+			wsum += w
+		}
+	}
+	if wsum == 0 {
+		return EvenShares(total, n)
+	}
+	out := make([]Value, n)
+	type frac struct {
+		i int
+		f float64
+	}
+	fracs := make([]frac, n)
+	var used Value
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		exact := float64(total) * w / wsum
+		fl := Value(exact)
+		out[i] = fl
+		used += fl
+		fracs[i] = frac{i, exact - float64(fl)}
+	}
+	// Hand out the remainder to the largest fractional parts.
+	rem := total - used
+	for k := Value(0); k < rem; k++ {
+		best := -1
+		for i := range fracs {
+			if best == -1 || fracs[i].f > fracs[best].f {
+				best = i
+			}
+		}
+		out[fracs[best].i]++
+		fracs[best].f = -1
+	}
+	return out
+}

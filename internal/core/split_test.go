@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEvenSharesPaperExample(t *testing.T) {
+	got := EvenShares(100, 4)
+	for i, v := range got {
+		if v != 25 {
+			t.Fatalf("share %d = %d, want 25 (paper §3)", i, v)
+		}
+	}
+}
+
+func TestEvenSharesRemainder(t *testing.T) {
+	got := EvenShares(10, 3)
+	want := []Value{4, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EvenShares(10,3) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEvenSharesSumProperty(t *testing.T) {
+	f := func(total uint32, n uint8) bool {
+		nn := int(n%32) + 1
+		shares := EvenShares(Value(total), nn)
+		if len(shares) != nn {
+			return false
+		}
+		var sum Value
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == Value(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvenSharesDegenerate(t *testing.T) {
+	if EvenShares(5, 0) != nil {
+		t.Error("n=0 must yield nil")
+	}
+	if EvenShares(-1, 3) != nil {
+		t.Error("negative total must yield nil")
+	}
+}
+
+func TestWeightedSharesProportional(t *testing.T) {
+	got := WeightedShares(100, []float64{1, 1, 2})
+	want := []Value{25, 25, 50}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WeightedShares = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWeightedSharesSumProperty(t *testing.T) {
+	f := func(total uint16, w1, w2, w3 uint8) bool {
+		shares := WeightedShares(Value(total), []float64{float64(w1), float64(w2), float64(w3)})
+		var sum Value
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == Value(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSharesZeroWeightsFallsBack(t *testing.T) {
+	got := WeightedShares(9, []float64{0, 0, 0})
+	want := EvenShares(9, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("zero weights: got %v, want even %v", got, want)
+		}
+	}
+}
+
+func TestWeightedSharesNegativeWeightTreatedZero(t *testing.T) {
+	got := WeightedShares(10, []float64{-5, 1})
+	if got[0] != 0 || got[1] != 10 {
+		t.Errorf("negative weight should get nothing: %v", got)
+	}
+}
+
+func TestGrantExact(t *testing.T) {
+	p := GrantExact{}
+	if g := p.Grant(10, 4); g != 4 {
+		t.Errorf("Grant(10,4) = %d, want 4", g)
+	}
+	if g := p.Grant(3, 4); g != 3 {
+		t.Errorf("Grant(3,4) = %d, want 3", g)
+	}
+	if g := p.Grant(3, -1); g != 0 {
+		t.Errorf("Grant(3,-1) = %d, want 0", g)
+	}
+}
+
+func TestGrantAll(t *testing.T) {
+	if g := (GrantAll{}).Grant(7, 1); g != 7 {
+		t.Errorf("GrantAll.Grant(7,1) = %d, want 7", g)
+	}
+}
+
+func TestGrantHalfExcess(t *testing.T) {
+	p := GrantHalfExcess{}
+	if g := p.Grant(20, 4); g != 12 { // 4 + (16)/2
+		t.Errorf("Grant(20,4) = %d, want 12", g)
+	}
+	if g := p.Grant(3, 4); g != 3 {
+		t.Errorf("Grant(3,4) = %d, want 3", g)
+	}
+}
+
+func TestGrantFraction(t *testing.T) {
+	p := GrantFraction{Num: 1, Den: 4}
+	if g := p.Grant(40, 2); g != 10 {
+		t.Errorf("Grant(40,2) = %d, want 10", g)
+	}
+	if g := p.Grant(40, 15); g != 15 { // at least the request
+		t.Errorf("Grant(40,15) = %d, want 15", g)
+	}
+	if g := p.Grant(8, 100); g != 8 { // capped at holding
+		t.Errorf("Grant(8,100) = %d, want 8", g)
+	}
+	if g := (GrantFraction{Num: 1, Den: 0}).Grant(8, 1); g != 0 {
+		t.Errorf("zero denominator must grant 0, got %d", g)
+	}
+}
+
+// All policies obey the fundamental bound 0 ≤ grant ≤ have.
+func TestPolicyBoundsProperty(t *testing.T) {
+	policies := []SplitPolicy{GrantExact{}, GrantAll{}, GrantHalfExcess{}, GrantFraction{1, 4}, GrantFraction{3, 4}}
+	f := func(have uint16, want int16) bool {
+		for _, p := range policies {
+			g := p.Grant(Value(have), Value(want))
+			if g < 0 || g > Value(have) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	cases := map[string]SplitPolicy{
+		"exact":       GrantExact{},
+		"all":         GrantAll{},
+		"half-excess": GrantHalfExcess{},
+		"frac(1/4)":   GrantFraction{1, 4},
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}

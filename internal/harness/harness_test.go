@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryCompleteAndUnique(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "A1", "A2"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments, want %d", len(all), len(want))
+	}
+	seen := map[string]bool{}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d id = %s, want %s", i, e.ID, want[i])
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+		if !strings.Contains(e.Claim, "§") {
+			t.Errorf("%s: claim does not cite a paper section: %q", e.ID, e.Claim)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("T2")
+	if err != nil || e.ID != "T2" {
+		t.Errorf("ByID(T2) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("T99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestOptionsHelpers(t *testing.T) {
+	o := Options{}
+	if o.seed() != 1 {
+		t.Error("zero seed must default to 1")
+	}
+	if (Options{Seed: 7}).seed() != 7 {
+		t.Error("explicit seed ignored")
+	}
+	if (Options{Quick: true}).scale(3, 9) != 3 || (Options{}).scale(3, 9) != 9 {
+		t.Error("scale helper wrong")
+	}
+}

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// runQuick executes one experiment in Quick mode and applies generic
+// sanity checks: rows exist, notes exist, no FAIL marker in any cell.
+func runQuick(t *testing.T, id string) *Result {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	rows := res.Table.Rows()
+	if len(rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	for _, row := range rows {
+		for _, cell := range row {
+			if strings.Contains(cell, "FAIL") {
+				t.Errorf("%s row contains FAIL: %v", id, row)
+			}
+		}
+	}
+	if len(res.Notes) == 0 {
+		t.Errorf("%s has no interpretation notes", id)
+	}
+	return res
+}
+
+// The cheap experiments run end to end in CI; the expensive ones are
+// exercised by `go test -bench` and cmd/dvpsim.
+func TestRunF6Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	res := runQuick(t, "F6")
+	// Conservation column: N must strictly decrease by 10 per step.
+	rows := res.Table.Rows()
+	if rows[0][6] != "100" {
+		t.Errorf("F6 initial N = %s, want 100", rows[0][6])
+	}
+}
+
+func TestRunA2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	res := runQuick(t, "A2")
+	if len(res.Table.Rows()) != 3 {
+		t.Errorf("A2 rows = %d, want 3 policies", len(res.Table.Rows()))
+	}
+}
+
+func TestRunA1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	res := runQuick(t, "A1")
+	if len(res.Table.Rows()) != 2 {
+		t.Errorf("A1 rows = %d, want 2 (off/on)", len(res.Table.Rows()))
+	}
+}
+
+func TestRunT5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	res := runQuick(t, "T5")
+	// Every row must carry an explicit serializability PASS.
+	for _, row := range res.Table.Rows() {
+		if !strings.Contains(row[4], "PASS") {
+			t.Errorf("T5 row without PASS: %v", row)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package ident defines the identifier types shared by every layer of
+// the DvP/Vm system: sites, data items, and transactions.
+//
+// Keeping these in a leaf package avoids import cycles between the
+// storage, networking, and transaction layers.
+package ident
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SiteID names one site (one "automaton" in the paper's model). Site
+// ids are small dense integers assigned at cluster construction; they
+// double as the low-order bits of timestamps (see internal/tstamp).
+type SiteID uint16
+
+// NoSite is the zero SiteID used to mean "no site" / "unset". Valid
+// sites are numbered starting at 1.
+const NoSite SiteID = 0
+
+// String implements fmt.Stringer ("s3" style, matching the paper's s_i).
+func (s SiteID) String() string {
+	if s == NoSite {
+		return "s?"
+	}
+	return fmt.Sprintf("s%d", uint16(s))
+}
+
+// ItemID names one logical data item d whose value is partitioned
+// across sites as the multiset Π⁻¹(d). Examples: "flight/A",
+// "acct/alice", "sku/1234".
+type ItemID string
+
+// TxnID is a transaction's unique identifier. Per the paper (§6.1) the
+// timestamp TS(t) "also serves as its identifier", so TxnID is the
+// packed Lamport timestamp produced by internal/tstamp: the high bits
+// are a logical counter and the low bits the initiating site.
+type TxnID uint64
+
+// Zero TxnID means "no transaction" (e.g. an unlocked data value).
+const NoTxn TxnID = 0
+
+// SortSites returns a sorted copy of the given site ids. Several
+// protocols (ordered broadcast tie-breaks, deterministic iteration for
+// reproducible experiments) need a canonical site order.
+func SortSites(sites []SiteID) []SiteID {
+	out := make([]SiteID, len(sites))
+	copy(out, sites)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SortItems returns a sorted copy of item ids. Transactions lock their
+// local values atomically (paper §5 step 1); acquiring in canonical
+// order is how the implementation realizes atomic acquisition without
+// deadlock even in the blocking baselines.
+func SortItems(items []ItemID) []ItemID {
+	out := make([]ItemID, len(items))
+	copy(out, items)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

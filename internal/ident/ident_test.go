@@ -1,0 +1,71 @@
+package ident
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSiteString(t *testing.T) {
+	if got := SiteID(3).String(); got != "s3" {
+		t.Errorf("SiteID(3).String() = %q, want %q", got, "s3")
+	}
+	if got := NoSite.String(); got != "s?" {
+		t.Errorf("NoSite.String() = %q, want %q", got, "s?")
+	}
+}
+
+func TestSortSitesSortsCopy(t *testing.T) {
+	in := []SiteID{4, 1, 3, 2}
+	out := SortSites(in)
+	want := []SiteID{1, 2, 3, 4}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("SortSites = %v, want %v", out, want)
+		}
+	}
+	if in[0] != 4 {
+		t.Errorf("SortSites mutated its input: %v", in)
+	}
+}
+
+func TestSortSitesEmpty(t *testing.T) {
+	if got := SortSites(nil); len(got) != 0 {
+		t.Errorf("SortSites(nil) = %v, want empty", got)
+	}
+}
+
+func TestSortItemsSortsCopy(t *testing.T) {
+	in := []ItemID{"flight/B", "acct/z", "acct/a"}
+	out := SortItems(in)
+	want := []ItemID{"acct/a", "acct/z", "flight/B"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("SortItems = %v, want %v", out, want)
+		}
+	}
+	if in[0] != "flight/B" {
+		t.Errorf("SortItems mutated its input: %v", in)
+	}
+}
+
+func TestSortSitesIsSortedProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		in := make([]SiteID, len(raw))
+		for i, r := range raw {
+			in[i] = SiteID(r)
+		}
+		out := SortSites(in)
+		if len(out) != len(in) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i-1] > out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

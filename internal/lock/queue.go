@@ -1,0 +1,239 @@
+package lock
+
+import (
+	"sync"
+	"time"
+
+	"dvp/internal/ident"
+	"dvp/internal/vclock"
+)
+
+// Mode is a Queue lock mode.
+type Mode uint8
+
+// Lock modes for the blocking manager.
+const (
+	Shared Mode = iota + 1
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// Queue is a conventional blocking lock manager: shared/exclusive
+// modes, strict FIFO wait queues, timeout-bounded waits. It is used by
+// the traditional baseline, whose blocking behaviour under failures is
+// exactly what the paper argues against.
+//
+// Deadlocks are resolved by timeout (a waiter gives up), the common
+// practice in the systems the paper cites.
+type Queue struct {
+	mu    sync.Mutex
+	items map[ident.ItemID]*qentry
+	held  map[ident.TxnID]map[ident.ItemID]Mode
+	clock vclock.Clock
+}
+
+type qentry struct {
+	mode    Mode
+	holders map[ident.TxnID]bool
+	waiters []*qwaiter
+}
+
+type qwaiter struct {
+	txn  ident.TxnID
+	mode Mode
+	ch   chan bool // closed-with-value: true granted, false cancelled
+	done bool
+}
+
+// NewQueue returns a blocking lock manager on the given clock.
+func NewQueue(clock vclock.Clock) *Queue {
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &Queue{
+		items: make(map[ident.ItemID]*qentry),
+		held:  make(map[ident.TxnID]map[ident.ItemID]Mode),
+		clock: clock,
+	}
+}
+
+// Lock acquires item in mode for txn, waiting up to timeout. It
+// returns true on grant, false on timeout (the waiter is removed) or
+// if the manager was cleared while waiting. Upgrades (S held, X
+// requested) are supported when txn is the sole holder.
+func (q *Queue) Lock(txn ident.TxnID, item ident.ItemID, mode Mode, timeout time.Duration) bool {
+	q.mu.Lock()
+	e, ok := q.items[item]
+	if !ok {
+		e = &qentry{holders: make(map[ident.TxnID]bool)}
+		q.items[item] = e
+	}
+	if q.grantableLocked(e, txn, mode) {
+		q.grantLocked(e, txn, item, mode)
+		q.mu.Unlock()
+		return true
+	}
+	w := &qwaiter{txn: txn, mode: mode, ch: make(chan bool, 1)}
+	e.waiters = append(e.waiters, w)
+	q.mu.Unlock()
+
+	select {
+	case granted := <-w.ch:
+		return granted
+	case <-q.clock.After(timeout):
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		if w.done {
+			// Race: grant arrived as the timer fired; honor it.
+			return <-w.ch
+		}
+		q.removeWaiterLocked(e, w)
+		return false
+	}
+}
+
+// grantableLocked reports whether txn can take item in mode right now.
+func (q *Queue) grantableLocked(e *qentry, txn ident.TxnID, mode Mode) bool {
+	if len(e.holders) == 0 {
+		return true
+	}
+	if e.holders[txn] {
+		if e.mode == mode || mode == Shared {
+			return true // re-entrant / downgrade-as-noop
+		}
+		// Upgrade: only if sole holder.
+		return len(e.holders) == 1
+	}
+	// FIFO fairness: a new shared request must queue behind waiting
+	// writers rather than starve them.
+	if mode == Shared && e.mode == Shared {
+		for _, w := range e.waiters {
+			if w.mode == Exclusive {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (q *Queue) grantLocked(e *qentry, txn ident.TxnID, item ident.ItemID, mode Mode) {
+	e.holders[txn] = true
+	if mode == Exclusive || len(e.holders) == 1 {
+		if e.mode != Exclusive {
+			e.mode = mode
+		}
+		if mode == Exclusive {
+			e.mode = Exclusive
+		}
+	}
+	hm := q.held[txn]
+	if hm == nil {
+		hm = make(map[ident.ItemID]Mode)
+		q.held[txn] = hm
+	}
+	if hm[item] != Exclusive {
+		hm[item] = mode
+	}
+}
+
+func (q *Queue) removeWaiterLocked(e *qentry, w *qwaiter) {
+	for i, x := range e.waiters {
+		if x == w {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Unlock releases txn's lock on item and promotes waiters FIFO.
+func (q *Queue) Unlock(txn ident.TxnID, item ident.ItemID) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.unlockLocked(txn, item)
+}
+
+func (q *Queue) unlockLocked(txn ident.TxnID, item ident.ItemID) {
+	e, ok := q.items[item]
+	if !ok || !e.holders[txn] {
+		return
+	}
+	delete(e.holders, txn)
+	if hm := q.held[txn]; hm != nil {
+		delete(hm, item)
+		if len(hm) == 0 {
+			delete(q.held, txn)
+		}
+	}
+	if len(e.holders) == 0 {
+		e.mode = 0
+	}
+	q.promoteLocked(e, item)
+}
+
+// promoteLocked grants as many queued waiters as compatibility allows,
+// in FIFO order.
+func (q *Queue) promoteLocked(e *qentry, item ident.ItemID) {
+	for len(e.waiters) > 0 {
+		w := e.waiters[0]
+		if !q.grantableLocked(e, w.txn, w.mode) {
+			return
+		}
+		e.waiters = e.waiters[1:]
+		q.grantLocked(e, w.txn, item, w.mode)
+		w.done = true
+		w.ch <- true
+	}
+}
+
+// ReleaseAll releases every lock txn holds.
+func (q *Queue) ReleaseAll(txn ident.TxnID) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	hm := q.held[txn]
+	items := make([]ident.ItemID, 0, len(hm))
+	for it := range hm {
+		items = append(items, it)
+	}
+	for _, it := range items {
+		q.unlockLocked(txn, it)
+	}
+}
+
+// Clear drops all lock state, cancelling every waiter (they observe a
+// false grant). Models the crash of the site holding the table.
+func (q *Queue) Clear() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, e := range q.items {
+		for _, w := range e.waiters {
+			w.done = true
+			w.ch <- false
+		}
+	}
+	q.items = make(map[ident.ItemID]*qentry)
+	q.held = make(map[ident.TxnID]map[ident.ItemID]Mode)
+}
+
+// HeldBy returns the mode txn holds on item (0 if none).
+func (q *Queue) HeldBy(txn ident.TxnID, item ident.ItemID) Mode {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.held[txn][item]
+}
+
+// Waiters reports the number of queued waiters on item.
+func (q *Queue) Waiters(item ident.ItemID) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e, ok := q.items[item]; ok {
+		return len(e.waiters)
+	}
+	return 0
+}

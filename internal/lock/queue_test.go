@@ -1,0 +1,178 @@
+package lock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dvp/internal/ident"
+)
+
+func TestQueueSharedCompatible(t *testing.T) {
+	q := NewQueue(nil)
+	if !q.Lock(1, "a", Shared, time.Second) {
+		t.Fatal("S lock on free item")
+	}
+	if !q.Lock(2, "a", Shared, time.Second) {
+		t.Fatal("second S lock must be compatible")
+	}
+	if q.HeldBy(1, "a") != Shared || q.HeldBy(2, "a") != Shared {
+		t.Error("both txns should hold S")
+	}
+}
+
+func TestQueueExclusiveConflictTimesOut(t *testing.T) {
+	q := NewQueue(nil)
+	q.Lock(1, "a", Exclusive, time.Second)
+	start := time.Now()
+	if q.Lock(2, "a", Exclusive, 20*time.Millisecond) {
+		t.Fatal("conflicting X lock must time out")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Errorf("timed out too early: %v", elapsed)
+	}
+	if q.Waiters("a") != 0 {
+		t.Error("timed-out waiter must be dequeued")
+	}
+}
+
+func TestQueueGrantOnRelease(t *testing.T) {
+	q := NewQueue(nil)
+	q.Lock(1, "a", Exclusive, time.Second)
+	done := make(chan bool)
+	go func() {
+		done <- q.Lock(2, "a", Exclusive, time.Second)
+	}()
+	for q.Waiters("a") == 0 {
+		time.Sleep(time.Microsecond)
+	}
+	q.Unlock(1, "a")
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("waiter must be granted on release")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+	if q.HeldBy(2, "a") != Exclusive {
+		t.Error("waiter should hold X now")
+	}
+}
+
+func TestQueueFIFOWritersNotStarved(t *testing.T) {
+	q := NewQueue(nil)
+	q.Lock(1, "a", Shared, time.Second)
+	// Writer queues.
+	writerDone := make(chan bool)
+	go func() { writerDone <- q.Lock(2, "a", Exclusive, time.Second) }()
+	for q.Waiters("a") == 0 {
+		time.Sleep(time.Microsecond)
+	}
+	// A later shared request must NOT jump the queued writer.
+	if q.Lock(3, "a", Shared, 20*time.Millisecond) {
+		t.Fatal("shared request starved a waiting writer")
+	}
+	q.Unlock(1, "a")
+	if ok := <-writerDone; !ok {
+		t.Fatal("writer not granted")
+	}
+}
+
+func TestQueueUpgradeSoleHolder(t *testing.T) {
+	q := NewQueue(nil)
+	q.Lock(1, "a", Shared, time.Second)
+	if !q.Lock(1, "a", Exclusive, 50*time.Millisecond) {
+		t.Fatal("sole S holder must be able to upgrade")
+	}
+	if q.HeldBy(1, "a") != Exclusive {
+		t.Error("upgrade not recorded")
+	}
+	// With two S holders upgrade must fail (would deadlock; timeout).
+	q2 := NewQueue(nil)
+	q2.Lock(1, "b", Shared, time.Second)
+	q2.Lock(2, "b", Shared, time.Second)
+	if q2.Lock(1, "b", Exclusive, 20*time.Millisecond) {
+		t.Fatal("upgrade with co-holders must time out")
+	}
+}
+
+func TestQueueReleaseAll(t *testing.T) {
+	q := NewQueue(nil)
+	q.Lock(1, "a", Exclusive, time.Second)
+	q.Lock(1, "b", Shared, time.Second)
+	q.ReleaseAll(1)
+	if !q.Lock(2, "a", Exclusive, 10*time.Millisecond) {
+		t.Error("a not released")
+	}
+	if !q.Lock(2, "b", Exclusive, 10*time.Millisecond) {
+		t.Error("b not released")
+	}
+}
+
+func TestQueueClearCancelsWaiters(t *testing.T) {
+	q := NewQueue(nil)
+	q.Lock(1, "a", Exclusive, time.Second)
+	done := make(chan bool)
+	go func() { done <- q.Lock(2, "a", Exclusive, 5*time.Second) }()
+	for q.Waiters("a") == 0 {
+		time.Sleep(time.Microsecond)
+	}
+	q.Clear()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("cleared waiter must observe failure")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cleared waiter never woke")
+	}
+}
+
+func TestQueueDeadlockResolvedByTimeout(t *testing.T) {
+	q := NewQueue(nil)
+	q.Lock(1, "a", Exclusive, time.Second)
+	q.Lock(2, "b", Exclusive, time.Second)
+	var wg sync.WaitGroup
+	results := make([]bool, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); results[0] = q.Lock(1, "b", Exclusive, 30*time.Millisecond) }()
+	go func() { defer wg.Done(); results[1] = q.Lock(2, "a", Exclusive, 30*time.Millisecond) }()
+	wg.Wait()
+	if results[0] && results[1] {
+		t.Fatal("both sides of a deadlock were granted")
+	}
+	// At least one timed out — the deadlock resolved, nothing hangs.
+}
+
+func TestQueueManyReadersThenWriter(t *testing.T) {
+	q := NewQueue(nil)
+	const readers = 10
+	for i := 1; i <= readers; i++ {
+		if !q.Lock(ident.TxnID(i), "a", Shared, time.Second) {
+			t.Fatalf("reader %d denied", i)
+		}
+	}
+	writerDone := make(chan bool)
+	go func() { writerDone <- q.Lock(99, "a", Exclusive, 5*time.Second) }()
+	for q.Waiters("a") == 0 {
+		time.Sleep(time.Microsecond)
+	}
+	for i := 1; i <= readers; i++ {
+		q.Unlock(ident.TxnID(i), "a")
+	}
+	select {
+	case ok := <-writerDone:
+		if !ok {
+			t.Fatal("writer denied after all readers left")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("writer never granted")
+	}
+}
+
+func TestQueueModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Error("mode strings")
+	}
+}

@@ -1,0 +1,231 @@
+package recovery
+
+import (
+	"strings"
+	"testing"
+
+	"dvp/internal/store"
+	"dvp/internal/tstamp"
+	"dvp/internal/vmsg"
+	"dvp/internal/wal"
+)
+
+// buildLog writes a representative history: quota creation (commit),
+// a grant (vm-create), an acceptance (vm-accept), a commit, an
+// applied marker.
+func buildLog(t *testing.T) *wal.MemLog {
+	t.Helper()
+	l := wal.NewMemLog()
+	appendRec := func(kind wal.RecordKind, data []byte) uint64 {
+		lsn, err := l.Append(kind, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lsn
+	}
+	// Initial quota: +50 to "x".
+	appendRec(wal.RecCommit, (&wal.CommitRec{
+		Txn:     tstamp.Make(1, 1),
+		Actions: []wal.Action{{Item: "x", Delta: 50, SetTS: tstamp.Make(1, 1)}},
+	}).Encode())
+	// Grant 10 to site 2 as Vm seq 1.
+	appendRec(wal.RecVmCreate, (&wal.VmCreateRec{
+		Actions: []wal.Action{{Item: "x", Delta: -10, SetTS: tstamp.Make(2, 2)}},
+		Msgs:    []wal.VmOut{{To: 2, Seq: 1, Item: "x", Amount: 10, ReqTxn: tstamp.Make(2, 2)}},
+	}).Encode())
+	// Accept a Vm from site 3 (seq 4) carrying 7.
+	appendRec(wal.RecVmAccept, (&wal.VmAcceptRec{
+		From: 3, Seq: 4,
+		Actions: []wal.Action{{Item: "x", Delta: 7}},
+	}).Encode())
+	// A local commit: -5.
+	lsn := appendRec(wal.RecCommit, (&wal.CommitRec{
+		Txn:     tstamp.Make(9, 1),
+		Actions: []wal.Action{{Item: "x", Delta: -5, SetTS: tstamp.Make(9, 1)}},
+	}).Encode())
+	appendRec(wal.RecApplied, (&wal.AppliedRec{CommitLSN: lsn}).Encode())
+	return l
+}
+
+func TestRecoverRebuildsEverything(t *testing.T) {
+	l := buildLog(t)
+	db := store.New()
+	vm := vmsg.NewManager()
+	clock := tstamp.NewClock(1)
+	sum, err := Recover(l, db, vm, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Value("x") != 42 { // 50 -10 +7 -5
+		t.Errorf("value = %d, want 42", db.Value("x"))
+	}
+	if sum.RecordsScanned != 5 || sum.ActionsRedone != 4 || sum.VmRestored != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.NetworkCalls != 0 {
+		t.Error("recovery must make zero network calls")
+	}
+	// Outbound Vm re-pending for retransmission.
+	if p := vm.PendingTo(2); len(p) != 1 || p[0].Amount != 10 {
+		t.Errorf("pending = %+v", p)
+	}
+	// Inbound dedup state restored: seq 4 from site 3 must not
+	// re-accept.
+	if vm.ShouldAccept(3, 4) {
+		t.Error("accepted Vm would be double-credited after recovery")
+	}
+	// Clock beyond every durable stamp this site issued.
+	if ts := clock.Next(); ts.Counter() <= 9 {
+		t.Errorf("clock not restored: next = %v", ts)
+	}
+}
+
+func TestRecoverIsIdempotent(t *testing.T) {
+	l := buildLog(t)
+	db := store.New()
+	vm := vmsg.NewManager()
+	clock := tstamp.NewClock(1)
+	if _, err := Recover(l, db, vm, clock); err != nil {
+		t.Fatal(err)
+	}
+	// Crash during recovery: run it again over the same state.
+	sum2, err := Recover(l, db, vm, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Value("x") != 42 {
+		t.Errorf("double recovery changed the value: %d", db.Value("x"))
+	}
+	if sum2.ActionsRedone != 0 {
+		t.Errorf("second pass redid %d actions (not idempotent)", sum2.ActionsRedone)
+	}
+}
+
+func TestRecoverUsesCheckpoint(t *testing.T) {
+	l := buildLog(t)
+	// Snapshot current state into a checkpoint, then more history.
+	db := store.New()
+	vm := vmsg.NewManager()
+	clock := tstamp.NewClock(1)
+	if _, err := Recover(l, db, vm, clock); err != nil {
+		t.Fatal(err)
+	}
+	cp := &wal.CheckpointRec{
+		Items:    db.Snapshot(),
+		Channels: vm.SnapshotChannels(),
+		Clock:    clock.Current(),
+	}
+	if _, err := l.Append(wal.RecCheckpoint, cp.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	lsn, _ := l.Append(wal.RecCommit, (&wal.CommitRec{
+		Txn:     tstamp.Make(11, 1),
+		Actions: []wal.Action{{Item: "x", Delta: 1, SetTS: tstamp.Make(11, 1)}},
+	}).Encode())
+	_ = lsn
+
+	db2 := store.New()
+	vm2 := vmsg.NewManager()
+	clock2 := tstamp.NewClock(1)
+	sum, err := Recover(l, db2, vm2, clock2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CheckpointLSN == 0 {
+		t.Error("checkpoint not used")
+	}
+	if sum.RecordsScanned != 1 {
+		t.Errorf("scanned %d records after checkpoint, want 1", sum.RecordsScanned)
+	}
+	if db2.Value("x") != 43 {
+		t.Errorf("value = %d, want 43", db2.Value("x"))
+	}
+	if vm2.ShouldAccept(3, 4) {
+		t.Error("checkpointed dedup state lost")
+	}
+	if p := vm2.PendingTo(2); len(p) != 1 {
+		t.Errorf("checkpointed pending lost: %+v", p)
+	}
+}
+
+func TestRecoverRejectsBaselineRecords(t *testing.T) {
+	l := wal.NewMemLog()
+	l.Append(wal.RecPrepare, (&wal.PrepareRec{Txn: tstamp.Make(1, 1)}).Encode())
+	_, err := Recover(l, store.New(), vmsg.NewManager(), tstamp.NewClock(1))
+	if err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("baseline record accepted: %v", err)
+	}
+}
+
+func TestRecoverRejectsCorruptRecord(t *testing.T) {
+	l := wal.NewMemLog()
+	l.Append(wal.RecCommit, []byte{0xFF}) // undecodable
+	if _, err := Recover(l, store.New(), vmsg.NewManager(), tstamp.NewClock(1)); err == nil {
+		t.Error("corrupt record accepted")
+	}
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	sum, err := Recover(wal.NewMemLog(), store.New(), vmsg.NewManager(), tstamp.NewClock(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.RecordsScanned != 0 || sum.CheckpointLSN != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+// TestRecoverFromCompactedLogWithEmptyStore models a real process
+// restart (cmd/dvpnode): the store is rebuilt from scratch and the log
+// has been compacted down to [checkpoint, tail]. The checkpoint's item
+// snapshot must reconstruct the store.
+func TestRecoverFromCompactedLogWithEmptyStore(t *testing.T) {
+	l := buildLog(t)
+	db := store.New()
+	vm := vmsg.NewManager()
+	clock := tstamp.NewClock(1)
+	if _, err := Recover(l, db, vm, clock); err != nil {
+		t.Fatal(err)
+	}
+	cp := &wal.CheckpointRec{
+		Items:    db.Snapshot(),
+		Channels: vm.SnapshotChannels(),
+		Clock:    clock.Current(),
+	}
+	cpLSN, err := l.Append(wal.RecCheckpoint, cp.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(cpLSN - 1); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint history.
+	l.Append(wal.RecCommit, (&wal.CommitRec{
+		Txn:     tstamp.Make(20, 1),
+		Actions: []wal.Action{{Item: "x", Delta: -2, SetTS: tstamp.Make(20, 1)}},
+	}).Encode())
+
+	// Fresh process: empty store, everything from the log.
+	db2 := store.New()
+	vm2 := vmsg.NewManager()
+	clock2 := tstamp.NewClock(1)
+	sum, err := Recover(l, db2, vm2, clock2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Value("x") != 40 { // 42 from snapshot, -2 after
+		t.Errorf("value = %d, want 40", db2.Value("x"))
+	}
+	if sum.CheckpointLSN != cpLSN || sum.RecordsScanned != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if p := vm2.PendingTo(2); len(p) != 1 {
+		t.Errorf("checkpointed pending Vm lost across compaction: %+v", p)
+	}
+	if vm2.ShouldAccept(3, 4) {
+		t.Error("dedup state lost across compaction (double credit)")
+	}
+	if ts := clock2.Next(); ts.Counter() <= 20 {
+		t.Errorf("clock = %v", ts)
+	}
+}

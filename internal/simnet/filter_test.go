@@ -1,0 +1,65 @@
+package simnet
+
+import (
+	"testing"
+
+	"dvp/internal/ident"
+	"dvp/internal/wire"
+)
+
+func TestFilterDropsByKind(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	e1 := n.Endpoint(1)
+	e2 := n.Endpoint(2)
+	var c collector
+	e2.SetHandler(c.handler)
+	n.SetFilter(func(from, to ident.SiteID, kind wire.Kind) bool {
+		return kind != wire.KVmAck
+	})
+	ackEnv := ack(1)
+	ackEnv.To = 2
+	e1.Send(ackEnv)
+	req := &wire.Envelope{To: 2, Msg: &wire.Request{Txn: 1, Item: "x", Want: 1}}
+	e1.Send(req)
+	n.Quiesce()
+	got := c.all()
+	if len(got) != 1 || got[0].Msg.Kind() != wire.KRequest {
+		t.Fatalf("filter leaked: %d messages, first %v", len(got), got[0].Msg.Kind())
+	}
+	if n.Stats().Cut != 1 {
+		t.Errorf("Cut = %d, want 1", n.Stats().Cut)
+	}
+	// Clearing the filter restores delivery.
+	n.SetFilter(nil)
+	ackEnv2 := ack(2)
+	ackEnv2.To = 2
+	e1.Send(ackEnv2)
+	n.Quiesce()
+	if c.count() != 2 {
+		t.Error("cleared filter still dropping")
+	}
+}
+
+func TestFilterSeesAddressing(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	e1 := n.Endpoint(1)
+	n.Endpoint(2).SetHandler(func(*wire.Envelope) {})
+	n.Endpoint(3).SetHandler(func(*wire.Envelope) {})
+	// Drop only 1→2; 1→3 flows.
+	n.SetFilter(func(from, to ident.SiteID, kind wire.Kind) bool {
+		return !(from == 1 && to == 2)
+	})
+	a := ack(1)
+	a.To = 2
+	e1.Send(a)
+	b := ack(2)
+	b.To = 3
+	e1.Send(b)
+	n.Quiesce()
+	st := n.Stats()
+	if st.Cut != 1 || st.Delivered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

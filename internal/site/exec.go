@@ -1,0 +1,280 @@
+package site
+
+import (
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/tstamp"
+	"dvp/internal/txn"
+	"dvp/internal/wal"
+	"dvp/internal/wire"
+)
+
+// Run executes one transaction entirely at this site — the paper's §5
+// seven-step protocol. It blocks the calling goroutine for at most the
+// transaction's timeout plus local processing, and always returns a
+// decision: the protocol is non-blocking by construction.
+func (s *Site) Run(t *txn.Txn) *txn.Result {
+	start := s.cfg.Clock.Now()
+	res := &txn.Result{}
+	finish := func(status txn.Status) *txn.Result {
+		res.Status = status
+		res.Latency = s.cfg.Clock.Now().Sub(start)
+		s.countOutcome(status)
+		return res
+	}
+
+	epoch, up := s.currentEpoch()
+	if !up {
+		return finish(txn.StatusSiteDown)
+	}
+
+	// Draw TS(t): timestamp and identity in one (§6.1).
+	ts := s.lamport.Next()
+	res.TS = ts
+	id := ts.Txn()
+	items := t.Items()
+
+	// Step 1 — atomically lock the local values of A(t), with the
+	// scheme's admission check, stamping under Conc1. protoMu makes
+	// check+lock+stamp one atomic step against message handling.
+	s.protoMu.Lock()
+	for _, item := range items {
+		it, _ := s.cfg.DB.Get(item)
+		if !s.policy.AllowLock(ts, it.TS) {
+			s.protoMu.Unlock()
+			return finish(txn.StatusCCRejected)
+		}
+	}
+	if !s.locks.TryLockAll(id, items) {
+		s.protoMu.Unlock()
+		return finish(txn.StatusLockConflict)
+	}
+	if s.policy.StampOnLock() {
+		for _, item := range items {
+			s.cfg.DB.SetTS(item, ts)
+		}
+	}
+	s.protoMu.Unlock()
+
+	defer s.locks.ReleaseAll(id)
+
+	// Step 2 — determine inadequate items and send requests.
+	needs := t.Needs()
+	shortfall := make(map[ident.ItemID]core.Value)
+	for item, need := range needs {
+		if have := s.cfg.DB.Value(item); have < need {
+			shortfall[item] = need - have
+		}
+	}
+	if len(shortfall) > 0 || len(t.Reads) > 0 {
+		w := &waiter{
+			id:        id,
+			ts:        ts,
+			epoch:     epoch,
+			needs:     needs,
+			reads:     make(map[ident.ItemID]bool, len(t.Reads)),
+			responded: make(map[ident.ItemID]map[ident.SiteID]bool),
+			notify:    make(chan struct{}, 1),
+		}
+		for _, item := range t.Reads {
+			w.reads[item] = true
+			w.responded[item] = make(map[ident.SiteID]bool)
+		}
+		s.mu.Lock()
+		s.waiters[id] = w
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.waiters, id)
+			s.mu.Unlock()
+		}()
+
+		res.RequestsSent = s.sendRequests(ts, shortfall, t.Reads, t.Ask)
+
+		// Step 3 — await the requisite Vm or the timeout.
+		timeout := t.Timeout
+		if timeout <= 0 {
+			timeout = s.cfg.DefaultTimeout
+		}
+		deadline := s.cfg.Clock.After(timeout)
+		for !s.satisfied(w) {
+			select {
+			case <-w.notify:
+				if !s.sameEpoch(epoch) {
+					return finish(txn.StatusSiteDown)
+				}
+			case <-deadline:
+				if !s.sameEpoch(epoch) {
+					return finish(txn.StatusSiteDown)
+				}
+				// §5 step 3: "declare an abort and then release
+				// the locks". Quota already received stays — the
+				// aborted transaction degenerates to an Rds
+				// transaction (§6).
+				res.VmAccepted = w.accepted
+				return finish(txn.StatusTimeout)
+			}
+		}
+		res.VmAccepted = w.accepted
+	}
+
+	// Step 4 — perform the computation: apply the operators in order
+	// to the (now adequate) local values.
+	working := make(map[ident.ItemID]core.Value)
+	for _, item := range items {
+		working[item] = s.cfg.DB.Value(item)
+	}
+	for _, op := range t.Ops {
+		nv, ok := op.Op.Apply(working[op.Item])
+		if !ok {
+			// Cannot happen while we hold the locks and satisfied()
+			// held; treat defensively as a timeout-class abort.
+			return finish(txn.StatusTimeout)
+		}
+		working[op.Item] = nv
+	}
+	reads := make(map[ident.ItemID]core.Value, len(t.Reads))
+	for _, item := range t.Reads {
+		reads[item] = s.cfg.DB.Value(item)
+	}
+	res.Reads = reads
+
+	// Step 5 — write the commit record; its stability commits t.
+	deltas := t.Deltas()
+	actions := make([]wal.Action, 0, len(deltas))
+	for _, item := range items {
+		d, ok := deltas[item]
+		if !ok || d == 0 {
+			continue
+		}
+		actions = append(actions, wal.Action{Item: item, Delta: d, SetTS: ts})
+	}
+	if !s.sameEpoch(epoch) {
+		return finish(txn.StatusSiteDown)
+	}
+	lsn, err := s.cfg.Log.Append(wal.RecCommit, (&wal.CommitRec{Txn: ts, Actions: actions}).Encode())
+	if err != nil {
+		return finish(txn.StatusSiteDown)
+	}
+
+	// Step 6 — make the changes and record that fact.
+	if _, err := s.cfg.DB.ApplyAll(lsn, actions); err != nil {
+		// Protocol invariant broken; surface loudly in development.
+		panic("site: committed actions failed to apply: " + err.Error())
+	}
+	_, _ = s.cfg.Log.Append(wal.RecApplied, (&wal.AppliedRec{CommitLSN: lsn}).Encode())
+
+	// Step 7 — locks released by the deferred ReleaseAll. Flow
+	// instrumentation records first, while the locks are still held:
+	// written items register this transaction as their site's next
+	// writer; fully-read items snapshot the merged observation vector
+	// (every commit updates the vectors whether or not anyone
+	// listens — grants stamp them onto outgoing value).
+	writerIdx := make(map[ident.ItemID]uint64, len(deltas))
+	readVec := make(map[ident.ItemID]FlowVec, len(reads))
+	for _, item := range items {
+		if hasRead(reads, item) {
+			readVec[item] = s.flow.snapshot(item)
+		}
+		if d, wrote := deltas[item]; wrote && d != 0 {
+			writerIdx[item] = s.flow.writerCommit(item, s.cfg.ID)
+		}
+	}
+	if s.cfg.OnCommit != nil {
+		s.cfg.OnCommit(CommitInfo{
+			TS: ts, Site: s.cfg.ID, Deltas: deltas, Reads: reads,
+			WriterIdx: writerIdx, ReadVec: readVec, Label: t.Label,
+		})
+	}
+	return finish(txn.StatusCommitted)
+}
+
+// sendRequests dispatches the §5 step-2 requests: full-read gathers to
+// every peer, shortfall requests per the ask policy. Returns the
+// number of requests sent.
+func (s *Site) sendRequests(ts tstamp.TS, shortfall map[ident.ItemID]core.Value, reads []ident.ItemID, ask txn.AskPolicy) int {
+	peers := s.peersExceptSelf()
+	sent := 0
+	for _, item := range reads {
+		for _, p := range peers {
+			s.send(p, &wire.Request{Txn: ts, Item: item, FullRead: true})
+			sent++
+		}
+	}
+	if len(shortfall) > 0 {
+		fan := ask.Fanout(len(peers))
+		if fan <= 0 {
+			fan = len(peers)
+		}
+		// Rotate the starting peer so AskOne/AskTwo spread load.
+		s.mu.Lock()
+		startAt := s.askCursor
+		s.askCursor++
+		s.mu.Unlock()
+		for item, want := range shortfall {
+			for k := 0; k < fan && k < len(peers); k++ {
+				p := peers[(startAt+k)%len(peers)]
+				// Under AskAll every peer is asked for the full
+				// shortfall; with narrower fanouts likewise — the
+				// exact split is the granting side's business.
+				s.send(p, &wire.Request{Txn: ts, Item: item, Want: want})
+				sent++
+			}
+		}
+	}
+	s.mu.Lock()
+	s.stats.RequestsSent += uint64(sent)
+	s.mu.Unlock()
+	return sent
+}
+
+// satisfied is the §5 step-3/4 gate: every op item has adequate local
+// quota, and every full read has gathered all of Π⁻¹(d): a response
+// from every peer and no Vm of ours still carrying the item away.
+func (s *Site) satisfied(w *waiter) bool {
+	for item, need := range w.needs {
+		if s.cfg.DB.Value(item) < need {
+			return false
+		}
+	}
+	if len(w.reads) == 0 {
+		return true
+	}
+	peers := s.peersExceptSelf()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for item := range w.reads {
+		if s.vm.HasOutstanding(item) {
+			return false
+		}
+		resp := w.responded[item]
+		for _, p := range peers {
+			if !resp[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func hasRead(reads map[ident.ItemID]core.Value, item ident.ItemID) bool {
+	_, ok := reads[item]
+	return ok
+}
+
+func (s *Site) countOutcome(status txn.Status) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch status {
+	case txn.StatusCommitted:
+		s.stats.Committed++
+	case txn.StatusLockConflict:
+		s.stats.AbortLockConflict++
+	case txn.StatusCCRejected:
+		s.stats.AbortCCRejected++
+	case txn.StatusTimeout:
+		s.stats.AbortTimeout++
+	case txn.StatusSiteDown:
+		s.stats.AbortSiteDown++
+	}
+}

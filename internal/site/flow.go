@@ -1,0 +1,117 @@
+package site
+
+import (
+	"sync"
+
+	"dvp/internal/ident"
+	"dvp/internal/wire"
+)
+
+// flowClocks instruments value flow for exact serializability
+// checking, as a per-item *vector clock*: one component per site,
+// counting the writers committed at that site. Every value-carrying
+// Vm ships the sender's current vector; the receiver max-merges it on
+// acceptance.
+//
+// The invariant this buys is exact: a full read R observed writer W
+// (the k-th writer at site j) if and only if R's merged vector has
+// component j ≥ k — because a site's quota always embodies the effects
+// of exactly its locally-committed writers plus whatever flowed in,
+// and the vector travels with (and only with) the value. The checker
+// in internal/cc replays observation sets from these vectors, which
+// verifies Conc2 histories (whose equivalent serial order uses the
+// §6.2 proof's hypothetical, unobservable timestamps) as well as
+// Conc1's.
+//
+// A scalar (Lamport-style) position is NOT sound here: positions on
+// independent flow paths are incomparable, and ordering by them
+// fabricates observation where none occurred.
+//
+// Flow vectors are volatile diagnostics: they reset on crash, so the
+// checker applies to crash-free histories (recovery correctness has
+// its own tests).
+type flowClocks struct {
+	mu  sync.Mutex
+	vec map[ident.ItemID]map[ident.SiteID]uint64
+}
+
+// FlowVec is one item's value-flow vector: site → writers observed.
+type FlowVec map[ident.SiteID]uint64
+
+// Entries converts to the wire representation.
+func (v FlowVec) Entries() []wire.FlowEntry {
+	if len(v) == 0 {
+		return nil
+	}
+	out := make([]wire.FlowEntry, 0, len(v))
+	for _, s := range ident.SortSites(sitesOf(v)) {
+		out = append(out, wire.FlowEntry{Site: s, Count: v[s]})
+	}
+	return out
+}
+
+func sitesOf(v FlowVec) []ident.SiteID {
+	out := make([]ident.SiteID, 0, len(v))
+	for s := range v {
+		out = append(out, s)
+	}
+	return out
+}
+
+func newFlowClocks() *flowClocks {
+	return &flowClocks{vec: make(map[ident.ItemID]map[ident.SiteID]uint64)}
+}
+
+func (f *flowClocks) itemVec(item ident.ItemID) map[ident.SiteID]uint64 {
+	v, ok := f.vec[item]
+	if !ok {
+		v = make(map[ident.SiteID]uint64)
+		f.vec[item] = v
+	}
+	return v
+}
+
+// writerCommit records a committed writer at this site and returns its
+// local writer index (its identity is (site, index)).
+func (f *flowClocks) writerCommit(item ident.ItemID, self ident.SiteID) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v := f.itemVec(item)
+	v[self]++
+	return v[self]
+}
+
+// snapshot copies the item's current vector (a reader's observation
+// set, or the payload stamped onto an outgoing grant).
+func (f *flowClocks) snapshot(item ident.ItemID) FlowVec {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v := f.itemVec(item)
+	out := make(FlowVec, len(v))
+	for s, c := range v {
+		out[s] = c
+	}
+	return out
+}
+
+// merge folds a received vector into the item's (component-wise max).
+func (f *flowClocks) merge(item ident.ItemID, in FlowVec) {
+	if len(in) == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v := f.itemVec(item)
+	for s, c := range in {
+		if c > v[s] {
+			v[s] = c
+		}
+	}
+}
+
+// reset clears all vectors (crash).
+func (f *flowClocks) reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.vec = make(map[ident.ItemID]map[ident.SiteID]uint64)
+}

@@ -1,0 +1,254 @@
+package site
+
+import (
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/wal"
+	"dvp/internal/wire"
+)
+
+// handle is the network entry point. It folds the piggybacked Lamport
+// clock and Vm acknowledgement into local state (§4.2), then
+// dispatches by message kind. protoMu serializes processing, modelling
+// the paper's "messages that arrive at a site are processed in the
+// order of their arrival".
+func (s *Site) handle(env *wire.Envelope) {
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	s.mu.Lock()
+	up := s.up
+	s.mu.Unlock()
+	if !up {
+		return
+	}
+
+	s.lamport.Observe(env.Lamport)
+	s.vm.OnAck(env.From, env.AckUpTo)
+
+	switch m := env.Msg.(type) {
+	case *wire.Request:
+		s.handleRequest(env.From, m)
+	case *wire.Vm:
+		s.handleVm(env.From, m)
+	case *wire.VmAck:
+		s.vm.OnAck(env.From, m.UpTo)
+	case *wire.QuotaQuery:
+		s.send(env.From, &wire.QuotaReply{
+			Nonce: m.Nonce,
+			Item:  m.Item,
+			Value: s.cfg.DB.Value(m.Item),
+			Known: true,
+		})
+	default:
+		// Baseline traffic or introspection replies: not ours.
+	}
+}
+
+// handleRequest implements the remote site's side of §5: decide
+// whether to honor a request for local quota, and if so create the
+// virtual message that carries it.
+func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
+	s.protoMu.Lock()
+
+	decline := func() {
+		s.protoMu.Unlock()
+		s.mu.Lock()
+		s.stats.RequestsDeclined++
+		s.mu.Unlock()
+	}
+
+	// "If there is currently a lock on d_j, site s_j can simply
+	// decide not to honor the request" (§5).
+	if s.locks.Holder(req.Item) != ident.NoTxn {
+		decline()
+		return
+	}
+	// Concurrency control admission (§6.1): honor only if
+	// TS(t) > TS(d_j) under Conc1.
+	it, _ := s.cfg.DB.Get(req.Item)
+	if !s.policy.AllowLock(req.Txn, it.TS) {
+		decline()
+		return
+	}
+	// Full reads require the complete local share: no outstanding Vm
+	// may still carry this item away from us (§5).
+	if req.FullRead && s.vm.HasOutstanding(req.Item) {
+		decline()
+		return
+	}
+	have := s.cfg.DB.Value(req.Item)
+	var grant core.Value
+	if req.FullRead {
+		grant = have // the entire holding, even zero
+	} else {
+		grant = s.grant.Grant(have, req.Want)
+		if grant <= 0 {
+			// Nothing useful to give; ignoring the request is
+			// always safe — the requester's timeout bounds it.
+			decline()
+			return
+		}
+	}
+
+	// Honor: this is an Rds transaction acting at this site (§6).
+	// Lock, stamp, log the [database-actions, message-sequence]
+	// record, apply, unlock — all before the real message leaves.
+	rdsID := req.Txn.Txn()
+	if !s.locks.TryLock(rdsID, req.Item) {
+		decline()
+		return
+	}
+	if s.policy.StampOnLock() {
+		s.cfg.DB.SetTS(req.Item, req.Txn)
+	}
+	seq := s.vm.AllocSeq(from)
+	var stamp = it.TS
+	if s.policy.StampOnLock() {
+		stamp = req.Txn
+	}
+	rec := &wal.VmCreateRec{
+		Actions: []wal.Action{{Item: req.Item, Delta: -grant, SetTS: stamp}},
+		Msgs: []wal.VmOut{{
+			To: from, Seq: seq, Item: req.Item, Amount: grant, ReqTxn: req.Txn,
+			FlowVec: s.flow.snapshot(req.Item).Entries(),
+		}},
+	}
+	lsn, err := s.cfg.Log.Append(wal.RecVmCreate, rec.Encode())
+	if err != nil {
+		s.locks.Unlock(rdsID, req.Item)
+		decline()
+		return
+	}
+	s.vm.Created(rec.Msgs)
+	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
+		panic("site: vm-create actions failed to apply: " + err.Error())
+	}
+	s.locks.Unlock(rdsID, req.Item)
+	s.protoMu.Unlock()
+
+	s.mu.Lock()
+	s.stats.RequestsHonored++
+	s.stats.VmCreated++
+	s.mu.Unlock()
+
+	s.sendVm(rec.Msgs[0])
+}
+
+// handleVm implements Vm acceptance (§4.2, §5): exactly-once crediting
+// of the carried value, by an Rds transaction when the item is free,
+// by the waiting transaction itself when it holds the lock, and
+// deferral (ignore; retransmission will return) when an unrelated
+// transaction holds it.
+func (s *Site) handleVm(from ident.SiteID, m *wire.Vm) {
+	s.protoMu.Lock()
+
+	if !s.vm.ShouldAccept(from, m.Seq) {
+		s.protoMu.Unlock()
+		s.mu.Lock()
+		s.stats.VmDuplicates++
+		s.mu.Unlock()
+		// Duplicate: re-ack so the sender can retire it.
+		s.send(from, &wire.VmAck{UpTo: s.vm.AckFor(from)})
+		return
+	}
+
+	var w *waiter
+	holder := s.locks.Holder(m.Item)
+	if holder != ident.NoTxn {
+		s.mu.Lock()
+		w = s.waiters[holder]
+		s.mu.Unlock()
+		if w == nil {
+			// Locked by a transaction not in its waiting phase: "if
+			// it is locked, the message can be ignored; it will
+			// eventually be sent again anyway" (§4.2).
+			s.protoMu.Unlock()
+			return
+		}
+	}
+
+	// Accept: log first (the record is the acceptance), then credit.
+	rec := &wal.VmAcceptRec{
+		From:    from,
+		Seq:     m.Seq,
+		Actions: []wal.Action{{Item: m.Item, Delta: m.Amount}},
+	}
+	if m.Amount == 0 {
+		// Zero-value Vm (a full-read "I hold nothing" response)
+		// still needs the acceptance record for dedup state.
+		rec.Actions = nil
+	}
+	lsn, err := s.cfg.Log.Append(wal.RecVmAccept, rec.Encode())
+	if err != nil {
+		s.protoMu.Unlock()
+		return
+	}
+	s.vm.MarkAccepted(from, m.Seq)
+	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
+		panic("site: vm-accept actions failed to apply: " + err.Error())
+	}
+	s.flow.merge(m.Item, flowVecFromEntries(m.FlowVec))
+	s.protoMu.Unlock()
+
+	s.mu.Lock()
+	s.stats.VmAccepted++
+	if w != nil {
+		w.accepted++
+		if w.reads[m.Item] && m.ReqTxn == w.ts {
+			w.responded[m.Item][from] = true
+		}
+	}
+	s.mu.Unlock()
+
+	if w != nil {
+		w.wake()
+	}
+	s.send(from, &wire.VmAck{UpTo: s.vm.AckFor(from)})
+}
+
+// sendVm transmits one real message for a virtual message.
+func (s *Site) sendVm(v wal.VmOut) {
+	s.send(v.To, &wire.Vm{
+		Seq: v.Seq, Item: v.Item, Amount: v.Amount, ReqTxn: v.ReqTxn,
+		FlowVec: v.FlowVec,
+	})
+}
+
+// flowVecFromEntries converts wire form to the merge form.
+func flowVecFromEntries(es []wire.FlowEntry) FlowVec {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make(FlowVec, len(es))
+	for _, e := range es {
+		out[e.Site] = e.Count
+	}
+	return out
+}
+
+// retransmitLoop periodically resends every unacknowledged Vm — the
+// guaranteed-delivery engine behind "a Vm is never lost" (§4.2).
+func (s *Site) retransmitLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-s.cfg.Clock.After(s.cfg.RetransmitEvery):
+		}
+		pending := s.vm.PendingAll()
+		if len(pending) == 0 {
+			continue
+		}
+		s.mu.Lock()
+		if !s.up {
+			s.mu.Unlock()
+			return
+		}
+		s.stats.Retransmissions += uint64(len(pending))
+		s.mu.Unlock()
+		for _, v := range pending {
+			s.sendVm(v)
+		}
+	}
+}

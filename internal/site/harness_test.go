@@ -1,0 +1,148 @@
+package site
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dvp/internal/cc"
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/simnet"
+	"dvp/internal/store"
+	"dvp/internal/wal"
+)
+
+// testCluster wires n sites over a simnet for integration tests.
+type testCluster struct {
+	t     *testing.T
+	net   *simnet.Net
+	sites []*Site
+	logs  []*wal.MemLog
+	dbs   []*store.Durable
+
+	mu      sync.Mutex
+	commits []CommitInfo
+}
+
+// newTestCluster builds an n-site cluster; cfg mutates the base
+// per-site config (nil for defaults).
+func newTestCluster(t *testing.T, n int, netCfg simnet.Config, mutate func(i int, c *Config)) *testCluster {
+	t.Helper()
+	tc := &testCluster{t: t, net: simnet.New(netCfg)}
+	peers := make([]ident.SiteID, n)
+	for i := range peers {
+		peers[i] = ident.SiteID(i + 1)
+	}
+	for i := 0; i < n; i++ {
+		id := peers[i]
+		log := wal.NewMemLog()
+		db := store.New()
+		cfg := Config{
+			ID:              id,
+			Peers:           peers,
+			Log:             log,
+			DB:              db,
+			Endpoint:        tc.net.Endpoint(id),
+			CC:              cc.New(cc.Conc1),
+			RetransmitEvery: 5 * time.Millisecond,
+			DefaultTimeout:  80 * time.Millisecond,
+			OnCommit: func(ci CommitInfo) {
+				tc.mu.Lock()
+				tc.commits = append(tc.commits, ci)
+				tc.mu.Unlock()
+			},
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("site %v: %v", id, err)
+		}
+		tc.sites = append(tc.sites, s)
+		tc.logs = append(tc.logs, log)
+		tc.dbs = append(tc.dbs, db)
+	}
+	for _, s := range tc.sites {
+		s.Start()
+	}
+	t.Cleanup(tc.net.Close)
+	return tc
+}
+
+// createItem splits total evenly across all sites (the §3 initial
+// distribution).
+func (tc *testCluster) createItem(item ident.ItemID, total core.Value) {
+	tc.t.Helper()
+	shares := core.EvenShares(total, len(tc.sites))
+	for i, s := range tc.sites {
+		if err := s.DB().Create(item, shares[i]); err != nil {
+			tc.t.Fatalf("create %s at %v: %v", item, s.ID(), err)
+		}
+	}
+}
+
+// globalTotal computes Σ_i d_i + in-flight Vm for item: the
+// conservation quantity N = N_1 + … + N_n + N_M of §3. Only meaningful
+// at quiescent points.
+func (tc *testCluster) globalTotal(item ident.ItemID) core.Value {
+	var sum core.Value
+	for _, s := range tc.sites {
+		sum += s.DB().Value(item)
+	}
+	for _, si := range tc.sites {
+		for _, sj := range tc.sites {
+			if si == sj {
+				continue
+			}
+			for _, v := range si.VM().PendingTo(sj.ID()) {
+				if v.Item == item && !sj.VM().Accepted(si.ID(), v.Seq) {
+					sum += v.Amount
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// settle waits for in-flight traffic to drain (real-clock tests).
+func (tc *testCluster) settle() {
+	tc.net.Quiesce()
+}
+
+// waitQuiescent polls until globalTotal for an item is stable and all
+// retransmission sets are empty, or the deadline passes.
+func (tc *testCluster) waitQuiescent(item ident.ItemID, deadline time.Duration) {
+	tc.t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		tc.net.Quiesce()
+		pending := 0
+		for _, s := range tc.sites {
+			pending += len(s.VM().PendingAll())
+		}
+		if pending == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (tc *testCluster) committedTxns() []cc.CommittedTxn {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make([]cc.CommittedTxn, 0, len(tc.commits))
+	for _, ci := range tc.commits {
+		t := cc.CommittedTxn{
+			TS: ci.TS, Site: ci.Site, Deltas: ci.Deltas, Reads: ci.Reads,
+			WriterIdx: ci.WriterIdx,
+			ReadVec:   make(map[ident.ItemID]map[ident.SiteID]uint64, len(ci.ReadVec)),
+		}
+		for item, vec := range ci.ReadVec {
+			t.ReadVec[item] = map[ident.SiteID]uint64(vec)
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package site
+
+import (
+	"fmt"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/wal"
+)
+
+// SendValue runs a redistribution-only (Rds) transaction (§5): move
+// amount of item from this site's quota to peer, without changing the
+// item's value. It follows the §5 Rds recipe — lock local item, log
+// the [database-actions, message-sequence] record, dispatch, release —
+// and "there is no need for the transaction to await replies": the Vm
+// machinery guarantees eventual delivery.
+//
+// Returns an error if the site is down, the item is locked (no-wait),
+// or local quota is insufficient. Proactive rebalancing policies are
+// built on this (paper §8: "performance studies to find the best ways
+// to distribute the data ... are needed").
+func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value) error {
+	if amount <= 0 {
+		return fmt.Errorf("site %v: non-positive transfer %d", s.cfg.ID, amount)
+	}
+	if peer == s.cfg.ID {
+		return fmt.Errorf("site %v: self transfer", s.cfg.ID)
+	}
+	epoch, up := s.currentEpoch()
+	if !up {
+		return fmt.Errorf("site %v: down", s.cfg.ID)
+	}
+
+	// Rds transactions are transactions: they draw a timestamp and
+	// take the lock like anyone else (§6 treats them uniformly).
+	ts := s.lamport.Next()
+	id := ts.Txn()
+
+	s.protoMu.Lock()
+	it, _ := s.cfg.DB.Get(item)
+	if !s.policy.AllowLock(ts, it.TS) {
+		s.protoMu.Unlock()
+		return fmt.Errorf("site %v: cc rejected rds on %q", s.cfg.ID, item)
+	}
+	if !s.locks.TryLock(id, item) {
+		s.protoMu.Unlock()
+		return fmt.Errorf("site %v: %q locked", s.cfg.ID, item)
+	}
+	defer s.locks.Unlock(id, item)
+	if have := s.cfg.DB.Value(item); have < amount {
+		s.protoMu.Unlock()
+		return fmt.Errorf("site %v: quota %d < transfer %d", s.cfg.ID, have, amount)
+	}
+	if s.policy.StampOnLock() {
+		s.cfg.DB.SetTS(item, ts)
+	}
+	stamp := it.TS
+	if s.policy.StampOnLock() {
+		stamp = ts
+	}
+	seq := s.vm.AllocSeq(peer)
+	rec := &wal.VmCreateRec{
+		Actions: []wal.Action{{Item: item, Delta: -amount, SetTS: stamp}},
+		Msgs: []wal.VmOut{{
+			To: peer, Seq: seq, Item: item, Amount: amount, ReqTxn: 0,
+			FlowVec: s.flow.snapshot(item).Entries(),
+		}},
+	}
+	lsn, err := s.cfg.Log.Append(wal.RecVmCreate, rec.Encode())
+	if err != nil {
+		s.protoMu.Unlock()
+		return fmt.Errorf("site %v: rds log append: %w", s.cfg.ID, err)
+	}
+	s.vm.Created(rec.Msgs)
+	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
+		panic("site: rds actions failed to apply: " + err.Error())
+	}
+	s.protoMu.Unlock()
+
+	s.mu.Lock()
+	s.stats.VmCreated++
+	s.mu.Unlock()
+	if s.sameEpoch(epoch) {
+		s.sendVm(rec.Msgs[0])
+	}
+	return nil
+}

@@ -1,0 +1,369 @@
+// Package site implements one DvP site: the single place a
+// transaction executes (§2's conclusion), holding its quota store,
+// stable log, lock table, Vm channels and concurrency control.
+//
+// A Site is built from substrates that outlive crashes (wal.Log,
+// store.Durable, the network attachment) and volatile state that does
+// not (locks, waiters, Vm manager, Lamport clock). Crash discards the
+// volatile state; Restart rebuilds it from the log via
+// internal/recovery and resumes — with no communication, per §7.
+package site
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dvp/internal/cc"
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/lock"
+	"dvp/internal/recovery"
+	"dvp/internal/store"
+	"dvp/internal/tstamp"
+	"dvp/internal/vclock"
+	"dvp/internal/vmsg"
+	"dvp/internal/wal"
+	"dvp/internal/wire"
+)
+
+// Config assembles a site.
+type Config struct {
+	// ID is this site's identity.
+	ID ident.SiteID
+	// Peers lists every site in the system, including this one.
+	Peers []ident.SiteID
+	// Log is the site's stable log (survives crashes).
+	Log wal.Log
+	// DB is the site's durable local database (survives crashes).
+	DB *store.Durable
+	// Endpoint attaches the site to the network.
+	Endpoint wire.Endpoint
+	// Clock is the wall clock for timeouts and retransmission.
+	Clock vclock.Clock
+	// CC selects the concurrency control policy (default Conc1).
+	CC cc.Policy
+	// Grant decides how much quota to surrender per honored request
+	// (default core.GrantExact).
+	Grant core.SplitPolicy
+	// RetransmitEvery is the Vm retransmission interval (default
+	// 15ms — several rounds fit inside a default timeout).
+	RetransmitEvery time.Duration
+	// DefaultTimeout bounds transactions that don't set their own
+	// (default 100ms).
+	DefaultTimeout time.Duration
+	// OnCommit, when set, observes every committed transaction
+	// (metrics, serializability checking). Called outside locks.
+	OnCommit func(CommitInfo)
+}
+
+// CommitInfo describes a committed transaction to the OnCommit hook.
+type CommitInfo struct {
+	TS     tstamp.TS
+	Site   ident.SiteID
+	Deltas map[ident.ItemID]core.Value
+	Reads  map[ident.ItemID]core.Value
+	// WriterIdx gives, per written item, this transaction's local
+	// writer index at its site; ReadVec gives, per fully-read item,
+	// the observation vector (see flowClocks). Together they drive
+	// the exact serializability checker.
+	WriterIdx map[ident.ItemID]uint64
+	ReadVec   map[ident.ItemID]FlowVec
+	Label     string
+}
+
+// Stats counts site-level events. Snapshot with Site.Stats.
+type Stats struct {
+	Committed         uint64
+	AbortLockConflict uint64
+	AbortCCRejected   uint64
+	AbortTimeout      uint64
+	AbortSiteDown     uint64
+	RequestsSent      uint64
+	RequestsHonored   uint64
+	RequestsDeclined  uint64
+	VmCreated         uint64
+	VmAccepted        uint64
+	VmDuplicates      uint64
+	Retransmissions   uint64
+}
+
+// Site is one DvP site. Run executes transactions; the network
+// handler processes peer traffic; Crash/Restart drive the failure
+// model.
+type Site struct {
+	cfg    Config
+	policy cc.Policy
+	grant  core.SplitPolicy
+
+	// Volatile state, reset in place on restart (the objects are
+	// shared with concurrently finishing goroutines, so they are
+	// never swapped, only Reset under their own locks). protoMu
+	// serializes message handling and the lock-admission critical
+	// sections (a site "processes messages in the order of their
+	// arrival", §6.2).
+	protoMu sync.Mutex
+	lamport *tstamp.Clock
+	locks   *lock.NoWait
+	vm      *vmsg.Manager
+	flow    *flowClocks
+
+	// lifeMu fences message handling against Crash: handlers hold the
+	// read side, so when Crash returns holding the write side, no
+	// handler is mid-flight and the stable log is quiescent.
+	lifeMu sync.RWMutex
+
+	mu        sync.Mutex // guards waiters, up, epoch, stats, askCursor
+	lastRec   recovery.Summary
+	waiters   map[ident.TxnID]*waiter
+	up        bool
+	epoch     uint64
+	stats     Stats
+	stopRetx  chan struct{}
+	retxDone  chan struct{}
+	askCursor int
+}
+
+// waiter tracks one transaction blocked in §5 step 3 awaiting Vm.
+type waiter struct {
+	id    ident.TxnID
+	ts    tstamp.TS
+	epoch uint64
+	// needs: item → minimum local quota required.
+	needs map[ident.ItemID]core.Value
+	// reads: items requiring a full gather; responded tracks which
+	// peers have answered each.
+	reads     map[ident.ItemID]bool
+	responded map[ident.ItemID]map[ident.SiteID]bool
+	notify    chan struct{}
+	accepted  int
+}
+
+func (w *waiter) wake() {
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+// New assembles a site and runs recovery on its log (a brand-new site
+// has an empty log and recovers to an empty state). Call Start to
+// attach to the network.
+func New(cfg Config) (*Site, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = vclock.Real{}
+	}
+	if cfg.CC == nil {
+		cfg.CC = cc.New(cc.Conc1)
+	}
+	if cfg.Grant == nil {
+		cfg.Grant = core.GrantExact{}
+	}
+	if cfg.RetransmitEvery <= 0 {
+		cfg.RetransmitEvery = 15 * time.Millisecond
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 100 * time.Millisecond
+	}
+	s := &Site{
+		cfg:     cfg,
+		policy:  cfg.CC,
+		grant:   cfg.Grant,
+		waiters: make(map[ident.TxnID]*waiter),
+		lamport: tstamp.NewClock(cfg.ID),
+		locks:   lock.NewNoWait(),
+		vm:      vmsg.NewManager(),
+		flow:    newFlowClocks(),
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover rebuilds volatile state from the stable log (§7). The
+// volatile objects are reset in place, never replaced.
+func (s *Site) recover() error {
+	s.lamport.Reset()
+	s.locks.Clear()
+	s.vm.Reset()
+	s.flow.reset()
+	sum, err := recovery.Recover(s.cfg.Log, s.cfg.DB, s.vm, s.lamport)
+	if err != nil {
+		return fmt.Errorf("site %v: %w", s.cfg.ID, err)
+	}
+	if sum.NetworkCalls != 0 {
+		return fmt.Errorf("site %v: recovery made %d network calls", s.cfg.ID, sum.NetworkCalls)
+	}
+	s.mu.Lock()
+	s.lastRec = sum
+	s.mu.Unlock()
+	return nil
+}
+
+// LastRecovery reports what the most recent recovery pass did —
+// experiment T3's per-site evidence that restart is independent and
+// bounded by the log suffix.
+func (s *Site) LastRecovery() recovery.Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastRec
+}
+
+// ID returns the site's identity.
+func (s *Site) ID() ident.SiteID { return s.cfg.ID }
+
+// Start attaches the site to the network and begins the Vm
+// retransmission loop. Idempotent while up.
+func (s *Site) Start() {
+	s.mu.Lock()
+	if s.up {
+		s.mu.Unlock()
+		return
+	}
+	s.up = true
+	s.epoch++
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stopRetx = stop
+	s.retxDone = done
+	s.mu.Unlock()
+
+	s.cfg.Endpoint.SetHandler(s.handle)
+	_ = s.cfg.Endpoint.Open()
+	go s.retransmitLoop(stop, done)
+}
+
+// Crash kills the site: volatile state is lost, in-progress
+// transactions abort (as seen by their clients), the network handler
+// detaches. The stable log and durable store survive.
+func (s *Site) Crash() {
+	s.mu.Lock()
+	if !s.up {
+		s.mu.Unlock()
+		return
+	}
+	s.up = false
+	close(s.stopRetx)
+	s.stopRetx = nil
+	done := s.retxDone
+	s.retxDone = nil
+	ws := s.waiters
+	s.waiters = make(map[ident.TxnID]*waiter)
+	s.mu.Unlock()
+
+	s.cfg.Endpoint.Close()
+	// Fence: once the write lock is held, no message handler is
+	// mid-flight, so nothing further reaches the log or store.
+	s.lifeMu.Lock()
+	s.lifeMu.Unlock() //nolint:staticcheck // empty critical section is the fence
+	// Join the retransmission loop.
+	<-done
+	// Wake every waiting transaction; they observe the epoch change
+	// and report SiteDown.
+	for _, w := range ws {
+		w.wake()
+	}
+	// Volatile lock table is gone — recovery starts clean (§7).
+	s.locks.Clear()
+}
+
+// Restart recovers from the stable log and rejoins the network,
+// without talking to any other site.
+func (s *Site) Restart() error {
+	s.mu.Lock()
+	if s.up {
+		s.mu.Unlock()
+		return fmt.Errorf("site %v: restart while up", s.cfg.ID)
+	}
+	s.mu.Unlock()
+	if err := s.recover(); err != nil {
+		return err
+	}
+	s.Start()
+	return nil
+}
+
+// Up reports whether the site is currently running.
+func (s *Site) Up() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.up
+}
+
+// Stats returns a snapshot of the site's counters.
+func (s *Site) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// DB exposes the durable store (monitors, conservation checks).
+func (s *Site) DB() *store.Durable { return s.cfg.DB }
+
+// LogLastLSN reports the stable log's newest LSN (log growth metric).
+func (s *Site) LogLastLSN() uint64 { return s.cfg.Log.LastLSN() }
+
+// VM exposes the Vm channel manager (conservation checks need the
+// created-but-unaccepted sets on both sides of each channel).
+func (s *Site) VM() *vmsg.Manager { return s.vm }
+
+// Checkpoint writes a checkpoint record capturing store and Vm state,
+// bounding future recovery scans (§7), then compacts the log: records
+// before the checkpoint are no longer needed (the checkpoint carries
+// the store snapshot, channel cursors, pending Vm and clock).
+func (s *Site) Checkpoint() error {
+	s.protoMu.Lock()
+	defer s.protoMu.Unlock()
+	rec := &wal.CheckpointRec{
+		Items:    s.cfg.DB.Snapshot(),
+		Channels: s.vm.SnapshotChannels(),
+		Clock:    s.lamport.Current(),
+	}
+	lsn, err := s.cfg.Log.Append(wal.RecCheckpoint, rec.Encode())
+	if err != nil {
+		return err
+	}
+	return s.cfg.Log.Compact(lsn - 1)
+}
+
+// peersExceptSelf returns every other site, in canonical order.
+func (s *Site) peersExceptSelf() []ident.SiteID {
+	out := make([]ident.SiteID, 0, len(s.cfg.Peers)-1)
+	for _, p := range ident.SortSites(s.cfg.Peers) {
+		if p != s.cfg.ID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// currentEpoch returns the epoch if up, or 0,false if down.
+func (s *Site) currentEpoch() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.up {
+		return 0, false
+	}
+	return s.epoch, true
+}
+
+func (s *Site) sameEpoch(e uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.up && s.epoch == e
+}
+
+// send stamps and dispatches one message with piggybacked Lamport
+// clock and cumulative Vm ack (§4.2).
+func (s *Site) send(to ident.SiteID, msg wire.Msg) {
+	env := &wire.Envelope{
+		To:      to,
+		Lamport: tstamp.Make(s.lamport.Current(), s.cfg.ID),
+		AckUpTo: s.vm.AckFor(to),
+		Msg:     msg,
+	}
+	// Send errors are indistinguishable from message loss to the
+	// protocol; the failure model already covers loss.
+	_ = s.cfg.Endpoint.Send(env)
+}

@@ -1,0 +1,278 @@
+// Package tcpnet is the real-network counterpart of internal/simnet:
+// the same wire.Endpoint interface over TCP sockets, so the DvP site
+// engine runs unchanged as separate OS processes (cmd/dvpnode).
+//
+// Semantics deliberately match the failure model the protocol assumes:
+// Send is best-effort — if the peer is unreachable the message is
+// silently dropped (the Vm layer's retransmission owns reliability).
+// Connections are dialed lazily, kept for reuse, and torn down on any
+// error; frames are length-prefixed envelopes.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dvp/internal/ident"
+	"dvp/internal/wire"
+)
+
+// Config assembles an endpoint.
+type Config struct {
+	// Site is the local site id.
+	Site ident.SiteID
+	// Listen is the local listen address (e.g. ":7101").
+	Listen string
+	// Peers maps every other site to its address.
+	Peers map[ident.SiteID]string
+	// DialTimeout bounds connection attempts (default 500ms).
+	DialTimeout time.Duration
+	// MaxFrame bounds accepted frame sizes (default 1 MiB).
+	MaxFrame uint32
+}
+
+// Endpoint implements wire.Endpoint over TCP.
+type Endpoint struct {
+	cfg Config
+
+	mu       sync.Mutex
+	handler  wire.Handler
+	listener net.Listener
+	conns    map[ident.SiteID]net.Conn
+	accepted map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates and opens an endpoint: it binds the listen address and
+// starts accepting peer connections.
+func New(cfg Config) (*Endpoint, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 500 * time.Millisecond
+	}
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = 1 << 20
+	}
+	e := &Endpoint{
+		cfg:      cfg,
+		conns:    make(map[ident.SiteID]net.Conn),
+		accepted: make(map[net.Conn]bool),
+	}
+	if err := e.Open(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Site implements wire.Endpoint.
+func (e *Endpoint) Site() ident.SiteID { return e.cfg.Site }
+
+// Addr returns the bound listen address (useful with ":0").
+func (e *Endpoint) Addr() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.listener == nil {
+		return ""
+	}
+	return e.listener.Addr().String()
+}
+
+// SetHandler implements wire.Endpoint.
+func (e *Endpoint) SetHandler(h wire.Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Open implements wire.Endpoint: bind and accept. Reopening after
+// Close rebinds the same address.
+func (e *Endpoint) Open() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.listener != nil && !e.closed {
+		return nil
+	}
+	ln, err := net.Listen("tcp", e.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("tcpnet: listen %s: %w", e.cfg.Listen, err)
+	}
+	// Remember the concrete address so ":0" survives reopen.
+	e.cfg.Listen = ln.Addr().String()
+	e.listener = ln
+	e.closed = false
+	e.wg.Add(1)
+	go e.acceptLoop(ln)
+	return nil
+}
+
+// Close implements wire.Endpoint: stop listening, drop connections.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	ln := e.listener
+	conns := e.conns
+	e.conns = make(map[ident.SiteID]net.Conn)
+	accepted := e.accepted
+	e.accepted = make(map[net.Conn]bool)
+	e.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	// Accepted connections must be closed too, or their read loops
+	// (blocked in ReadFull) would never exit and Close would hang.
+	for c := range accepted {
+		c.Close()
+	}
+	e.wg.Wait()
+	e.mu.Lock()
+	e.listener = nil
+	e.mu.Unlock()
+	return nil
+}
+
+// Send implements wire.Endpoint: best-effort framed write; failures
+// drop the message and the cached connection.
+func (e *Endpoint) Send(env *wire.Envelope) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return wire.ErrClosed
+	}
+	e.mu.Unlock()
+
+	env.From = e.cfg.Site
+	buf, err := env.Marshal()
+	if err != nil {
+		return err
+	}
+	if env.To == e.cfg.Site {
+		// Loopback without touching the network.
+		e.deliver(buf)
+		return nil
+	}
+	addr, ok := e.cfg.Peers[env.To]
+	if !ok {
+		return fmt.Errorf("%w: %v", wire.ErrUnknownSite, env.To)
+	}
+	conn, err := e.connTo(env.To, addr)
+	if err != nil {
+		return nil // unreachable peer == silent loss, per the model
+	}
+	frame := make([]byte, 4+len(buf))
+	binary.BigEndian.PutUint32(frame, uint32(len(buf)))
+	copy(frame[4:], buf)
+	if _, err := conn.Write(frame); err != nil {
+		e.dropConn(env.To, conn)
+		return nil // loss
+	}
+	return nil
+}
+
+func (e *Endpoint) connTo(site ident.SiteID, addr string) (net.Conn, error) {
+	e.mu.Lock()
+	if c, ok := e.conns[site]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		c.Close()
+		return nil, wire.ErrClosed
+	}
+	if prev, ok := e.conns[site]; ok {
+		c.Close() // lost the race; reuse the existing one
+		return prev, nil
+	}
+	e.conns[site] = c
+	return c, nil
+}
+
+func (e *Endpoint) dropConn(site ident.SiteID, conn net.Conn) {
+	e.mu.Lock()
+	if e.conns[site] == conn {
+		delete(e.conns, site)
+	}
+	e.mu.Unlock()
+	conn.Close()
+}
+
+func (e *Endpoint) acceptLoop(ln net.Listener) {
+	defer e.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			conn.Close()
+			return
+		}
+		e.accepted[conn] = true
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *Endpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		conn.Close()
+		e.mu.Lock()
+		delete(e.accepted, conn)
+		e.mu.Unlock()
+	}()
+	hdr := make([]byte, 4)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		if n == 0 || n > e.cfg.MaxFrame {
+			return // corrupt or hostile peer
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		e.deliver(buf)
+	}
+}
+
+func (e *Endpoint) deliver(buf []byte) {
+	e.mu.Lock()
+	h := e.handler
+	closed := e.closed
+	e.mu.Unlock()
+	if h == nil || closed {
+		return
+	}
+	env, err := wire.Unmarshal(buf)
+	if err != nil {
+		return // corrupt frame: drop, like line noise
+	}
+	h(env)
+}
+
+// ErrNotOpen reports operations on an endpoint that failed to open.
+var ErrNotOpen = errors.New("tcpnet: endpoint not open")

@@ -1,0 +1,181 @@
+package tcpnet
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dvp/internal/cc"
+	"dvp/internal/ident"
+	"dvp/internal/site"
+	"dvp/internal/store"
+	"dvp/internal/tstamp"
+	"dvp/internal/txn"
+	"dvp/internal/wal"
+	"dvp/internal/wire"
+
+	"dvp/internal/core"
+)
+
+// pair builds two connected endpoints on loopback.
+func pair(t *testing.T) (*Endpoint, *Endpoint) {
+	t.Helper()
+	e1, err := New(Config{Site: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(Config{Site: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.cfg.Peers = map[ident.SiteID]string{2: e2.Addr()}
+	e2.cfg.Peers = map[ident.SiteID]string{1: e1.Addr()}
+	t.Cleanup(func() { e1.Close(); e2.Close() })
+	return e1, e2
+}
+
+func TestSendReceive(t *testing.T) {
+	e1, e2 := pair(t)
+	got := make(chan *wire.Envelope, 1)
+	e2.SetHandler(func(env *wire.Envelope) { got <- env })
+	env := &wire.Envelope{To: 2, Lamport: tstamp.Make(5, 1), Msg: &wire.VmAck{UpTo: 9}}
+	if err := e1.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-got:
+		if g.From != 1 || g.Msg.(*wire.VmAck).UpTo != 9 || g.Lamport != tstamp.Make(5, 1) {
+			t.Errorf("got %+v", g)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never arrived")
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	e1, _ := pair(t)
+	got := make(chan *wire.Envelope, 1)
+	e1.SetHandler(func(env *wire.Envelope) { got <- env })
+	e1.Send(&wire.Envelope{To: 1, Msg: &wire.VmAck{UpTo: 1}})
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("loopback failed")
+	}
+}
+
+func TestUnreachablePeerIsSilentLoss(t *testing.T) {
+	e1, e2 := pair(t)
+	e2.Close()
+	env := &wire.Envelope{To: 2, Msg: &wire.VmAck{UpTo: 1}}
+	if err := e1.Send(env); err != nil {
+		t.Errorf("unreachable peer must be silent loss, got %v", err)
+	}
+}
+
+func TestUnknownSite(t *testing.T) {
+	e1, _ := pair(t)
+	if err := e1.Send(&wire.Envelope{To: 99, Msg: &wire.VmAck{}}); err == nil {
+		t.Error("unknown site must error")
+	}
+}
+
+func TestCloseReopen(t *testing.T) {
+	e1, e2 := pair(t)
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Open(); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{}, 1)
+	e2.SetHandler(func(*wire.Envelope) { got <- struct{}{} })
+	// The sender's cached conn died with Close; first send may be
+	// dropped, later sends reconnect.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		e1.Send(&wire.Envelope{To: 2, Msg: &wire.VmAck{UpTo: 1}})
+		select {
+		case <-got:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("reopened endpoint never received")
+		}
+	}
+}
+
+func TestManyMessagesManyGoroutines(t *testing.T) {
+	e1, e2 := pair(t)
+	var count int
+	var mu sync.Mutex
+	e2.SetHandler(func(*wire.Envelope) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	const total = 500
+	var wg sync.WaitGroup
+	for w := 0; w < 5; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/5; i++ {
+				e1.Send(&wire.Envelope{To: 2, Msg: &wire.VmAck{UpTo: uint64(i)}})
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		c := count
+		mu.Unlock()
+		if c == total {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d (TCP is reliable; all must arrive)", c, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDvpSitesOverTCP runs the full DvP site engine over real sockets:
+// the §3 redistribution flow end to end on localhost.
+func TestDvpSitesOverTCP(t *testing.T) {
+	e1, e2 := pair(t)
+	peers := []ident.SiteID{1, 2}
+	mk := func(ep *Endpoint, id ident.SiteID) *site.Site {
+		s, err := site.New(site.Config{
+			ID: id, Peers: peers,
+			Log: wal.NewMemLog(), DB: store.New(),
+			Endpoint:        ep,
+			CC:              cc.New(cc.Conc1),
+			RetransmitEvery: 10 * time.Millisecond,
+			DefaultTimeout:  500 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		return s
+	}
+	s1 := mk(e1, 1)
+	s2 := mk(e2, 2)
+	s1.DB().Create("flight/A", 2)
+	s2.DB().Create("flight/A", 20)
+
+	// Needs redistribution over real TCP.
+	res := s1.Run(&txn.Txn{
+		Ops: []txn.ItemOp{{Item: "flight/A", Op: core.Decr{M: 10}}},
+		Ask: txn.AskAll,
+	})
+	if !res.Committed() {
+		t.Fatalf("TCP redistribution txn: %v", res.Status)
+	}
+	if v := s1.DB().Value("flight/A") + s2.DB().Value("flight/A"); v != 12 {
+		t.Errorf("on-site total = %d, want 12", v)
+	}
+}

@@ -1,0 +1,144 @@
+// Package vclock abstracts time so that every timeout in the system —
+// the paper's §5 "timeout counter", Vm retransmission intervals, and
+// the baselines' lock-wait timeouts — can run against either the real
+// wall clock or a virtual clock that tests advance by hand.
+//
+// The paper's non-blocking guarantee is a statement about local time
+// bounds ("a decision in a bounded number of steps as measured
+// locally"); the virtual clock lets tests assert that bound exactly,
+// with no flakiness from scheduler jitter.
+package vclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time surface the system needs.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that receives the then-current time
+	// once d has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks the calling goroutine for d on this clock.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a manually advanced clock. It never moves on its own:
+// goroutines blocked in After/Sleep wake only when Advance (or
+// AdvanceTo) moves the clock past their deadline. This gives tests
+// deterministic control over every timeout in the system.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter // kept sorted by deadline
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewVirtual returns a virtual clock starting at the given time.
+// A zero start is fine; tests usually care only about durations.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock. The returned channel has capacity 1 so the
+// clock never blocks delivering a tick.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := v.now.Add(d)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	w := &waiter{deadline: deadline, ch: ch}
+	v.waiters = append(v.waiters, w)
+	sort.SliceStable(v.waiters, func(i, j int) bool {
+		return v.waiters[i].deadline.Before(v.waiters[j].deadline)
+	})
+	return ch
+}
+
+// Sleep implements Clock: it blocks until the clock is advanced past
+// the deadline by another goroutine.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// Advance moves the clock forward by d, firing every timer whose
+// deadline is reached, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.mu.Unlock()
+	v.AdvanceTo(target)
+}
+
+// AdvanceTo moves the clock to t (no-op if t is not after now),
+// firing timers in deadline order.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !t.After(v.now) {
+		return
+	}
+	v.now = t
+	kept := v.waiters[:0]
+	for _, w := range v.waiters {
+		if !w.deadline.After(v.now) {
+			w.ch <- v.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	v.waiters = kept
+}
+
+// PendingTimers reports how many goroutines are currently waiting on
+// this clock. Useful for tests that advance "until quiescent".
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}
+
+// NextDeadline returns the earliest pending timer deadline and true,
+// or a zero time and false if no timer is pending. Drivers use it to
+// advance a simulation straight to the next interesting instant.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.waiters) == 0 {
+		return time.Time{}, false
+	}
+	return v.waiters[0].deadline, true
+}

@@ -1,0 +1,352 @@
+// Package vmsg implements the paper's Virtual Messages (§4.2).
+//
+// A virtual message is *defined by log records*, not by packets: it
+// comes into existence when the sender's `[database-actions,
+// message-sequence]` record reaches stable storage, and ceases to
+// exist when the receiver logs its acceptance. In between, any number
+// of real messages may carry it; they may all be lost, duplicated or
+// reordered — the Vm survives, because the sender's log keeps
+// retransmitting it and the receiver's log deduplicates it. "A Vm is
+// never lost, although several real messages corresponding to it may
+// be sent during its lifespan."
+//
+// Manager tracks, per peer channel:
+//
+//   - outbound: the next sequence number, the set of created-but-
+//     unacknowledged Vm (the retransmission set), and the cumulative
+//     acknowledgement received;
+//   - inbound: the set of accepted sequence numbers, as a low-water
+//     mark plus sparse out-of-order tail, from which the cumulative
+//     ack to piggyback is derived.
+//
+// The Manager holds protocol state only; logging, database effects,
+// and actual sends belong to the site layer, which makes the state
+// transitions here purely deterministic and easy to test.
+package vmsg
+
+import (
+	"sort"
+	"sync"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/wal"
+)
+
+// Manager tracks Vm channel state for one site. Safe for concurrent
+// use.
+type Manager struct {
+	mu  sync.Mutex
+	out map[ident.SiteID]*outChannel
+	in  map[ident.SiteID]*inChannel
+}
+
+type outChannel struct {
+	nextSeq uint64 // last allocated
+	cumAck  uint64 // highest cumulative ack received
+	pending map[uint64]wal.VmOut
+}
+
+type inChannel struct {
+	low   uint64 // all seq ≤ low accepted
+	above map[uint64]bool
+}
+
+// NewManager returns an empty channel-state manager.
+func NewManager() *Manager {
+	return &Manager{
+		out: make(map[ident.SiteID]*outChannel),
+		in:  make(map[ident.SiteID]*inChannel),
+	}
+}
+
+// Reset discards all channel state — the volatile state of a crashed
+// site, about to be rebuilt from the stable log by recovery. The
+// manager object itself stays valid (concurrent readers see an empty
+// manager, never a torn one).
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.out = make(map[ident.SiteID]*outChannel)
+	m.in = make(map[ident.SiteID]*inChannel)
+}
+
+func (m *Manager) outChan(peer ident.SiteID) *outChannel {
+	c, ok := m.out[peer]
+	if !ok {
+		c = &outChannel{pending: make(map[uint64]wal.VmOut)}
+		m.out[peer] = c
+	}
+	return c
+}
+
+func (m *Manager) inChan(peer ident.SiteID) *inChannel {
+	c, ok := m.in[peer]
+	if !ok {
+		c = &inChannel{above: make(map[uint64]bool)}
+		m.in[peer] = c
+	}
+	return c
+}
+
+// --- outbound --------------------------------------------------------------
+
+// AllocSeq reserves the next sequence number toward peer. The caller
+// embeds it in the VmCreate log record before calling Created.
+func (m *Manager) AllocSeq(peer ident.SiteID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.outChan(peer)
+	c.nextSeq++
+	return c.nextSeq
+}
+
+// Created registers logged Vm as pending retransmission. Must be
+// called only after the VmCreate record is stable — the Vm exists from
+// that instant.
+func (m *Manager) Created(msgs []wal.VmOut) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, v := range msgs {
+		c := m.outChan(v.To)
+		if v.Seq > c.nextSeq {
+			c.nextSeq = v.Seq // recovery replay can run ahead of alloc
+		}
+		if v.Seq > c.cumAck {
+			c.pending[v.Seq] = v
+		}
+	}
+}
+
+// OnAck processes a cumulative acknowledgement from peer: every Vm
+// with seq ≤ upTo is complete and leaves the retransmission set.
+func (m *Manager) OnAck(peer ident.SiteID, upTo uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.outChan(peer)
+	if upTo <= c.cumAck {
+		return
+	}
+	c.cumAck = upTo
+	for seq := range c.pending {
+		if seq <= upTo {
+			delete(c.pending, seq)
+		}
+	}
+}
+
+// PendingTo returns the unacknowledged Vm toward peer in seq order —
+// the retransmission set.
+func (m *Manager) PendingTo(peer ident.SiteID) []wal.VmOut {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.out[peer]
+	if !ok {
+		return nil
+	}
+	out := make([]wal.VmOut, 0, len(c.pending))
+	for _, v := range c.pending {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// PendingAll returns every unacknowledged outbound Vm, across peers.
+func (m *Manager) PendingAll() []wal.VmOut {
+	m.mu.Lock()
+	peers := make([]ident.SiteID, 0, len(m.out))
+	for p := range m.out {
+		peers = append(peers, p)
+	}
+	m.mu.Unlock()
+	var out []wal.VmOut
+	for _, p := range ident.SortSites(peers) {
+		out = append(out, m.PendingTo(p)...)
+	}
+	return out
+}
+
+// HasOutstanding reports whether any unacknowledged outbound Vm
+// carries item. A site must decline to honor a full-read request while
+// this holds (paper §5: "the fact that no outstanding Vm is there
+// assures that the complete Π⁻¹(d) is procured").
+func (m *Manager) HasOutstanding(item ident.ItemID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.out {
+		for _, v := range c.pending {
+			if v.Item == item {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OutSeq returns the last allocated sequence toward peer.
+func (m *Manager) OutSeq(peer ident.SiteID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.out[peer]; ok {
+		return c.nextSeq
+	}
+	return 0
+}
+
+// CumAck returns the highest cumulative ack received from peer.
+func (m *Manager) CumAck(peer ident.SiteID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.out[peer]; ok {
+		return c.cumAck
+	}
+	return 0
+}
+
+// --- inbound ---------------------------------------------------------------
+
+// ShouldAccept reports whether the Vm (from, seq) is new. It does not
+// mark it: the caller first logs the acceptance record, then calls
+// MarkAccepted — crash between the two re-delivers, and the log replay
+// marks it, so acceptance stays exactly-once.
+func (m *Manager) ShouldAccept(from ident.SiteID, seq uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.inChan(from)
+	return seq > c.low && !c.above[seq]
+}
+
+// MarkAccepted records the acceptance of (from, seq) and advances the
+// cumulative low-water mark over any contiguous run.
+func (m *Manager) MarkAccepted(from ident.SiteID, seq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.inChan(from)
+	if seq <= c.low || c.above[seq] {
+		return
+	}
+	c.above[seq] = true
+	for c.above[c.low+1] {
+		c.low++
+		delete(c.above, c.low)
+	}
+}
+
+// AckFor returns the cumulative acknowledgement to send toward peer:
+// every inbound Vm with seq ≤ AckFor(peer) has been accepted and
+// logged ("all messages upto and including the message m have been
+// received and processed safely", §4.2).
+func (m *Manager) AckFor(peer ident.SiteID) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.in[peer]; ok {
+		return c.low
+	}
+	return 0
+}
+
+// Accepted reports whether (from, seq) has been accepted — the
+// receiver-side half of the global conservation check.
+func (m *Manager) Accepted(from ident.SiteID, seq uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.in[from]
+	if !ok {
+		return false
+	}
+	return seq <= c.low || c.above[seq]
+}
+
+// --- recovery --------------------------------------------------------------
+
+// SnapshotChannels captures the complete per-peer channel state for a
+// checkpoint record: outbound cursor, cumulative ack, retransmission
+// set, and the inbound acceptance set.
+func (m *Manager) SnapshotChannels() []wal.VmChannelState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	peerSet := make(map[ident.SiteID]bool)
+	for p := range m.out {
+		peerSet[p] = true
+	}
+	for p := range m.in {
+		peerSet[p] = true
+	}
+	ids := make([]ident.SiteID, 0, len(peerSet))
+	for p := range peerSet {
+		ids = append(ids, p)
+	}
+	out := make([]wal.VmChannelState, 0, len(ids))
+	for _, p := range ident.SortSites(ids) {
+		ch := wal.VmChannelState{Peer: p}
+		if c, ok := m.out[p]; ok {
+			ch.OutSeq = c.nextSeq
+			ch.CumAck = c.cumAck
+			for _, v := range c.pending {
+				ch.Pending = append(ch.Pending, v)
+			}
+			sort.Slice(ch.Pending, func(i, j int) bool { return ch.Pending[i].Seq < ch.Pending[j].Seq })
+		}
+		if c, ok := m.in[p]; ok {
+			ch.InLow = c.low
+			for s := range c.above {
+				ch.InAbove = append(ch.InAbove, s)
+			}
+			sort.Slice(ch.InAbove, func(i, j int) bool { return ch.InAbove[i] < ch.InAbove[j] })
+		}
+		out = append(out, ch)
+	}
+	return out
+}
+
+// RestoreChannels reloads channel state from a checkpoint. Recovery
+// calls it before replaying the log suffix, whose VmCreate/VmAccept
+// records then advance the restored state idempotently.
+func (m *Manager) RestoreChannels(chs []wal.VmChannelState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ch := range chs {
+		oc := m.outChan(ch.Peer)
+		if ch.OutSeq > oc.nextSeq {
+			oc.nextSeq = ch.OutSeq
+		}
+		if ch.CumAck > oc.cumAck {
+			oc.cumAck = ch.CumAck
+		}
+		for _, v := range ch.Pending {
+			if v.Seq > oc.cumAck {
+				oc.pending[v.Seq] = v
+			}
+		}
+		ic := m.inChan(ch.Peer)
+		if ch.InLow > ic.low {
+			ic.low = ch.InLow
+		}
+		for _, s := range ch.InAbove {
+			if s > ic.low {
+				ic.above[s] = true
+			}
+		}
+		for ic.above[ic.low+1] {
+			ic.low++
+			delete(ic.above, ic.low)
+		}
+	}
+}
+
+// OutstandingValue sums the amounts of unacknowledged outbound Vm for
+// item, for monitors: an upper bound on the in-flight value N_M.
+func (m *Manager) OutstandingValue(item ident.ItemID) core.Value {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum core.Value
+	for _, c := range m.out {
+		for _, v := range c.pending {
+			if v.Item == item {
+				sum += v.Amount
+			}
+		}
+	}
+	return sum
+}

@@ -1,0 +1,271 @@
+package vmsg
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dvp/internal/wal"
+)
+
+func TestAllocSeqDense(t *testing.T) {
+	m := NewManager()
+	for i := uint64(1); i <= 5; i++ {
+		if got := m.AllocSeq(2); got != i {
+			t.Fatalf("AllocSeq #%d = %d", i, got)
+		}
+	}
+	if got := m.AllocSeq(3); got != 1 {
+		t.Errorf("seq spaces must be per-peer; got %d", got)
+	}
+}
+
+func TestCreatedPendingAck(t *testing.T) {
+	m := NewManager()
+	s1 := m.AllocSeq(2)
+	s2 := m.AllocSeq(2)
+	m.Created([]wal.VmOut{
+		{To: 2, Seq: s1, Item: "a", Amount: 5},
+		{To: 2, Seq: s2, Item: "a", Amount: 3},
+	})
+	if p := m.PendingTo(2); len(p) != 2 || p[0].Seq != 1 || p[1].Seq != 2 {
+		t.Fatalf("pending = %+v", p)
+	}
+	m.OnAck(2, 1)
+	if p := m.PendingTo(2); len(p) != 1 || p[0].Seq != 2 {
+		t.Fatalf("after ack(1): %+v", p)
+	}
+	// Stale ack is ignored.
+	m.OnAck(2, 0)
+	if len(m.PendingTo(2)) != 1 {
+		t.Error("stale ack changed state")
+	}
+	m.OnAck(2, 2)
+	if len(m.PendingTo(2)) != 0 {
+		t.Error("ack(2) should clear all pending")
+	}
+	if m.CumAck(2) != 2 {
+		t.Errorf("CumAck = %d", m.CumAck(2))
+	}
+}
+
+func TestCreatedBelowAckDropped(t *testing.T) {
+	m := NewManager()
+	m.OnAck(2, 5)
+	m.Created([]wal.VmOut{{To: 2, Seq: 3, Item: "a", Amount: 1}})
+	if len(m.PendingTo(2)) != 0 {
+		t.Error("recovery replay of an acked Vm must not re-pend it")
+	}
+	if m.OutSeq(2) < 3 {
+		t.Error("Created must advance the seq cursor")
+	}
+}
+
+func TestPendingAllAcrossPeers(t *testing.T) {
+	m := NewManager()
+	m.Created([]wal.VmOut{
+		{To: 3, Seq: 1, Item: "a", Amount: 1},
+		{To: 2, Seq: 1, Item: "b", Amount: 2},
+	})
+	all := m.PendingAll()
+	if len(all) != 2 || all[0].To != 2 || all[1].To != 3 {
+		t.Errorf("PendingAll = %+v", all)
+	}
+}
+
+func TestHasOutstandingAndValue(t *testing.T) {
+	m := NewManager()
+	m.Created([]wal.VmOut{
+		{To: 2, Seq: 1, Item: "a", Amount: 5},
+		{To: 3, Seq: 1, Item: "a", Amount: 2},
+		{To: 3, Seq: 2, Item: "b", Amount: 9},
+	})
+	if !m.HasOutstanding("a") || !m.HasOutstanding("b") || m.HasOutstanding("c") {
+		t.Error("HasOutstanding wrong")
+	}
+	if v := m.OutstandingValue("a"); v != 7 {
+		t.Errorf("OutstandingValue(a) = %d", v)
+	}
+	m.OnAck(3, 2)
+	if m.HasOutstanding("b") {
+		t.Error("acked Vm still outstanding")
+	}
+}
+
+func TestInboundExactlyOnce(t *testing.T) {
+	m := NewManager()
+	if !m.ShouldAccept(1, 1) {
+		t.Fatal("fresh seq must be acceptable")
+	}
+	m.MarkAccepted(1, 1)
+	if m.ShouldAccept(1, 1) {
+		t.Fatal("duplicate must be rejected")
+	}
+	if !m.Accepted(1, 1) {
+		t.Fatal("Accepted(1,1) should be true")
+	}
+	if m.AckFor(1) != 1 {
+		t.Errorf("AckFor = %d", m.AckFor(1))
+	}
+}
+
+func TestInboundOutOfOrder(t *testing.T) {
+	m := NewManager()
+	m.MarkAccepted(1, 3) // gap: 1,2 missing
+	if m.AckFor(1) != 0 {
+		t.Errorf("cumulative ack must not cover gaps: %d", m.AckFor(1))
+	}
+	if m.ShouldAccept(1, 3) {
+		t.Error("3 already accepted")
+	}
+	if !m.ShouldAccept(1, 1) || !m.ShouldAccept(1, 2) {
+		t.Error("1,2 still acceptable")
+	}
+	m.MarkAccepted(1, 1)
+	if m.AckFor(1) != 1 {
+		t.Errorf("AckFor = %d, want 1", m.AckFor(1))
+	}
+	m.MarkAccepted(1, 2)
+	// Low-water mark drains the contiguous run through 3.
+	if m.AckFor(1) != 3 {
+		t.Errorf("AckFor = %d, want 3", m.AckFor(1))
+	}
+}
+
+func TestInboundPerPeerIndependence(t *testing.T) {
+	m := NewManager()
+	m.MarkAccepted(1, 1)
+	if m.Accepted(2, 1) {
+		t.Error("acceptance leaked across peers")
+	}
+	if m.AckFor(2) != 0 {
+		t.Error("ack leaked across peers")
+	}
+}
+
+func TestMarkAcceptedIdempotent(t *testing.T) {
+	m := NewManager()
+	m.MarkAccepted(1, 1)
+	m.MarkAccepted(1, 1)
+	m.MarkAccepted(1, 2)
+	if m.AckFor(1) != 2 {
+		t.Errorf("AckFor = %d", m.AckFor(1))
+	}
+}
+
+func TestSnapshotRestoreChannels(t *testing.T) {
+	m := NewManager()
+	// Build some state: two created toward peer 2, one acked;
+	// inbound from peer 3 with a gap.
+	s1 := m.AllocSeq(2)
+	s2 := m.AllocSeq(2)
+	m.Created([]wal.VmOut{
+		{To: 2, Seq: s1, Item: "a", Amount: 5},
+		{To: 2, Seq: s2, Item: "a", Amount: 3},
+	})
+	m.OnAck(2, 1)
+	m.MarkAccepted(3, 1)
+	m.MarkAccepted(3, 3) // gap at 2
+
+	snap := m.SnapshotChannels()
+
+	m2 := NewManager()
+	m2.RestoreChannels(snap)
+	if m2.OutSeq(2) != 2 || m2.CumAck(2) != 1 {
+		t.Errorf("out cursors: seq=%d ack=%d", m2.OutSeq(2), m2.CumAck(2))
+	}
+	if p := m2.PendingTo(2); len(p) != 1 || p[0].Seq != 2 || p[0].Amount != 3 {
+		t.Errorf("pending = %+v", p)
+	}
+	if m2.AckFor(3) != 1 {
+		t.Errorf("AckFor(3) = %d", m2.AckFor(3))
+	}
+	if m2.ShouldAccept(3, 3) {
+		t.Error("restored manager re-accepts seq 3 (double credit!)")
+	}
+	if !m2.ShouldAccept(3, 2) {
+		t.Error("gap seq 2 must remain acceptable")
+	}
+	// Filling the gap drains through the sparse tail.
+	m2.MarkAccepted(3, 2)
+	if m2.AckFor(3) != 3 {
+		t.Errorf("AckFor(3) after gap fill = %d", m2.AckFor(3))
+	}
+	// Allocation continues past the restored cursor.
+	if m2.AllocSeq(2) != 3 {
+		t.Error("restored cursor not honored by AllocSeq")
+	}
+	// Restore never regresses.
+	m2.RestoreChannels([]wal.VmChannelState{{Peer: 2, OutSeq: 1, CumAck: 0}})
+	if m2.OutSeq(2) != 3 || m2.CumAck(2) != 1 {
+		t.Error("RestoreChannels regressed state")
+	}
+}
+
+// Property: any interleaving of deliveries (with duplicates, loss,
+// reorder) yields each seq accepted exactly once, and the cumulative
+// ack equals the longest contiguous accepted prefix.
+func TestChannelPropertyRandomSchedules(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewManager()
+		const n = 40
+		accepted := make(map[uint64]int)
+		// Deliver seqs 1..n in a random multiset order with dups.
+		var deliveries []uint64
+		for seq := uint64(1); seq <= n; seq++ {
+			copies := 1 + rng.Intn(3)
+			for c := 0; c < copies; c++ {
+				deliveries = append(deliveries, seq)
+			}
+		}
+		rng.Shuffle(len(deliveries), func(i, j int) {
+			deliveries[i], deliveries[j] = deliveries[j], deliveries[i]
+		})
+		for _, seq := range deliveries {
+			if m.ShouldAccept(9, seq) {
+				m.MarkAccepted(9, seq)
+				accepted[seq]++
+			}
+		}
+		for seq := uint64(1); seq <= n; seq++ {
+			if accepted[seq] != 1 {
+				return false
+			}
+		}
+		return m.AckFor(9) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentChannelUse(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	// Sender side: allocate + create + ack concurrently with the
+	// receiver side accepting. Race detector is the assertion.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			seq := m.AllocSeq(2)
+			m.Created([]wal.VmOut{{To: 2, Seq: seq, Item: "a", Amount: 1}})
+			if i%3 == 0 {
+				m.OnAck(2, seq)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); i <= 500; i++ {
+			if m.ShouldAccept(7, i) {
+				m.MarkAccepted(7, i)
+			}
+			_ = m.AckFor(7)
+			_ = m.PendingAll()
+		}
+	}()
+	wg.Wait()
+}

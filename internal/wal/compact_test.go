@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"os"
+	"testing"
+)
+
+func TestCompactGeneric(t *testing.T) {
+	for name, mk := range logFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			defer l.Close()
+			for i := 0; i < 10; i++ {
+				l.Append(RecCommit, []byte{byte(i)})
+			}
+			if err := l.Compact(7); err != nil {
+				t.Fatal(err)
+			}
+			var lsns []uint64
+			l.Scan(1, func(r Record) error { lsns = append(lsns, r.LSN); return nil })
+			if len(lsns) != 3 || lsns[0] != 8 || lsns[2] != 10 {
+				t.Fatalf("post-compact LSNs = %v, want [8 9 10]", lsns)
+			}
+			// Appends continue the sequence.
+			lsn, err := l.Append(RecApplied, nil)
+			if err != nil || lsn != 11 {
+				t.Fatalf("append after compact: lsn=%d err=%v", lsn, err)
+			}
+		})
+	}
+}
+
+func TestCompactEverything(t *testing.T) {
+	for name, mk := range logFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			l := mk()
+			defer l.Close()
+			for i := 0; i < 5; i++ {
+				l.Append(RecCommit, nil)
+			}
+			if err := l.Compact(5); err != nil {
+				t.Fatal(err)
+			}
+			var n int
+			l.Scan(1, func(Record) error { n++; return nil })
+			if n != 0 {
+				t.Fatalf("%d records survive full compaction", n)
+			}
+			// LSNs never rewind.
+			if lsn, _ := l.Append(RecCommit, nil); lsn != 6 {
+				t.Fatalf("append after full compaction: lsn=%d, want 6", lsn)
+			}
+		})
+	}
+}
+
+func TestCompactNothing(t *testing.T) {
+	l := NewMemLog()
+	l.Append(RecCommit, nil)
+	if err := l.Compact(0); err != nil {
+		t.Fatal(err)
+	}
+	if l.LastLSN() != 1 {
+		t.Error("Compact(0) must keep everything")
+	}
+}
+
+func TestFileLogCompactSurvivesReopen(t *testing.T) {
+	path := t.TempDir() + "/c.wal"
+	l, _ := OpenFileLog(path, FileLogOptions{})
+	for i := 0; i < 6; i++ {
+		l.Append(RecCommit, []byte{byte(i)})
+	}
+	if err := l.Compact(4); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Reopen: the file starts at LSN 5 — legal for a compacted log.
+	l2, err := OpenFileLog(path, FileLogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 6 {
+		t.Fatalf("LastLSN after reopen = %d, want 6", l2.LastLSN())
+	}
+	var first uint64
+	l2.Scan(1, func(r Record) error {
+		if first == 0 {
+			first = r.LSN
+		}
+		return nil
+	})
+	if first != 5 {
+		t.Errorf("first record = %d, want 5", first)
+	}
+	if lsn, _ := l2.Append(RecApplied, nil); lsn != 7 {
+		t.Errorf("append = %d, want 7", lsn)
+	}
+}
+
+func TestFileLogCompactThenCorruptTail(t *testing.T) {
+	path := t.TempDir() + "/c.wal"
+	l, _ := OpenFileLog(path, FileLogOptions{})
+	for i := 0; i < 4; i++ {
+		l.Append(RecCommit, []byte("payload"))
+	}
+	l.Compact(2)
+	l.Append(RecCommit, []byte("tail"))
+	l.Close()
+	// Tear the last record.
+	truncateBy(t, path, 3)
+	l2, err := OpenFileLog(path, FileLogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastLSN() != 4 {
+		t.Errorf("LastLSN = %d, want 4 (torn record 5 dropped)", l2.LastLSN())
+	}
+}
+
+func truncateBy(t *testing.T, path string, n int64) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package wal
+
+import "sync"
+
+// MemLog is an in-memory stable log for simulation. "Stable" is a
+// modelling statement: the simulated crash of a site discards the
+// site's volatile state but keeps its MemLog, exactly as a disk
+// survives a process crash.
+type MemLog struct {
+	mu      sync.RWMutex
+	recs    []Record
+	lastLSN uint64
+	closed  bool
+
+	// appendHook, when set, is invoked under the lock before each
+	// append with the record about to be written; returning an error
+	// fails the append. Tests use it to inject "disk full"/crash-at-
+	// append faults.
+	appendHook func(Record) error
+}
+
+// NewMemLog returns an empty in-memory stable log.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// Append implements Log.
+func (l *MemLog) Append(kind RecordKind, data []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec := Record{
+		LSN:  l.lastLSN + 1,
+		Kind: kind,
+		Data: append([]byte(nil), data...), // callers may reuse their buffer
+	}
+	if l.appendHook != nil {
+		if err := l.appendHook(rec); err != nil {
+			return 0, err
+		}
+	}
+	l.recs = append(l.recs, rec)
+	l.lastLSN = rec.LSN
+	return rec.LSN, nil
+}
+
+// Scan implements Log.
+func (l *MemLog) Scan(from uint64, fn func(Record) error) error {
+	l.mu.RLock()
+	// Copy the slice header; records are immutable once appended, so
+	// releasing the lock during fn avoids deadlocks when fn appends.
+	recs := l.recs
+	l.mu.RUnlock()
+	for _, r := range recs {
+		if r.LSN < from {
+			continue
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LastLSN implements Log.
+func (l *MemLog) LastLSN() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.lastLSN
+}
+
+// Compact implements Log: drop records with LSN ≤ upto.
+func (l *MemLog) Compact(upto uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	kept := l.recs[:0]
+	for _, r := range l.recs {
+		if r.LSN > upto {
+			kept = append(kept, r)
+		}
+	}
+	l.recs = append([]Record(nil), kept...)
+	return nil
+}
+
+// Close implements Log.
+func (l *MemLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// Reopen clears the closed flag, modelling the recovering site
+// re-attaching to its surviving stable storage.
+func (l *MemLog) Reopen() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = false
+}
+
+// SetAppendHook installs a fault-injection hook (see appendHook).
+func (l *MemLog) SetAppendHook(h func(Record) error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appendHook = h
+}

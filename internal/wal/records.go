@@ -1,0 +1,356 @@
+package wal
+
+import (
+	"fmt"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/tstamp"
+	"dvp/internal/wire"
+)
+
+// Action is one database change within a log record: apply Delta to
+// the local quota of Item and, when SetTS is nonzero, advance the
+// value's timestamp to SetTS (committed transactions leave "correctly
+// updated timestamps", §7).
+//
+// Redo idempotence (§7: "the redoing actions must be idempotent") is
+// achieved with the record's LSN: the durable store remembers, per
+// item, the LSN of the last applied action, and redo skips records at
+// or below it.
+type Action struct {
+	Item  ident.ItemID
+	Delta core.Value
+	SetTS tstamp.TS
+}
+
+func encodeActions(w *wire.Writer, as []Action) {
+	w.U64(uint64(len(as)))
+	for _, a := range as {
+		w.String(string(a.Item))
+		w.I64(int64(a.Delta))
+		w.U64(uint64(a.SetTS))
+	}
+}
+
+func decodeActions(r *wire.Reader) []Action {
+	n := r.U64()
+	if r.Err() != nil || n == 0 || n > 1<<16 {
+		return nil
+	}
+	as := make([]Action, 0, n)
+	for i := uint64(0); i < n; i++ {
+		as = append(as, Action{
+			Item:  ident.ItemID(r.String()),
+			Delta: core.Value(r.I64()),
+			SetTS: tstamp.TS(r.U64()),
+		})
+	}
+	return as
+}
+
+// VmOut describes one virtual message in a record's message-sequence:
+// Amount of Item bound for site To as Vm number Seq on the local→To
+// channel, prompted by ReqTxn (zero for proactive transfers).
+type VmOut struct {
+	To     ident.SiteID
+	Seq    uint64
+	Item   ident.ItemID
+	Amount core.Value
+	ReqTxn tstamp.TS
+	// FlowVec is the sender's value-flow vector at grant time
+	// (serializability instrumentation; see internal/site).
+	FlowVec []wire.FlowEntry
+}
+
+func encodeVmOuts(w *wire.Writer, vs []VmOut) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.U16(uint16(v.To))
+		w.U64(v.Seq)
+		w.String(string(v.Item))
+		w.I64(int64(v.Amount))
+		w.U64(uint64(v.ReqTxn))
+		wire.EncodeFlowVec(w, v.FlowVec)
+	}
+}
+
+func decodeVmOuts(r *wire.Reader) []VmOut {
+	n := r.U64()
+	if r.Err() != nil || n == 0 || n > 1<<16 {
+		return nil
+	}
+	vs := make([]VmOut, 0, n)
+	for i := uint64(0); i < n; i++ {
+		vs = append(vs, VmOut{
+			To:      ident.SiteID(r.U16()),
+			Seq:     r.U64(),
+			Item:    ident.ItemID(r.String()),
+			Amount:  core.Value(r.I64()),
+			ReqTxn:  tstamp.TS(r.U64()),
+			FlowVec: wire.DecodeFlowVec(r),
+		})
+	}
+	return vs
+}
+
+// VmCreateRec is the paper's `[database-actions, message-sequence]`
+// record (§4.2): the atomic unit that deducts local quota and brings
+// the corresponding virtual messages into existence.
+type VmCreateRec struct {
+	Actions []Action
+	Msgs    []VmOut
+}
+
+// Encode serializes the record payload.
+func (rec *VmCreateRec) Encode() []byte {
+	var w wire.Writer
+	encodeActions(&w, rec.Actions)
+	encodeVmOuts(&w, rec.Msgs)
+	return w.Bytes()
+}
+
+// DecodeVmCreate parses a RecVmCreate payload.
+func DecodeVmCreate(data []byte) (*VmCreateRec, error) {
+	r := wire.NewReader(data)
+	rec := &VmCreateRec{Actions: decodeActions(r), Msgs: decodeVmOuts(r)}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wal: vm-create: %w", err)
+	}
+	return rec, nil
+}
+
+// VmAcceptRec completes a Vm's lifespan at the receiver (§4.2): the
+// `[database-actions]` record crediting the carried value, tagged with
+// the channel position so recovery can rebuild the dedup cursor.
+type VmAcceptRec struct {
+	From    ident.SiteID
+	Seq     uint64
+	Actions []Action
+}
+
+// Encode serializes the record payload.
+func (rec *VmAcceptRec) Encode() []byte {
+	var w wire.Writer
+	w.U16(uint16(rec.From))
+	w.U64(rec.Seq)
+	encodeActions(&w, rec.Actions)
+	return w.Bytes()
+}
+
+// DecodeVmAccept parses a RecVmAccept payload.
+func DecodeVmAccept(data []byte) (*VmAcceptRec, error) {
+	r := wire.NewReader(data)
+	rec := &VmAcceptRec{
+		From:    ident.SiteID(r.U16()),
+		Seq:     r.U64(),
+		Actions: decodeActions(r),
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wal: vm-accept: %w", err)
+	}
+	return rec, nil
+}
+
+// CommitRec is the §5 step-5 `[database-actions]` record whose
+// stability commits transaction Txn.
+type CommitRec struct {
+	Txn     tstamp.TS
+	Actions []Action
+}
+
+// Encode serializes the record payload.
+func (rec *CommitRec) Encode() []byte {
+	var w wire.Writer
+	w.U64(uint64(rec.Txn))
+	encodeActions(&w, rec.Actions)
+	return w.Bytes()
+}
+
+// DecodeCommit parses a RecCommit payload.
+func DecodeCommit(data []byte) (*CommitRec, error) {
+	r := wire.NewReader(data)
+	rec := &CommitRec{Txn: tstamp.TS(r.U64()), Actions: decodeActions(r)}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wal: commit: %w", err)
+	}
+	return rec, nil
+}
+
+// AppliedRec is the §5 step-6 record: the changes logged at CommitLSN
+// have been carried out against the database.
+type AppliedRec struct {
+	CommitLSN uint64
+}
+
+// Encode serializes the record payload.
+func (rec *AppliedRec) Encode() []byte {
+	var w wire.Writer
+	w.U64(rec.CommitLSN)
+	return w.Bytes()
+}
+
+// DecodeApplied parses a RecApplied payload.
+func DecodeApplied(data []byte) (*AppliedRec, error) {
+	r := wire.NewReader(data)
+	rec := &AppliedRec{CommitLSN: r.U64()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wal: applied: %w", err)
+	}
+	return rec, nil
+}
+
+// CheckpointItem is one item's durable state inside a checkpoint.
+type CheckpointItem struct {
+	Item       ident.ItemID
+	Value      core.Value
+	TS         tstamp.TS
+	AppliedLSN uint64
+}
+
+// VmChannelState is the complete per-peer Vm channel state inside a
+// checkpoint: outbound cursor and retransmission set, and the inbound
+// acceptance set (cumulative low-water mark plus the sparse accepted
+// tail above it). Recovery restores these and then replays only the
+// log suffix after the checkpoint.
+type VmChannelState struct {
+	Peer    ident.SiteID
+	OutSeq  uint64
+	CumAck  uint64
+	Pending []VmOut
+	InLow   uint64
+	InAbove []uint64
+}
+
+// CheckpointRec snapshots store and Vm state so recovery can bound its
+// log scan (§7: "by using checkpointing mechanisms, the number of redo
+// actions required can be reduced in the usual manner").
+type CheckpointRec struct {
+	Items    []CheckpointItem
+	Channels []VmChannelState
+	// Clock is the Lamport counter at checkpoint time.
+	Clock uint64
+}
+
+// Encode serializes the record payload.
+func (rec *CheckpointRec) Encode() []byte {
+	var w wire.Writer
+	w.U64(uint64(len(rec.Items)))
+	for _, it := range rec.Items {
+		w.String(string(it.Item))
+		w.I64(int64(it.Value))
+		w.U64(uint64(it.TS))
+		w.U64(it.AppliedLSN)
+	}
+	w.U64(uint64(len(rec.Channels)))
+	for _, ch := range rec.Channels {
+		w.U16(uint16(ch.Peer))
+		w.U64(ch.OutSeq)
+		w.U64(ch.CumAck)
+		encodeVmOuts(&w, ch.Pending)
+		w.U64(ch.InLow)
+		w.U64(uint64(len(ch.InAbove)))
+		for _, s := range ch.InAbove {
+			w.U64(s)
+		}
+	}
+	w.U64(rec.Clock)
+	return w.Bytes()
+}
+
+// DecodeCheckpoint parses a RecCheckpoint payload.
+func DecodeCheckpoint(data []byte) (*CheckpointRec, error) {
+	r := wire.NewReader(data)
+	rec := &CheckpointRec{}
+	n := r.U64()
+	if r.Err() == nil && n <= 1<<20 {
+		rec.Items = make([]CheckpointItem, 0, n)
+		for i := uint64(0); i < n; i++ {
+			rec.Items = append(rec.Items, CheckpointItem{
+				Item:       ident.ItemID(r.String()),
+				Value:      core.Value(r.I64()),
+				TS:         tstamp.TS(r.U64()),
+				AppliedLSN: r.U64(),
+			})
+		}
+	}
+	m := r.U64()
+	if r.Err() == nil && m <= 1<<16 {
+		rec.Channels = make([]VmChannelState, 0, m)
+		for i := uint64(0); i < m; i++ {
+			ch := VmChannelState{
+				Peer:    ident.SiteID(r.U16()),
+				OutSeq:  r.U64(),
+				CumAck:  r.U64(),
+				Pending: decodeVmOuts(r),
+				InLow:   r.U64(),
+			}
+			k := r.U64()
+			if r.Err() == nil && k <= 1<<20 {
+				for j := uint64(0); j < k; j++ {
+					ch.InAbove = append(ch.InAbove, r.U64())
+				}
+			}
+			rec.Channels = append(rec.Channels, ch)
+		}
+	}
+	rec.Clock = r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	return rec, nil
+}
+
+// PrepareRec is the baseline participant's force-written 2PC record.
+type PrepareRec struct {
+	Txn    tstamp.TS
+	Coord  ident.SiteID
+	Writes []Action
+}
+
+// Encode serializes the record payload.
+func (rec *PrepareRec) Encode() []byte {
+	var w wire.Writer
+	w.U64(uint64(rec.Txn))
+	w.U16(uint16(rec.Coord))
+	encodeActions(&w, rec.Writes)
+	return w.Bytes()
+}
+
+// DecodePrepare parses a RecPrepare payload.
+func DecodePrepare(data []byte) (*PrepareRec, error) {
+	r := wire.NewReader(data)
+	rec := &PrepareRec{
+		Txn:    tstamp.TS(r.U64()),
+		Coord:  ident.SiteID(r.U16()),
+		Writes: decodeActions(r),
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wal: prepare: %w", err)
+	}
+	return rec, nil
+}
+
+// DecisionRec is the baseline 2PC decision record.
+type DecisionRec struct {
+	Txn    tstamp.TS
+	Commit bool
+}
+
+// Encode serializes the record payload.
+func (rec *DecisionRec) Encode() []byte {
+	var w wire.Writer
+	w.U64(uint64(rec.Txn))
+	w.Bool(rec.Commit)
+	return w.Bytes()
+}
+
+// DecodeDecision parses a RecDecision payload.
+func DecodeDecision(data []byte) (*DecisionRec, error) {
+	r := wire.NewReader(data)
+	rec := &DecisionRec{Txn: tstamp.TS(r.U64()), Commit: r.Bool()}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wal: decision: %w", err)
+	}
+	return rec, nil
+}

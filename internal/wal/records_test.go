@@ -1,0 +1,196 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/tstamp"
+)
+
+func TestVmCreateRoundTrip(t *testing.T) {
+	rec := &VmCreateRec{
+		Actions: []Action{{Item: "flight/A", Delta: -5, SetTS: tstamp.Make(3, 4)}},
+		Msgs: []VmOut{
+			{To: 2, Seq: 7, Item: "flight/A", Amount: 5, ReqTxn: tstamp.Make(3, 2)},
+			{To: 3, Seq: 1, Item: "flight/A", Amount: 2, ReqTxn: 0},
+		},
+	}
+	got, err := DecodeVmCreate(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("round trip: %+v vs %+v", got, rec)
+	}
+}
+
+func TestVmCreateEmptySections(t *testing.T) {
+	rec := &VmCreateRec{}
+	got, err := DecodeVmCreate(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Actions) != 0 || len(got.Msgs) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestVmAcceptRoundTrip(t *testing.T) {
+	rec := &VmAcceptRec{
+		From:    4,
+		Seq:     99,
+		Actions: []Action{{Item: "acct/x", Delta: 5, SetTS: 0}},
+	}
+	got, err := DecodeVmAccept(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("round trip: %+v vs %+v", got, rec)
+	}
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	rec := &CommitRec{
+		Txn: tstamp.Make(12, 1),
+		Actions: []Action{
+			{Item: "a", Delta: -3, SetTS: tstamp.Make(12, 1)},
+			{Item: "b", Delta: 3, SetTS: tstamp.Make(12, 1)},
+		},
+	}
+	got, err := DecodeCommit(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("round trip: %+v vs %+v", got, rec)
+	}
+}
+
+func TestAppliedRoundTrip(t *testing.T) {
+	rec := &AppliedRec{CommitLSN: 555}
+	got, err := DecodeApplied(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CommitLSN != 555 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	rec := &CheckpointRec{
+		Items: []CheckpointItem{
+			{Item: "flight/A", Value: 25, TS: tstamp.Make(9, 2), AppliedLSN: 40},
+			{Item: "acct/z", Value: 0, TS: 0, AppliedLSN: 0},
+		},
+		Channels: []VmChannelState{
+			{
+				Peer: 2, OutSeq: 10, CumAck: 8,
+				Pending: []VmOut{{To: 2, Seq: 9, Item: "flight/A", Amount: 3, ReqTxn: tstamp.Make(4, 2)}},
+				InLow:   5, InAbove: []uint64{7, 9},
+			},
+			{Peer: 3},
+		},
+		Clock: 77,
+	}
+	got, err := DecodeCheckpoint(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestCheckpointEmpty(t *testing.T) {
+	rec := &CheckpointRec{Clock: 5}
+	got, err := DecodeCheckpoint(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clock != 5 || len(got.Items) != 0 || len(got.Channels) != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestPrepareDecisionRoundTrip(t *testing.T) {
+	p := &PrepareRec{
+		Txn:    tstamp.Make(4, 2),
+		Coord:  1,
+		Writes: []Action{{Item: "x", Delta: -1}},
+	}
+	gp, err := DecodePrepare(p.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gp, p) {
+		t.Errorf("prepare: %+v vs %+v", gp, p)
+	}
+	d := &DecisionRec{Txn: tstamp.Make(4, 2), Commit: true}
+	gd, err := DecodeDecision(d.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gd, d) {
+		t.Errorf("decision: %+v vs %+v", gd, d)
+	}
+}
+
+func TestDecodersRejectGarbage(t *testing.T) {
+	garbage := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodeVmCreate(garbage[:1]); err == nil {
+		t.Error("VmCreate decoded garbage")
+	}
+	if _, err := DecodeVmAccept(garbage[:2]); err == nil {
+		t.Error("VmAccept decoded garbage")
+	}
+	if _, err := DecodeCommit(nil); err == nil {
+		t.Error("Commit decoded empty")
+	}
+	if _, err := DecodeApplied(nil); err == nil {
+		t.Error("Applied decoded empty")
+	}
+	if _, err := DecodeCheckpoint(nil); err == nil {
+		t.Error("Checkpoint decoded empty")
+	}
+	if _, err := DecodePrepare(nil); err == nil {
+		t.Error("Prepare decoded empty")
+	}
+	if _, err := DecodeDecision(nil); err == nil {
+		t.Error("Decision decoded empty")
+	}
+}
+
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	f := func(garbage []byte) bool {
+		_, _ = DecodeVmCreate(garbage)
+		_, _ = DecodeVmAccept(garbage)
+		_, _ = DecodeCommit(garbage)
+		_, _ = DecodeApplied(garbage)
+		_, _ = DecodeCheckpoint(garbage)
+		_, _ = DecodePrepare(garbage)
+		_, _ = DecodeDecision(garbage)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommitRoundTripProperty(t *testing.T) {
+	f := func(txn uint64, item string, delta int32, ts uint64) bool {
+		rec := &CommitRec{
+			Txn:     tstamp.TS(txn),
+			Actions: []Action{{Item: ident.ItemID(item), Delta: core.Value(delta), SetTS: tstamp.TS(ts)}},
+		}
+		got, err := DecodeCommit(rec.Encode())
+		return err == nil && reflect.DeepEqual(got, rec)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package wal
+
+import (
+	"time"
+
+	"dvp/internal/vclock"
+)
+
+// SlowLog wraps a Log, adding a fixed latency to every Append —
+// modelling the force-write to stable storage that commit protocols
+// actually pay (an fsync is hundreds of microseconds on an SSD,
+// milliseconds on spinning disk). Experiments use it so that "commit
+// cost" is wait time rather than CPU, which keeps concurrency shapes
+// meaningful on any core count.
+//
+// The latency is paid by the appending goroutine only; concurrent
+// appenders overlap their waits (like independent I/O requests), while
+// anything serialized above the log — a held lock, a mutex — is
+// serialized across the wait, exactly like real systems.
+type SlowLog struct {
+	inner Log
+	delay time.Duration
+	clock vclock.Clock
+}
+
+// NewSlowLog wraps inner with a per-append delay on the given clock
+// (nil means the real clock). A non-positive delay returns inner
+// unchanged.
+func NewSlowLog(inner Log, delay time.Duration, clock vclock.Clock) Log {
+	if delay <= 0 {
+		return inner
+	}
+	if clock == nil {
+		clock = vclock.Real{}
+	}
+	return &SlowLog{inner: inner, delay: delay, clock: clock}
+}
+
+// Append implements Log: wait the storage latency, then append.
+func (l *SlowLog) Append(kind RecordKind, data []byte) (uint64, error) {
+	l.clock.Sleep(l.delay)
+	return l.inner.Append(kind, data)
+}
+
+// Scan implements Log.
+func (l *SlowLog) Scan(from uint64, fn func(Record) error) error {
+	return l.inner.Scan(from, fn)
+}
+
+// LastLSN implements Log.
+func (l *SlowLog) LastLSN() uint64 { return l.inner.LastLSN() }
+
+// Compact implements Log (no latency: compaction is background work).
+func (l *SlowLog) Compact(upto uint64) error { return l.inner.Compact(upto) }
+
+// Close implements Log.
+func (l *SlowLog) Close() error { return l.inner.Close() }

@@ -1,0 +1,238 @@
+// Package wire defines the message vocabulary of the system — the DvP
+// requests and virtual messages of §3–§5, plus the lock/prepare/vote
+// traffic of the traditional baselines — together with a compact,
+// hand-rolled binary codec and the Endpoint abstraction that both the
+// simulated network (internal/simnet) and the real TCP transport
+// (internal/tcpnet) implement.
+//
+// Everything that crosses a site boundary is serialized through this
+// package, even in-process, so every test exercises the codec.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShort reports a truncated buffer during decode.
+var ErrShort = errors.New("wire: short buffer")
+
+// ErrTooLong reports a length field exceeding sane bounds.
+var ErrTooLong = errors.New("wire: length out of range")
+
+// maxStringLen bounds decoded strings/byte slices; nothing in the
+// system sends large blobs, so a tight bound catches corruption early.
+const maxStringLen = 1 << 20
+
+// Writer accumulates a binary encoding. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the accumulated encoding.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a fixed-width big-endian uint16.
+func (w *Writer) U16(v uint16) {
+	w.buf = binary.BigEndian.AppendUint16(w.buf, v)
+}
+
+// U32 appends a fixed-width big-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.BigEndian.AppendUint32(w.buf, v)
+}
+
+// U64 appends an unsigned varint.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// I64 appends a zigzag-encoded signed varint.
+func (w *Writer) I64(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes2 appends a length-prefixed byte slice.
+func (w *Writer) Bytes2(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// F64 appends a float64 as fixed 8 bytes.
+func (w *Writer) F64(v float64) {
+	w.buf = binary.BigEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+// Reader consumes a binary encoding produced by Writer. Decode errors
+// are sticky: after the first error every subsequent read returns the
+// zero value and Err() reports the failure, so decoders can be written
+// without per-field error checks.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps buf for decoding.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unconsumed bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(ErrShort)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// U16 reads a fixed-width big-endian uint16.
+func (r *Reader) U16() uint16 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+2 > len(r.buf) {
+		r.fail(ErrShort)
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// U32 reads a fixed-width big-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail(ErrShort)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrShort)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// I64 reads a zigzag-encoded signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail(ErrShort)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bool reads a boolean byte; any nonzero value is true.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U64()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		r.fail(fmt.Errorf("%w: string of %d bytes", ErrTooLong, n))
+		return ""
+	}
+	if r.off+int(n) > len(r.buf) {
+		r.fail(ErrShort)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Bytes2 reads a length-prefixed byte slice (copied out of the buffer).
+func (r *Reader) Bytes2() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxStringLen {
+		r.fail(fmt.Errorf("%w: blob of %d bytes", ErrTooLong, n))
+		return nil
+	}
+	if r.off+int(n) > len(r.buf) {
+		r.fail(ErrShort)
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:])
+	r.off += int(n)
+	return b
+}
+
+// F64 reads a fixed 8-byte float64.
+func (r *Reader) F64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.buf) {
+		r.fail(ErrShort)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v
+}

@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"fmt"
+
+	"dvp/internal/ident"
+	"dvp/internal/tstamp"
+)
+
+// Envelope frames one message on the wire. Besides addressing it
+// carries the two piggybacked fields the paper relies on:
+//
+//   - Lamport: the sender's logical clock, folded into the receiver's
+//     clock on arrival (the §7 "bump-up" that heals outdated counters
+//     after recovery);
+//   - AckUpTo: a cumulative acknowledgement of the receiver's
+//     Vm channel toward the sender ("every message ... should carry a
+//     piggybacked acknowledgement", §4.2).
+type Envelope struct {
+	From    ident.SiteID
+	To      ident.SiteID
+	Lamport tstamp.TS
+	AckUpTo uint64
+	Msg     Msg
+}
+
+// envelopeMagic guards against framing bugs and foreign traffic.
+const envelopeMagic = 0xD7
+
+// Marshal encodes the envelope to bytes.
+func (e *Envelope) Marshal() ([]byte, error) {
+	if e.Msg == nil {
+		return nil, fmt.Errorf("wire: envelope without message")
+	}
+	var w Writer
+	w.U8(envelopeMagic)
+	w.U16(uint16(e.From))
+	w.U16(uint16(e.To))
+	w.U64(uint64(e.Lamport))
+	w.U64(e.AckUpTo)
+	w.U8(uint8(e.Msg.Kind()))
+	e.Msg.Encode(&w)
+	return w.Bytes(), nil
+}
+
+// Unmarshal decodes an envelope from bytes.
+func Unmarshal(buf []byte) (*Envelope, error) {
+	r := NewReader(buf)
+	if magic := r.U8(); magic != envelopeMagic {
+		return nil, fmt.Errorf("wire: bad magic byte 0x%02x", magic)
+	}
+	e := &Envelope{
+		From:    ident.SiteID(r.U16()),
+		To:      ident.SiteID(r.U16()),
+		Lamport: tstamp.TS(r.U64()),
+		AckUpTo: r.U64(),
+	}
+	kind := Kind(r.U8())
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wire: envelope header: %w", err)
+	}
+	msg, err := DecodeMsg(kind, r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v", r.Remaining(), kind)
+	}
+	e.Msg = msg
+	return e, nil
+}
+
+// String renders a compact trace line ("s1→s2 vm seq=3 ...").
+func (e *Envelope) String() string {
+	return fmt.Sprintf("%v→%v %v", e.From, e.To, e.Msg.Kind())
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"testing"
+
+	"dvp/internal/tstamp"
+)
+
+// FuzzUnmarshal drives the envelope decoder with arbitrary bytes: it
+// must never panic, and anything it accepts must re-encode to a form
+// it accepts again (decode/encode/decode fixed point).
+func FuzzUnmarshal(f *testing.F) {
+	seedMsgs := []Msg{
+		&Request{Txn: tstamp.Make(5, 2), Item: "flight/A", Want: 3, FullRead: true},
+		&Vm{Seq: 12, Item: "flight/A", Amount: 5, ReqTxn: tstamp.Make(5, 2),
+			FlowVec: []FlowEntry{{Site: 1, Count: 3}}},
+		&VmAck{UpTo: 42},
+		&Prepare{Txn: tstamp.Make(4, 1), Writes: []ItemDelta{{"a", -2}}},
+		&Decision{Txn: tstamp.Make(4, 1), Commit: true},
+		&QuotaReply{Nonce: 7, Item: "x", Value: 9, Known: true},
+	}
+	for _, m := range seedMsgs {
+		env := &Envelope{From: 1, To: 2, Lamport: tstamp.Make(9, 1), AckUpTo: 3, Msg: m}
+		buf, err := env.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xD7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		buf, err := env.Marshal()
+		if err != nil {
+			t.Fatalf("accepted envelope failed to re-encode: %v", err)
+		}
+		if _, err := Unmarshal(buf); err != nil {
+			t.Fatalf("re-encoded envelope rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,684 @@
+package wire
+
+import (
+	"fmt"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/tstamp"
+)
+
+// Kind discriminates the message types carried in an Envelope.
+type Kind uint8
+
+// Message kinds. The first group is the DvP/Vm protocol of the paper;
+// the second group serves the traditional baselines (strict 2PL +
+// two-phase commit, quorum and primary-copy replica control); the
+// third group is cluster control/introspection traffic.
+const (
+	// KRequest asks a remote site to surrender part (or, for a full
+	// read, all) of its quota for an item (paper §5 step 2).
+	KRequest Kind = iota + 1
+	// KVm carries value between sites: the real message realizing a
+	// virtual message (paper §4.2).
+	KVm
+	// KVmAck is a standalone cumulative acknowledgement; normally
+	// acks ride piggybacked in the Envelope, this exists for idle
+	// links (paper §4.2 assumes piggybacked acks plus standard
+	// window-protocol machinery).
+	KVmAck
+
+	// KLockReq / KLockReply: baseline replica lock traffic.
+	KLockReq
+	KLockReply
+	// KWrite ships a baseline write to a replica holder (applied at
+	// commit, after 2PC decides).
+	KWrite
+	// KPrepare / KVote / KDecision / KDecisionAck: two-phase commit.
+	KPrepare
+	KVote
+	KDecision
+	KDecisionAck
+	// KReadReq / KReadReply: baseline versioned replica reads
+	// (quorum consensus needs version numbers).
+	KReadReq
+	KReadReply
+
+	// KQWrite / KQWriteAck: quorum-consensus replica writes
+	// (absolute value + version, applied at a write quorum).
+	KQWrite
+	KQWriteAck
+	// KForward / KForwardReply: primary-copy operation forwarding.
+	KForward
+	KForwardReply
+
+	// KQuotaQuery / KQuotaReply: introspection — ask a site for its
+	// current local quota of an item (used by monitors and dvpctl,
+	// never by transaction processing).
+	KQuotaQuery
+	KQuotaReply
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KRequest:
+		return "request"
+	case KVm:
+		return "vm"
+	case KVmAck:
+		return "vmack"
+	case KLockReq:
+		return "lockreq"
+	case KLockReply:
+		return "lockreply"
+	case KWrite:
+		return "write"
+	case KPrepare:
+		return "prepare"
+	case KVote:
+		return "vote"
+	case KDecision:
+		return "decision"
+	case KDecisionAck:
+		return "decisionack"
+	case KReadReq:
+		return "readreq"
+	case KReadReply:
+		return "readreply"
+	case KQWrite:
+		return "qwrite"
+	case KQWriteAck:
+		return "qwriteack"
+	case KForward:
+		return "forward"
+	case KForwardReply:
+		return "forwardreply"
+	case KQuotaQuery:
+		return "quotaquery"
+	case KQuotaReply:
+		return "quotareply"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Msg is one protocol message. Encode appends the body to w; decode is
+// dispatched by Kind in DecodeMsg.
+type Msg interface {
+	Kind() Kind
+	Encode(w *Writer)
+}
+
+// --- DvP protocol messages -------------------------------------------------
+
+// Request asks the receiver to surrender quota for Item. Want is the
+// shortfall the requester needs; FullRead requests the receiver's
+// entire holding and additionally requires the receiver to have no
+// outstanding Vm for the item (paper §5). Txn identifies (and
+// timestamps, under Conc1) the requesting transaction.
+type Request struct {
+	Txn      tstamp.TS
+	Item     ident.ItemID
+	Want     core.Value
+	FullRead bool
+}
+
+// Kind implements Msg.
+func (*Request) Kind() Kind { return KRequest }
+
+// Encode implements Msg.
+func (m *Request) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.String(string(m.Item))
+	w.I64(int64(m.Want))
+	w.Bool(m.FullRead)
+}
+
+func decodeRequest(r *Reader) *Request {
+	return &Request{
+		Txn:      tstamp.TS(r.U64()),
+		Item:     ident.ItemID(r.String()),
+		Want:     core.Value(r.I64()),
+		FullRead: r.Bool(),
+	}
+}
+
+// Vm is the real message realizing a virtual message: Amount units of
+// Item moving from the sender to the receiver. Seq is the position in
+// the sender→receiver Vm channel (dense, starting at 1); the receiver
+// accepts Vm exactly once, in any order, by tracking accepted seqs.
+// ReqTxn echoes the transaction whose Request prompted this Vm (zero
+// for proactive/redistribution transfers), letting the receiver wake
+// the right waiting transaction.
+// FlowEntry is one component of a value-flow vector: Count writers at
+// Site are embodied in the carried value (serializability
+// instrumentation; see internal/site's flow clocks).
+type FlowEntry struct {
+	Site  ident.SiteID
+	Count uint64
+}
+
+// Vm is the real message realizing a virtual message.
+type Vm struct {
+	Seq    uint64
+	Item   ident.ItemID
+	Amount core.Value
+	ReqTxn tstamp.TS
+	// FlowVec is the sender's value-flow vector for Item at grant
+	// time. It rides with the value so the receiver's vector merges
+	// everything its quota now embodies.
+	FlowVec []FlowEntry
+}
+
+// Kind implements Msg.
+func (*Vm) Kind() Kind { return KVm }
+
+// Encode implements Msg.
+func (m *Vm) Encode(w *Writer) {
+	w.U64(m.Seq)
+	w.String(string(m.Item))
+	w.I64(int64(m.Amount))
+	w.U64(uint64(m.ReqTxn))
+	EncodeFlowVec(w, m.FlowVec)
+}
+
+func decodeVm(r *Reader) *Vm {
+	return &Vm{
+		Seq:     r.U64(),
+		Item:    ident.ItemID(r.String()),
+		Amount:  core.Value(r.I64()),
+		ReqTxn:  tstamp.TS(r.U64()),
+		FlowVec: DecodeFlowVec(r),
+	}
+}
+
+// EncodeFlowVec appends a flow vector (length-prefixed site/count
+// pairs).
+func EncodeFlowVec(w *Writer, vec []FlowEntry) {
+	w.U64(uint64(len(vec)))
+	for _, e := range vec {
+		w.U16(uint16(e.Site))
+		w.U64(e.Count)
+	}
+}
+
+// DecodeFlowVec parses a flow vector.
+func DecodeFlowVec(r *Reader) []FlowEntry {
+	n := r.U64()
+	if r.Err() != nil || n == 0 || n > 1<<16 {
+		return nil
+	}
+	out := make([]FlowEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, FlowEntry{Site: ident.SiteID(r.U16()), Count: r.U64()})
+	}
+	return out
+}
+
+// VmAck acknowledges all Vm with Seq ≤ UpTo on the sender→receiver
+// channel (cumulative, like a window protocol).
+type VmAck struct {
+	UpTo uint64
+}
+
+// Kind implements Msg.
+func (*VmAck) Kind() Kind { return KVmAck }
+
+// Encode implements Msg.
+func (m *VmAck) Encode(w *Writer) { w.U64(m.UpTo) }
+
+func decodeVmAck(r *Reader) *VmAck { return &VmAck{UpTo: r.U64()} }
+
+// --- Baseline (traditional distributed DB) messages ------------------------
+
+// LockMode distinguishes shared and exclusive baseline locks.
+type LockMode uint8
+
+// Lock modes.
+const (
+	LockShared LockMode = iota + 1
+	LockExclusive
+)
+
+func (m LockMode) String() string {
+	if m == LockShared {
+		return "S"
+	}
+	return "X"
+}
+
+// LockReq asks a replica holder to lock its copy of Item for Txn.
+type LockReq struct {
+	Txn  tstamp.TS
+	Item ident.ItemID
+	Mode LockMode
+}
+
+// Kind implements Msg.
+func (*LockReq) Kind() Kind { return KLockReq }
+
+// Encode implements Msg.
+func (m *LockReq) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.String(string(m.Item))
+	w.U8(uint8(m.Mode))
+}
+
+func decodeLockReq(r *Reader) *LockReq {
+	return &LockReq{
+		Txn:  tstamp.TS(r.U64()),
+		Item: ident.ItemID(r.String()),
+		Mode: LockMode(r.U8()),
+	}
+}
+
+// LockReply reports whether the lock was granted.
+type LockReply struct {
+	Txn     tstamp.TS
+	Item    ident.ItemID
+	Granted bool
+}
+
+// Kind implements Msg.
+func (*LockReply) Kind() Kind { return KLockReply }
+
+// Encode implements Msg.
+func (m *LockReply) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.String(string(m.Item))
+	w.Bool(m.Granted)
+}
+
+func decodeLockReply(r *Reader) *LockReply {
+	return &LockReply{
+		Txn:     tstamp.TS(r.U64()),
+		Item:    ident.ItemID(r.String()),
+		Granted: r.Bool(),
+	}
+}
+
+// ItemDelta is one write in a baseline transaction: apply Delta to
+// the replica of Item (bounded below by zero, like the DvP ops).
+type ItemDelta struct {
+	Item  ident.ItemID
+	Delta core.Value
+}
+
+// Write ships a pending write set to a replica holder for Txn; the
+// participant applies it only when the commit decision arrives.
+type Write struct {
+	Txn    tstamp.TS
+	Writes []ItemDelta
+}
+
+// Kind implements Msg.
+func (*Write) Kind() Kind { return KWrite }
+
+// Encode implements Msg.
+func (m *Write) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	encodeDeltas(w, m.Writes)
+}
+
+func decodeWrite(r *Reader) *Write {
+	return &Write{Txn: tstamp.TS(r.U64()), Writes: decodeDeltas(r)}
+}
+
+func encodeDeltas(w *Writer, ds []ItemDelta) {
+	w.U64(uint64(len(ds)))
+	for _, d := range ds {
+		w.String(string(d.Item))
+		w.I64(int64(d.Delta))
+	}
+}
+
+func decodeDeltas(r *Reader) []ItemDelta {
+	n := r.U64()
+	if r.Err() != nil || n > maxStringLen {
+		r.fail(ErrTooLong)
+		return nil
+	}
+	ds := make([]ItemDelta, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ds = append(ds, ItemDelta{
+			Item:  ident.ItemID(r.String()),
+			Delta: core.Value(r.I64()),
+		})
+	}
+	return ds
+}
+
+// Prepare is the 2PC phase-1 message. The participant force-writes a
+// prepare record (entering the in-doubt window) and votes.
+type Prepare struct {
+	Txn    tstamp.TS
+	Writes []ItemDelta
+}
+
+// Kind implements Msg.
+func (*Prepare) Kind() Kind { return KPrepare }
+
+// Encode implements Msg.
+func (m *Prepare) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	encodeDeltas(w, m.Writes)
+}
+
+func decodePrepare(r *Reader) *Prepare {
+	return &Prepare{Txn: tstamp.TS(r.U64()), Writes: decodeDeltas(r)}
+}
+
+// Vote is the 2PC phase-1 reply.
+type Vote struct {
+	Txn tstamp.TS
+	Yes bool
+}
+
+// Kind implements Msg.
+func (*Vote) Kind() Kind { return KVote }
+
+// Encode implements Msg.
+func (m *Vote) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.Bool(m.Yes)
+}
+
+func decodeVote(r *Reader) *Vote {
+	return &Vote{Txn: tstamp.TS(r.U64()), Yes: r.Bool()}
+}
+
+// Decision is the 2PC phase-2 message.
+type Decision struct {
+	Txn    tstamp.TS
+	Commit bool
+}
+
+// Kind implements Msg.
+func (*Decision) Kind() Kind { return KDecision }
+
+// Encode implements Msg.
+func (m *Decision) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.Bool(m.Commit)
+}
+
+func decodeDecision(r *Reader) *Decision {
+	return &Decision{Txn: tstamp.TS(r.U64()), Commit: r.Bool()}
+}
+
+// DecisionAck completes 2PC phase 2 (lets the coordinator forget).
+type DecisionAck struct {
+	Txn tstamp.TS
+}
+
+// Kind implements Msg.
+func (*DecisionAck) Kind() Kind { return KDecisionAck }
+
+// Encode implements Msg.
+func (m *DecisionAck) Encode(w *Writer) { w.U64(uint64(m.Txn)) }
+
+func decodeDecisionAck(r *Reader) *DecisionAck {
+	return &DecisionAck{Txn: tstamp.TS(r.U64())}
+}
+
+// ReadReq asks a replica holder for its copy's value and version.
+type ReadReq struct {
+	Txn  tstamp.TS
+	Item ident.ItemID
+}
+
+// Kind implements Msg.
+func (*ReadReq) Kind() Kind { return KReadReq }
+
+// Encode implements Msg.
+func (m *ReadReq) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.String(string(m.Item))
+}
+
+func decodeReadReq(r *Reader) *ReadReq {
+	return &ReadReq{Txn: tstamp.TS(r.U64()), Item: ident.ItemID(r.String())}
+}
+
+// ReadReply returns a replica's value and version (for quorum reads,
+// the highest-version reply is current).
+type ReadReply struct {
+	Txn     tstamp.TS
+	Item    ident.ItemID
+	Value   core.Value
+	Version uint64
+	OK      bool
+}
+
+// Kind implements Msg.
+func (*ReadReply) Kind() Kind { return KReadReply }
+
+// Encode implements Msg.
+func (m *ReadReply) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.String(string(m.Item))
+	w.I64(int64(m.Value))
+	w.U64(m.Version)
+	w.Bool(m.OK)
+}
+
+func decodeReadReply(r *Reader) *ReadReply {
+	return &ReadReply{
+		Txn:     tstamp.TS(r.U64()),
+		Item:    ident.ItemID(r.String()),
+		Value:   core.Value(r.I64()),
+		Version: r.U64(),
+		OK:      r.Bool(),
+	}
+}
+
+// QWrite installs an absolute (value, version) pair on a replica —
+// quorum-consensus write. The replica applies it only if Version
+// exceeds its current version, then releases the transaction's lock.
+type QWrite struct {
+	Txn     tstamp.TS
+	Item    ident.ItemID
+	Value   core.Value
+	Version uint64
+}
+
+// Kind implements Msg.
+func (*QWrite) Kind() Kind { return KQWrite }
+
+// Encode implements Msg.
+func (m *QWrite) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.String(string(m.Item))
+	w.I64(int64(m.Value))
+	w.U64(m.Version)
+}
+
+func decodeQWrite(r *Reader) *QWrite {
+	return &QWrite{
+		Txn:     tstamp.TS(r.U64()),
+		Item:    ident.ItemID(r.String()),
+		Value:   core.Value(r.I64()),
+		Version: r.U64(),
+	}
+}
+
+// QWriteAck confirms a quorum write at one replica.
+type QWriteAck struct {
+	Txn  tstamp.TS
+	Item ident.ItemID
+	OK   bool
+}
+
+// Kind implements Msg.
+func (*QWriteAck) Kind() Kind { return KQWriteAck }
+
+// Encode implements Msg.
+func (m *QWriteAck) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.String(string(m.Item))
+	w.Bool(m.OK)
+}
+
+func decodeQWriteAck(r *Reader) *QWriteAck {
+	return &QWriteAck{
+		Txn:  tstamp.TS(r.U64()),
+		Item: ident.ItemID(r.String()),
+		OK:   r.Bool(),
+	}
+}
+
+// Forward ships one operation to an item's primary site (primary-copy
+// replica control): apply Delta (bounded at zero), or read when Read
+// is set.
+type Forward struct {
+	Txn   tstamp.TS
+	Item  ident.ItemID
+	Delta core.Value
+	Read  bool
+}
+
+// Kind implements Msg.
+func (*Forward) Kind() Kind { return KForward }
+
+// Encode implements Msg.
+func (m *Forward) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.String(string(m.Item))
+	w.I64(int64(m.Delta))
+	w.Bool(m.Read)
+}
+
+func decodeForward(r *Reader) *Forward {
+	return &Forward{
+		Txn:   tstamp.TS(r.U64()),
+		Item:  ident.ItemID(r.String()),
+		Delta: core.Value(r.I64()),
+		Read:  r.Bool(),
+	}
+}
+
+// ForwardReply answers a primary-copy forward.
+type ForwardReply struct {
+	Txn   tstamp.TS
+	Item  ident.ItemID
+	OK    bool
+	Value core.Value
+}
+
+// Kind implements Msg.
+func (*ForwardReply) Kind() Kind { return KForwardReply }
+
+// Encode implements Msg.
+func (m *ForwardReply) Encode(w *Writer) {
+	w.U64(uint64(m.Txn))
+	w.String(string(m.Item))
+	w.Bool(m.OK)
+	w.I64(int64(m.Value))
+}
+
+func decodeForwardReply(r *Reader) *ForwardReply {
+	return &ForwardReply{
+		Txn:   tstamp.TS(r.U64()),
+		Item:  ident.ItemID(r.String()),
+		OK:    r.Bool(),
+		Value: core.Value(r.I64()),
+	}
+}
+
+// --- Introspection ----------------------------------------------------------
+
+// QuotaQuery asks a site for its local quota of Item.
+type QuotaQuery struct {
+	Nonce uint64
+	Item  ident.ItemID
+}
+
+// Kind implements Msg.
+func (*QuotaQuery) Kind() Kind { return KQuotaQuery }
+
+// Encode implements Msg.
+func (m *QuotaQuery) Encode(w *Writer) {
+	w.U64(m.Nonce)
+	w.String(string(m.Item))
+}
+
+func decodeQuotaQuery(r *Reader) *QuotaQuery {
+	return &QuotaQuery{Nonce: r.U64(), Item: ident.ItemID(r.String())}
+}
+
+// QuotaReply reports a site's local quota of Item.
+type QuotaReply struct {
+	Nonce uint64
+	Item  ident.ItemID
+	Value core.Value
+	Known bool
+}
+
+// Kind implements Msg.
+func (*QuotaReply) Kind() Kind { return KQuotaReply }
+
+// Encode implements Msg.
+func (m *QuotaReply) Encode(w *Writer) {
+	w.U64(m.Nonce)
+	w.String(string(m.Item))
+	w.I64(int64(m.Value))
+	w.Bool(m.Known)
+}
+
+func decodeQuotaReply(r *Reader) *QuotaReply {
+	return &QuotaReply{
+		Nonce: r.U64(),
+		Item:  ident.ItemID(r.String()),
+		Value: core.Value(r.I64()),
+		Known: r.Bool(),
+	}
+}
+
+// DecodeMsg decodes a message body of the given kind.
+func DecodeMsg(kind Kind, r *Reader) (Msg, error) {
+	var m Msg
+	switch kind {
+	case KRequest:
+		m = decodeRequest(r)
+	case KVm:
+		m = decodeVm(r)
+	case KVmAck:
+		m = decodeVmAck(r)
+	case KLockReq:
+		m = decodeLockReq(r)
+	case KLockReply:
+		m = decodeLockReply(r)
+	case KWrite:
+		m = decodeWrite(r)
+	case KPrepare:
+		m = decodePrepare(r)
+	case KVote:
+		m = decodeVote(r)
+	case KDecision:
+		m = decodeDecision(r)
+	case KDecisionAck:
+		m = decodeDecisionAck(r)
+	case KReadReq:
+		m = decodeReadReq(r)
+	case KReadReply:
+		m = decodeReadReply(r)
+	case KQWrite:
+		m = decodeQWrite(r)
+	case KQWriteAck:
+		m = decodeQWriteAck(r)
+	case KForward:
+		m = decodeForward(r)
+	case KForwardReply:
+		m = decodeForwardReply(r)
+	case KQuotaQuery:
+		m = decodeQuotaQuery(r)
+	case KQuotaReply:
+		m = decodeQuotaReply(r)
+	default:
+		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %v: %w", kind, err)
+	}
+	return m, nil
+}

@@ -1,0 +1,45 @@
+package wire
+
+import (
+	"errors"
+
+	"dvp/internal/ident"
+)
+
+// Handler consumes an inbound envelope. Implementations must be safe
+// for concurrent invocation; the transport may deliver from multiple
+// goroutines.
+type Handler func(env *Envelope)
+
+// Endpoint is one site's attachment to the network. Both the
+// fault-injecting simulator (internal/simnet) and the real TCP
+// transport (internal/tcpnet) implement it.
+//
+// Send is asynchronous and unreliable by contract: it may drop,
+// duplicate, delay, or reorder — exactly the §2.2 failure model. The
+// DvP layer builds guaranteed delivery (virtual messages) on top; a
+// nil error means only that the message was handed to the network.
+type Endpoint interface {
+	// Site returns the local site id.
+	Site() ident.SiteID
+	// Send dispatches env (env.From is stamped by the endpoint).
+	Send(env *Envelope) error
+	// SetHandler installs the inbound delivery callback. It must be
+	// called before any traffic arrives and may be called again
+	// after Crash/restart cycles.
+	SetHandler(h Handler)
+	// Open (re-)attaches after a Close — the recovered site rejoining
+	// the network at its old address. Opening an open endpoint is a
+	// no-op.
+	Open() error
+	// Close detaches from the network; subsequent Sends fail.
+	Close() error
+}
+
+// ErrClosed reports use of a closed endpoint.
+var ErrClosed = errors.New("wire: endpoint closed")
+
+// ErrUnknownSite reports a send to a site the transport has never
+// heard of (distinct from an unreachable-but-known site, which is
+// silent loss per the failure model).
+var ErrUnknownSite = errors.New("wire: unknown destination site")

@@ -1,0 +1,127 @@
+package dvp
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSendValueMovesQuota(t *testing.T) {
+	c := mustCluster(t, Config{Sites: 3, Seed: 20})
+	c.CreateItemShares("x", []Value{30, 0, 0})
+	if err := c.SendValue("x", 1, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce(time.Second)
+	if c.Quota(1, "x") != 20 || c.Quota(2, "x") != 10 {
+		t.Errorf("quotas = %d/%d, want 20/10", c.Quota(1, "x"), c.Quota(2, "x"))
+	}
+	if got := c.GlobalTotal("x"); got != 30 {
+		t.Errorf("N = %d, want 30 (Rds must not change the value)", got)
+	}
+}
+
+func TestSendValueValidation(t *testing.T) {
+	c := mustCluster(t, Config{Sites: 2, Seed: 21})
+	c.CreateItemShares("x", []Value{5, 0})
+	if err := c.SendValue("x", 1, 2, 10); err == nil {
+		t.Error("transfer beyond quota accepted")
+	}
+	if err := c.SendValue("x", 1, 1, 1); err == nil {
+		t.Error("self transfer accepted")
+	}
+	if err := c.SendValue("x", 1, 2, 0); err == nil {
+		t.Error("zero transfer accepted")
+	}
+	if err := c.SendValue("x", 1, 99, 1); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	c.Crash(1)
+	if err := c.SendValue("x", 1, 2, 1); err == nil {
+		t.Error("transfer from a down site accepted")
+	}
+}
+
+func TestSendValueSurvivesPartition(t *testing.T) {
+	c := mustCluster(t, Config{Sites: 2, Seed: 22, RetransmitEvery: 5 * time.Millisecond})
+	c.CreateItemShares("x", []Value{20, 0})
+	c.SetLink(1, 2, false)
+	if err := c.SendValue("x", 1, 2, 7); err != nil {
+		t.Fatal(err) // the Rds commits locally; delivery is eventual
+	}
+	if got := c.GlobalTotal("x"); got != 20 {
+		t.Errorf("N = %d with Vm stuck in flight, want 20", got)
+	}
+	c.SetLink(1, 2, true)
+	c.Quiesce(2 * time.Second)
+	if c.Quota(2, "x") != 7 {
+		t.Errorf("destination quota = %d, want 7 after heal", c.Quota(2, "x"))
+	}
+}
+
+func TestRebalanceEvensOut(t *testing.T) {
+	c := mustCluster(t, Config{Sites: 4, Seed: 23})
+	c.CreateItemShares("x", []Value{100, 0, 0, 0})
+	moved := c.Rebalance("x")
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing")
+	}
+	c.Quiesce(time.Second)
+	for i := 1; i <= 4; i++ {
+		if got := c.Quota(i, "x"); got != 25 {
+			t.Errorf("site %d quota = %d, want 25", i, got)
+		}
+	}
+	if got := c.GlobalTotal("x"); got != 100 {
+		t.Errorf("N = %d, want 100", got)
+	}
+	// Already balanced: nothing to move.
+	c.Quiesce(time.Second)
+	if moved := c.Rebalance("x"); moved != 0 {
+		t.Errorf("balanced rebalance moved %d transfers", moved)
+	}
+}
+
+func TestRebalancerReducesAbortsUnderSkew(t *testing.T) {
+	// Ablation in miniature: all demand at site 1, AskOne policy (the
+	// abort-prone corner of F1). With the rebalancer running, far
+	// fewer transactions should abort.
+	run := func(rebalance bool) (aborts int) {
+		c := mustCluster(t, Config{Sites: 4, Seed: 24, MaxDelay: time.Millisecond})
+		c.CreateItem("x", 400)
+		if rebalance {
+			stop := c.StartRebalancer(10*time.Millisecond, "x")
+			defer stop()
+		}
+		for k := 0; k < 60; k++ {
+			res := c.At(1).Run(NewTxn().Sub("x", 5).Ask(AskOne).
+				Timeout(30 * time.Millisecond))
+			if !res.Committed() {
+				aborts++
+			}
+		}
+		return aborts
+	}
+	without := run(false)
+	with := run(true)
+	if with > without {
+		t.Errorf("rebalancer increased aborts: %d with vs %d without", with, without)
+	}
+	t.Logf("aborts: %d without rebalancer, %d with", without, with)
+}
+
+func TestStartRebalancerStops(t *testing.T) {
+	c := mustCluster(t, Config{Sites: 2, Seed: 25})
+	c.CreateItemShares("x", []Value{10, 0})
+	stop := c.StartRebalancer(5*time.Millisecond, "x")
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	stop2 := func() {
+		defer func() { recover() }()
+		stop()
+	}
+	_ = stop2
+	c.Quiesce(time.Second)
+	if got := c.GlobalTotal("x"); got != 10 {
+		t.Errorf("N = %d", got)
+	}
+}

@@ -1,0 +1,131 @@
+package dvp
+
+import (
+	"time"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/site"
+	"dvp/internal/txn"
+)
+
+// SiteHandle issues transactions at one site. Obtain with Cluster.At.
+type SiteHandle struct {
+	s *site.Site
+}
+
+// At returns a handle for the 1-based site index i.
+func (c *Cluster) At(i int) SiteHandle { return SiteHandle{s: c.checkSite(i)} }
+
+// Run executes a built transaction at this site and blocks until it
+// decides (commit or abort, within its timeout bound).
+func (h SiteHandle) Run(b *TxnBuilder) *Result { return h.s.Run(b.build()) }
+
+// Reserve decrements item by n (effective only if the value stays
+// ≥ 0), gathering quota from peers if needed. Blocks until decided.
+func (h SiteHandle) Reserve(item string, n Value) *Result {
+	return h.Run(NewTxn().Sub(item, n).Label("reserve"))
+}
+
+// Cancel increments item by n — always effective, always local.
+func (h SiteHandle) Cancel(item string, n Value) *Result {
+	return h.Run(NewTxn().Add(item, n).Label("cancel"))
+}
+
+// Read performs a full read of item's total value N, gathering all of
+// its distributed shares locally first (expensive by design — §8).
+// The observed value is in Result.Reads[item].
+func (h SiteHandle) Read(item string) *Result {
+	return h.Run(NewTxn().Read(item).Label("audit"))
+}
+
+// Transfer moves n from one item to another atomically at this site
+// (e.g. change a reservation between flights, or pay between
+// accounts).
+func (h SiteHandle) Transfer(from, to string, n Value) *Result {
+	return h.Run(NewTxn().Sub(from, n).Add(to, n).Label("transfer"))
+}
+
+// RunRetry retries the transaction until it commits or attempts are
+// exhausted, returning the last result. Retrying is the paper's
+// application-level answer to aborts ("the requests could be re-tried
+// a few more times", §5); each retry draws a fresher timestamp, which
+// also clears Conc1 admission rejections.
+func (h SiteHandle) RunRetry(b *TxnBuilder, attempts int) *Result {
+	var res *Result
+	for i := 0; i < attempts; i++ {
+		res = h.Run(b)
+		if res.Committed() {
+			return res
+		}
+	}
+	return res
+}
+
+// TxnBuilder composes a transaction fluently:
+//
+//	dvp.NewTxn().Sub("flight/A", 2).Add("flight/B", 2).Timeout(50*time.Millisecond)
+type TxnBuilder struct {
+	ops     []txn.ItemOp
+	reads   []ident.ItemID
+	timeout time.Duration
+	ask     AskPolicy
+	label   string
+}
+
+// NewTxn starts an empty transaction.
+func NewTxn() *TxnBuilder { return &TxnBuilder{ask: AskAll} }
+
+// Add appends "increment item by n".
+func (b *TxnBuilder) Add(item string, n Value) *TxnBuilder {
+	b.ops = append(b.ops, txn.ItemOp{Item: toItem(item), Op: core.Incr{M: n}})
+	return b
+}
+
+// Sub appends "decrement item by n if the result stays ≥ 0" — the
+// paper's canonical partitionable operator.
+func (b *TxnBuilder) Sub(item string, n Value) *TxnBuilder {
+	b.ops = append(b.ops, txn.ItemOp{Item: toItem(item), Op: core.Decr{M: n}})
+	return b
+}
+
+// Read appends a full read of item's total value.
+func (b *TxnBuilder) Read(item string) *TxnBuilder {
+	b.reads = append(b.reads, toItem(item))
+	return b
+}
+
+// Timeout bounds the transaction's §5 step-3 wait (default: the
+// cluster's DefaultTimeout).
+func (b *TxnBuilder) Timeout(d time.Duration) *TxnBuilder {
+	b.timeout = d
+	return b
+}
+
+// Ask sets the redistribution request policy.
+func (b *TxnBuilder) Ask(p AskPolicy) *TxnBuilder {
+	b.ask = p
+	return b
+}
+
+// Label tags the transaction for metrics.
+func (b *TxnBuilder) Label(l string) *TxnBuilder {
+	b.label = l
+	return b
+}
+
+func (b *TxnBuilder) build() *txn.Txn {
+	return &txn.Txn{
+		Ops:     b.ops,
+		Reads:   b.reads,
+		Timeout: b.timeout,
+		Ask:     b.ask,
+		Label:   b.label,
+	}
+}
+
+// ReadValue extracts a full-read observation from a result.
+func ReadValue(r *Result, item string) (Value, bool) {
+	v, ok := r.Reads[toItem(item)]
+	return v, ok
+}
