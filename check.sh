@@ -1,0 +1,15 @@
+#!/bin/sh
+# check.sh — the tier-1 gate: formatting, vet, build, race tests.
+# Run from the repo root; exits non-zero on the first failure.
+set -e
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...

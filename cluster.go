@@ -8,6 +8,7 @@ import (
 	"dvp/internal/cc"
 	"dvp/internal/core"
 	"dvp/internal/ident"
+	"dvp/internal/obs"
 	"dvp/internal/simnet"
 	"dvp/internal/site"
 	"dvp/internal/store"
@@ -17,12 +18,14 @@ import (
 // Cluster is a set of DvP sites over a fault-injectable simulated
 // network. All methods are safe for concurrent use.
 type Cluster struct {
-	cfg   Config
-	net   *simnet.Net
-	sites []*site.Site
-	logs  []wal.Log
-	dbs   []*store.Durable
-	peers []ident.SiteID
+	cfg    Config
+	net    *simnet.Net
+	sites  []*site.Site
+	logs   []wal.Log
+	dbs    []*store.Durable
+	peers  []ident.SiteID
+	reg    *obs.Registry
+	traces *obs.Ring
 }
 
 // NewCluster assembles and starts a cluster.
@@ -37,7 +40,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		cfg.Grant = GrantExact
 	}
 	c := &Cluster{
-		cfg: cfg,
+		cfg:    cfg,
+		reg:    obs.NewRegistry(),
+		traces: obs.NewRing(1024),
 		net: simnet.New(simnet.Config{
 			Seed:            cfg.Seed,
 			MinDelay:        cfg.MinDelay,
@@ -75,6 +80,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			Grant:           cfg.Grant,
 			RetransmitEvery: cfg.RetransmitEvery,
 			DefaultTimeout:  cfg.DefaultTimeout,
+			Metrics:         c.reg,
+			Trace:           c.traces,
 		}
 		if cfg.OnCommit != nil {
 			hook := cfg.OnCommit
@@ -289,3 +296,12 @@ func (c *Cluster) LogRecords(i int) uint64 { return c.checkSite(i).LogLastLSN() 
 // Net exposes the underlying simulated network for advanced fault
 // scenarios (kind-selective filters, traces).
 func (c *Cluster) Net() *simnet.Net { return c.net }
+
+// Metrics returns the cluster-wide metrics registry. Every site
+// registers its series here (distinguished by the site=... label);
+// render them with Metrics().Render() or WritePrometheus.
+func (c *Cluster) Metrics() *obs.Registry { return c.reg }
+
+// Traces returns the cluster-wide transaction trace ring (most
+// recent transactions across all sites, in completion order).
+func (c *Cluster) Traces() *obs.Ring { return c.traces }

@@ -5,6 +5,8 @@
 //	dvpctl -addr :8101 transfer flight/A flight/B 2
 //	dvpctl -addr :8103 quota flight/A
 //	dvpctl -addr :8101 stats
+//	dvpctl -addr :8101 metrics
+//	dvpctl -addr :8101 trace 20
 package main
 
 import (
@@ -22,7 +24,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "round-trip timeout")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dvpctl [-addr host:port] <reserve|cancel|transfer|read|quota|stats|ping> [args...]")
+		fmt.Fprintln(os.Stderr, "usage: dvpctl [-addr host:port] <reserve|cancel|transfer|read|quota|stats|metrics|trace|ping> [args...]")
 		os.Exit(2)
 	}
 
@@ -39,6 +41,7 @@ func main() {
 		os.Exit(1)
 	}
 	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	if !sc.Scan() {
 		fmt.Fprintln(os.Stderr, "no reply")
 		os.Exit(1)
@@ -46,6 +49,20 @@ func main() {
 	reply := sc.Text()
 	fmt.Println(reply)
 	if strings.HasPrefix(reply, "ERR") || strings.HasPrefix(reply, "ABORT") {
+		os.Exit(1)
+	}
+	// METRICS and TRACE replies are multi-line, terminated by a lone
+	// "." line; everything else is a single line.
+	cmd := strings.ToUpper(flag.Arg(0))
+	if (cmd == "METRICS" || cmd == "TRACE") && reply != "." {
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "." {
+				return
+			}
+			fmt.Println(line)
+		}
+		fmt.Fprintln(os.Stderr, "reply truncated (no terminator)")
 		os.Exit(1)
 	}
 }

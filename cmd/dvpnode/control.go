@@ -10,6 +10,7 @@ import (
 
 	"dvp/internal/core"
 	"dvp/internal/ident"
+	"dvp/internal/obs"
 	"dvp/internal/site"
 	"dvp/internal/store"
 	"dvp/internal/txn"
@@ -23,12 +24,18 @@ import (
 //	READ    <item>          full read (gathers all shares here)
 //	QUOTA   <item>          this site's local share (no txn)
 //	STATS                   site counters
+//	METRICS                 Prometheus text exposition (multi-line)
+//	TRACE [n]               last n transaction traces as JSON lines
 //	PING                    liveness
 //
-// Replies are single lines: "OK ...", "ABORT <status>", "ERR <msg>".
+// Replies are single lines — "OK ...", "ABORT <status>", "ERR <msg>" —
+// except METRICS and TRACE, whose replies are the payload lines
+// followed by a lone "." terminator line.
 type controlServer struct {
-	site *site.Site
-	db   *store.Durable
+	site    *site.Site
+	db      *store.Durable
+	metrics *obs.Registry
+	traces  *obs.Ring
 
 	mu sync.Mutex
 	ln net.Listener
@@ -103,10 +110,38 @@ func (c *controlServer) handle(args []string) string {
 		return fmt.Sprintf("OK %d", c.db.Value(ident.ItemID(args[1])))
 	case "STATS":
 		st := c.site.Stats()
-		return fmt.Sprintf("OK committed=%d aborts=%d honored=%d vm-accepted=%d retransmits=%d",
+		// Abort reasons reported separately so partition experiments
+		// can tell timeout aborts from CC rejections; aborts= keeps
+		// the total for script compatibility.
+		return fmt.Sprintf("OK committed=%d aborts=%d abort_lock=%d abort_cc=%d abort_timeout=%d abort_down=%d honored=%d vm-accepted=%d retransmits=%d",
 			st.Committed,
 			st.AbortLockConflict+st.AbortCCRejected+st.AbortTimeout+st.AbortSiteDown,
+			st.AbortLockConflict, st.AbortCCRejected, st.AbortTimeout, st.AbortSiteDown,
 			st.RequestsHonored, st.VmAccepted, st.Retransmissions)
+	case "METRICS":
+		if c.metrics == nil {
+			return "ERR metrics disabled"
+		}
+		return strings.TrimRight(c.metrics.Render(), "\n") + "\n."
+	case "TRACE":
+		if c.traces == nil {
+			return "ERR tracing disabled"
+		}
+		n := 10
+		if len(args) == 2 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v <= 0 {
+				return "ERR usage: TRACE [n]"
+			}
+			n = v
+		} else if len(args) > 2 {
+			return "ERR usage: TRACE [n]"
+		}
+		var sb strings.Builder
+		if err := c.traces.DumpJSON(&sb, n); err != nil {
+			return "ERR " + err.Error()
+		}
+		return strings.TrimRight(sb.String(), "\n") + "\n."
 	case "RESERVE", "CANCEL":
 		if len(args) != 3 {
 			return "ERR usage: " + args[0] + " <item> <n>"

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +35,7 @@ import (
 	"dvp/internal/cc"
 	"dvp/internal/core"
 	"dvp/internal/ident"
+	"dvp/internal/obs"
 	"dvp/internal/site"
 	"dvp/internal/store"
 	"dvp/internal/tcpnet"
@@ -52,6 +54,8 @@ func main() {
 		timeout  = flag.Duration("timeout", 250*time.Millisecond, "default transaction timeout")
 		sync     = flag.Bool("sync", false, "fsync the WAL on every append")
 		ckptIv   = flag.Duration("checkpoint", 0, "write a checkpoint record on this interval (0 disables)")
+		metricsL = flag.String("metrics", "", "HTTP listen address serving /metrics and /traces (optional)")
+		traceCap = flag.Int("trace-buf", 1024, "transaction trace ring capacity")
 	)
 	flag.Parse()
 	if *siteID <= 0 || *listen == "" || *ctlAddr == "" || *peersArg == "" || *walPath == "" {
@@ -68,13 +72,18 @@ func main() {
 		log.Fatalf("-peers must include this site (%d)", *siteID)
 	}
 
+	// Observability: one registry + trace ring for the whole process.
+	reg := obs.NewRegistry()
+	traces := obs.NewRing(*traceCap)
+
 	logFile, err := wal.OpenFileLog(*walPath, wal.FileLogOptions{Sync: *sync})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer logFile.Close()
+	logFile.Instrument(reg, "site", self.String())
 
-	ep, err := tcpnet.New(tcpnet.Config{Site: self, Listen: *listen, Peers: addrs})
+	ep, err := tcpnet.New(tcpnet.Config{Site: self, Listen: *listen, Peers: addrs, Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,6 +102,8 @@ func main() {
 		CC:              ccPolicy,
 		DefaultTimeout:  *timeout,
 		RetransmitEvery: 25 * time.Millisecond,
+		Metrics:         reg,
+		Trace:           traces,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -142,11 +153,35 @@ func main() {
 		}()
 	}
 
-	ctl := &controlServer{site: s, db: db}
+	ctl := &controlServer{site: s, db: db, metrics: reg, traces: traces}
 	if err := ctl.listen(*ctlAddr); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("control port on %s", ctl.addr())
+
+	if *metricsL != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+			n := 100
+			if v := r.URL.Query().Get("n"); v != "" {
+				if p, err := strconv.Atoi(v); err == nil && p > 0 {
+					n = p
+				}
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = traces.DumpJSON(w, n)
+		})
+		go func() {
+			log.Printf("metrics endpoint on %s", *metricsL)
+			if err := http.ListenAndServe(*metricsL, mux); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -30,10 +30,16 @@ func Example() {
 	read := c.At(3).RunRetry(dvp.NewTxn().Read("flight/A"), 3)
 	n, _ := dvp.ReadValue(read, "flight/A")
 	fmt.Println("seats left:", n)
+
+	// Every site reports into the cluster's metrics registry as it
+	// goes; sum the committed-transaction counter across sites.
+	fmt.Println("committed per metrics:",
+		c.Metrics().SumCounters("dvp_site_txn_total", "outcome", "committed"))
 	// Output:
 	// local reserve: committed requests: 0
 	// big reserve: committed
 	// seats left: 57
+	// committed per metrics: 3
 }
 
 // Availability through a network partition: both halves keep

@@ -10,7 +10,6 @@ import (
 	"math"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -31,14 +30,19 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Histogram is a log-bucketed duration histogram: buckets are
 // exponential with ~10% resolution, spanning 1µs to ~1000s. It is
-// concurrency-safe and allocation-free on the record path.
+// concurrency-safe and allocation-free on the record path: every field
+// is an atomic, so concurrent recorders never serialize on a lock.
+// Readers see each field atomically but the set of fields only
+// approximately consistently — fine for monitoring, which is the
+// intended use.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets [bucketCount]uint64
-	count   uint64
-	sum     time.Duration
-	min     time.Duration
-	max     time.Duration
+	buckets [bucketCount]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	// min is stored offset by +1 so the zero value means "unset"
+	// (observations are clamped non-negative, so real minima are ≥ 0).
+	min atomic.Int64
+	max atomic.Int64
 }
 
 const (
@@ -72,48 +76,57 @@ func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.buckets[bucketFor(d)]++
-	h.count++
-	h.sum += d
-	if h.count == 1 || d < h.min {
-		h.min = d
+	h.buckets[bucketFor(d)].Add(1)
+	h.sum.Add(int64(d))
+	h.count.Add(1)
+	enc := int64(d) + 1
+	for {
+		cur := h.min.Load()
+		if cur != 0 && enc >= cur {
+			break
+		}
+		if h.min.CompareAndSwap(cur, enc) {
+			break
+		}
 	}
-	if d > h.max {
-		h.max = d
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 
 // Mean returns the average observation.
 func (h *Histogram) Mean() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.count)
+	return time.Duration(h.sum.Load()) / time.Duration(n)
 }
 
 // Min and Max return the observed extremes.
 func (h *Histogram) Min() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.min
+	enc := h.min.Load()
+	if enc == 0 {
+		return 0
+	}
+	return time.Duration(enc - 1)
 }
 
 // Max returns the largest observation.
 func (h *Histogram) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
+	return time.Duration(h.max.Load())
 }
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) as the upper bound of
@@ -125,27 +138,39 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count := h.count.Load()
+	if count == 0 {
 		return 0
 	}
-	target := uint64(q * float64(h.count))
-	if target >= h.count {
-		return h.max
+	max := h.Max()
+	target := uint64(q * float64(count))
+	if target >= count {
+		return max
 	}
 	var cum uint64
-	for b, n := range h.buckets {
-		cum += n
+	for b := range h.buckets {
+		cum += h.buckets[b].Load()
 		if cum > target {
 			up := bucketUpper(b)
-			if up > h.max {
-				return h.max
+			if up > max {
+				return max
 			}
 			return up
 		}
 	}
-	return h.max
+	return max
+}
+
+// ForEachBucket calls fn for every non-empty bucket in ascending
+// order, with the bucket's upper bound and its (non-cumulative)
+// count. Exposition formats (Prometheus) rebuild cumulative counts
+// from this.
+func (h *Histogram) ForEachBucket(fn func(upper time.Duration, count uint64)) {
+	for b := range h.buckets {
+		if n := h.buckets[b].Load(); n > 0 {
+			fn(bucketUpper(b), n)
+		}
+	}
 }
 
 // Snapshot captures the distribution's headline numbers.

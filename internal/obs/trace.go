@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// TraceStep is one recorded step of the §5 protocol, with its offset
+// from transaction start.
+type TraceStep struct {
+	// Name identifies the protocol step ("admit", "cc-check", "lock",
+	// "ask", "vm-accept", "apply", "wal-flush").
+	Name string `json:"name"`
+	// AtMicros is the offset from transaction start, in microseconds.
+	AtMicros int64 `json:"at_us"`
+	// Detail carries step-specific context ("requests=3", "lsn=42").
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is the completed record of one transaction's path through the
+// protocol. Immutable once published to a Ring.
+type Trace struct {
+	// TS is the transaction's timestamp/identity.
+	TS uint64 `json:"ts"`
+	// Site is the executing site (transactions run at one site).
+	Site string `json:"site"`
+	// Label is the transaction's observational tag ("transfer", ...).
+	Label string `json:"label,omitempty"`
+	// Outcome is the final status ("committed", "timeout", ...): the
+	// commit/abort-with-reason terminal step.
+	Outcome string `json:"outcome"`
+	// StartUnixNano is the wall-clock start time.
+	StartUnixNano int64 `json:"start_unix_nano"`
+	// LatencyMicros is start-to-decision, in microseconds.
+	LatencyMicros int64 `json:"latency_us"`
+	// Steps are the recorded protocol steps, in order.
+	Steps []TraceStep `json:"steps"`
+}
+
+// Ring is a fixed-size lock-free buffer of the most recent traces.
+// Publishing is a single atomic increment plus a pointer store;
+// readers may race with writers and at worst observe a slot from a
+// newer transaction — never a torn trace, because published Trace
+// values are immutable.
+type Ring struct {
+	mask  uint64
+	next  atomic.Uint64
+	slots []atomic.Pointer[Trace]
+}
+
+// NewRing creates a ring holding the last capacity traces (rounded up
+// to a power of two, minimum 16).
+func NewRing(capacity int) *Ring {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[Trace], n)}
+}
+
+// Publish appends t. t must not be mutated afterwards.
+func (r *Ring) Publish(t *Trace) {
+	if r == nil {
+		return
+	}
+	pos := r.next.Add(1) - 1
+	r.slots[pos&r.mask].Store(t)
+}
+
+// Published returns the total number of traces ever published.
+func (r *Ring) Published() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Last returns up to n of the most recent traces, oldest first.
+func (r *Ring) Last(n int) []*Trace {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	end := r.next.Load()
+	span := uint64(n)
+	if span > end {
+		span = end
+	}
+	if span > uint64(len(r.slots)) {
+		span = uint64(len(r.slots))
+	}
+	out := make([]*Trace, 0, span)
+	for pos := end - span; pos < end; pos++ {
+		if t := r.slots[pos&r.mask].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DumpJSON writes up to n of the most recent traces as JSON lines,
+// oldest first.
+func (r *Ring) DumpJSON(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	for _, t := range r.Last(n) {
+		if err := enc.Encode(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TxnTrace accumulates one transaction's steps. It is built by the
+// single goroutine running the transaction and published to the ring
+// on Finish; a nil TxnTrace (tracing disabled) ignores every call.
+type TxnTrace struct {
+	ring  *Ring
+	start time.Time
+	t     Trace
+}
+
+// Begin starts a trace for a transaction executing at site. Returns
+// nil (a valid no-op trace) when the ring is nil.
+func (r *Ring) Begin(site, label string) *TxnTrace {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	return &TxnTrace{
+		ring:  r,
+		start: now,
+		t: Trace{
+			Site:          site,
+			Label:         label,
+			StartUnixNano: now.UnixNano(),
+		},
+	}
+}
+
+// SetTS records the transaction's timestamp once drawn.
+func (tt *TxnTrace) SetTS(ts uint64) {
+	if tt == nil {
+		return
+	}
+	tt.t.TS = ts
+}
+
+// Step records one named protocol step at the current instant.
+func (tt *TxnTrace) Step(name, detail string) {
+	if tt == nil {
+		return
+	}
+	tt.t.Steps = append(tt.t.Steps, TraceStep{
+		Name:     name,
+		AtMicros: time.Since(tt.start).Microseconds(),
+		Detail:   detail,
+	})
+}
+
+// Finish seals the trace with its outcome and publishes it.
+func (tt *TxnTrace) Finish(outcome string) {
+	if tt == nil {
+		return
+	}
+	tt.t.Outcome = outcome
+	tt.t.LatencyMicros = time.Since(tt.start).Microseconds()
+	tt.ring.Publish(&tt.t)
+}

@@ -1,6 +1,8 @@
 package site
 
 import (
+	"fmt"
+
 	"dvp/internal/core"
 	"dvp/internal/ident"
 	"dvp/internal/tstamp"
@@ -15,11 +17,14 @@ import (
 // decision: the protocol is non-blocking by construction.
 func (s *Site) Run(t *txn.Txn) *txn.Result {
 	start := s.cfg.Clock.Now()
+	tr := s.obsm.ring.Begin(s.obsm.site, t.Label)
 	res := &txn.Result{}
 	finish := func(status txn.Status) *txn.Result {
 		res.Status = status
 		res.Latency = s.cfg.Clock.Now().Sub(start)
 		s.countOutcome(status)
+		s.obsm.observeTxn(t.Label, status, res.Latency)
+		tr.Finish(status.String())
 		return res
 	}
 
@@ -33,6 +38,8 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 	res.TS = ts
 	id := ts.Txn()
 	items := t.Items()
+	tr.SetTS(uint64(ts))
+	tr.Step("admit", fmt.Sprintf("items=%d", len(items)))
 
 	// Step 1 — atomically lock the local values of A(t), with the
 	// scheme's admission check, stamping under Conc1. protoMu makes
@@ -45,10 +52,12 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 			return finish(txn.StatusCCRejected)
 		}
 	}
+	tr.Step("cc-check", "")
 	if !s.locks.TryLockAll(id, items) {
 		s.protoMu.Unlock()
 		return finish(txn.StatusLockConflict)
 	}
+	tr.Step("lock", "")
 	if s.policy.StampOnLock() {
 		for _, item := range items {
 			s.cfg.DB.SetTS(item, ts)
@@ -90,6 +99,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 		}()
 
 		res.RequestsSent = s.sendRequests(ts, shortfall, t.Reads, t.Ask)
+		tr.Step("ask", fmt.Sprintf("requests=%d policy=%v", res.RequestsSent, t.Ask))
 
 		// Step 3 — await the requisite Vm or the timeout.
 		timeout := t.Timeout
@@ -112,10 +122,12 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 				// aborted transaction degenerates to an Rds
 				// transaction (§6).
 				res.VmAccepted = w.accepted
+				tr.Step("vm-accept", fmt.Sprintf("accepted=%d", w.accepted))
 				return finish(txn.StatusTimeout)
 			}
 		}
 		res.VmAccepted = w.accepted
+		tr.Step("vm-accept", fmt.Sprintf("accepted=%d", w.accepted))
 	}
 
 	// Step 4 — perform the computation: apply the operators in order
@@ -156,6 +168,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 	if err != nil {
 		return finish(txn.StatusSiteDown)
 	}
+	tr.Step("wal-flush", fmt.Sprintf("lsn=%d actions=%d", lsn, len(actions)))
 
 	// Step 6 — make the changes and record that fact.
 	if _, err := s.cfg.DB.ApplyAll(lsn, actions); err != nil {
@@ -163,6 +176,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 		panic("site: committed actions failed to apply: " + err.Error())
 	}
 	_, _ = s.cfg.Log.Append(wal.RecApplied, (&wal.AppliedRec{CommitLSN: lsn}).Encode())
+	tr.Step("apply", "")
 
 	// Step 7 — locks released by the deferred ReleaseAll. Flow
 	// instrumentation records first, while the locks are still held:
@@ -198,6 +212,7 @@ func (s *Site) sendRequests(ts tstamp.TS, shortfall map[ident.ItemID]core.Value,
 	for _, item := range reads {
 		for _, p := range peers {
 			s.send(p, &wire.Request{Txn: ts, Item: item, FullRead: true})
+			s.obsm.forPeer(p).asksSent.Inc()
 			sent++
 		}
 	}
@@ -218,6 +233,7 @@ func (s *Site) sendRequests(ts tstamp.TS, shortfall map[ident.ItemID]core.Value,
 				// shortfall; with narrower fanouts likewise — the
 				// exact split is the granting side's business.
 				s.send(p, &wire.Request{Txn: ts, Item: item, Want: want})
+				s.obsm.forPeer(p).asksSent.Inc()
 				sent++
 			}
 		}

@@ -55,6 +55,7 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 		s.mu.Lock()
 		s.stats.RequestsDeclined++
 		s.mu.Unlock()
+		s.obsm.forPeer(from).declined.Inc()
 	}
 
 	// "If there is currently a lock on d_j, site s_j can simply
@@ -130,6 +131,9 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 	s.stats.RequestsHonored++
 	s.stats.VmCreated++
 	s.mu.Unlock()
+	po := s.obsm.forPeer(from)
+	po.honored.Inc()
+	po.vmCreated.Inc()
 
 	s.sendVm(rec.Msgs[0])
 }
@@ -147,6 +151,7 @@ func (s *Site) handleVm(from ident.SiteID, m *wire.Vm) {
 		s.mu.Lock()
 		s.stats.VmDuplicates++
 		s.mu.Unlock()
+		s.obsm.forPeer(from).vmDups.Inc()
 		// Duplicate: re-ack so the sender can retire it.
 		s.send(from, &wire.VmAck{UpTo: s.vm.AckFor(from)})
 		return
@@ -190,6 +195,7 @@ func (s *Site) handleVm(from ident.SiteID, m *wire.Vm) {
 	s.flow.merge(m.Item, flowVecFromEntries(m.FlowVec))
 	s.protoMu.Unlock()
 
+	s.obsm.forPeer(from).vmAccepted.Inc()
 	s.mu.Lock()
 	s.stats.VmAccepted++
 	if w != nil {
@@ -247,6 +253,7 @@ func (s *Site) retransmitLoop(stop <-chan struct{}, done chan<- struct{}) {
 		}
 		s.stats.Retransmissions += uint64(len(pending))
 		s.mu.Unlock()
+		s.obsm.retx.Add(uint64(len(pending)))
 		for _, v := range pending {
 			s.sendVm(v)
 		}

@@ -1,0 +1,97 @@
+package site
+
+import (
+	"time"
+
+	"dvp/internal/ident"
+	"dvp/internal/metrics"
+	"dvp/internal/obs"
+	"dvp/internal/txn"
+)
+
+// peerObs holds the per-peer counters for one remote site.
+type peerObs struct {
+	// asksSent counts §5 step-2 quota requests we sent to the peer.
+	asksSent *metrics.Counter
+	// honored / declined count requests *from* the peer by our
+	// decision — honored/(honored+declined) is the honor rate.
+	honored  *metrics.Counter
+	declined *metrics.Counter
+	// vmCreated counts Vm we created toward the peer; vmAccepted and
+	// vmDups count inbound Vm from the peer accepted exactly-once vs
+	// dropped as duplicates.
+	vmCreated  *metrics.Counter
+	vmAccepted *metrics.Counter
+	vmDups     *metrics.Counter
+}
+
+// siteObs bundles the site's resolved metric handles. With no registry
+// configured the handles are orphan (working but unregistered)
+// counters, so recording sites never branch.
+type siteObs struct {
+	reg  *obs.Registry // nil disables dynamic per-label histograms
+	site string
+	ring *obs.Ring
+
+	retx     *metrics.Counter
+	outcomes map[txn.Status]*metrics.Counter
+	peers    map[ident.SiteID]*peerObs
+	orphan   *peerObs // fallback for traffic from unconfigured peers
+}
+
+func newPeerObs(reg *obs.Registry, site, peer string) *peerObs {
+	return &peerObs{
+		asksSent:   reg.Counter("dvp_site_quota_asks_total", "site", site, "peer", peer),
+		honored:    reg.Counter("dvp_site_requests_honored_total", "site", site, "peer", peer),
+		declined:   reg.Counter("dvp_site_requests_declined_total", "site", site, "peer", peer),
+		vmCreated:  reg.Counter("dvp_vmsg_created_total", "site", site, "peer", peer),
+		vmAccepted: reg.Counter("dvp_vmsg_accepted_total", "site", site, "peer", peer),
+		vmDups:     reg.Counter("dvp_vmsg_dup_drops_total", "site", site, "peer", peer),
+	}
+}
+
+// initObs resolves the site's metric handles against cfg.Metrics and
+// instruments the Vm manager. Called once from New.
+func (s *Site) initObs() {
+	o := &s.obsm
+	o.reg = s.cfg.Metrics
+	o.ring = s.cfg.Trace
+	o.site = s.cfg.ID.String()
+	o.retx = o.reg.Counter("dvp_vmsg_retransmissions_total", "site", o.site)
+	o.outcomes = make(map[txn.Status]*metrics.Counter, 5)
+	for _, st := range []txn.Status{
+		txn.StatusCommitted, txn.StatusLockConflict, txn.StatusCCRejected,
+		txn.StatusTimeout, txn.StatusSiteDown,
+	} {
+		o.outcomes[st] = o.reg.Counter("dvp_site_txn_total",
+			"site", o.site, "outcome", st.String())
+	}
+	o.peers = make(map[ident.SiteID]*peerObs, len(s.cfg.Peers))
+	for _, p := range s.peersExceptSelf() {
+		o.peers[p] = newPeerObs(o.reg, o.site, p.String())
+	}
+	var nilReg *obs.Registry
+	o.orphan = newPeerObs(nilReg, "", "")
+	s.vm.Instrument(o.reg, o.site, s.peersExceptSelf())
+}
+
+// forPeer returns the peer's counters, or inert orphans for a peer
+// outside the configured set.
+func (o *siteObs) forPeer(p ident.SiteID) *peerObs {
+	if po, ok := o.peers[p]; ok {
+		return po
+	}
+	return o.orphan
+}
+
+// observeTxn records one transaction decision: the outcome counter and
+// the latency histogram partitioned by label and outcome.
+func (o *siteObs) observeTxn(label string, status txn.Status, lat time.Duration) {
+	if c := o.outcomes[status]; c != nil {
+		c.Inc()
+	}
+	if o.reg != nil {
+		o.reg.Histogram("dvp_site_txn_seconds",
+			"site", o.site, "label", label, "outcome", status.String()).Record(lat)
+	}
+}

@@ -1,0 +1,174 @@
+package site
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/obs"
+	"dvp/internal/simnet"
+	"dvp/internal/txn"
+	"dvp/internal/wire"
+)
+
+// obsCluster builds an n-site test cluster whose sites share one
+// metrics registry and trace ring.
+func obsCluster(t *testing.T, n int, netCfg simnet.Config) (*testCluster, *obs.Registry, *obs.Ring) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(64)
+	tc := newTestCluster(t, n, netCfg, func(i int, c *Config) {
+		c.Metrics = reg
+		c.Trace = ring
+	})
+	return tc, reg, ring
+}
+
+// Acks from site 1 back to site 2 are cut, so site 2's Vm keeps
+// retransmitting and site 1 keeps dropping duplicates; once the filter
+// lifts, the pending set drains. The counters must show retransmits>0,
+// dup drops>0, and exactly-once acceptance throughout.
+func TestVmRetransmissionMetrics(t *testing.T) {
+	tc, reg, _ := obsCluster(t, 2, simnet.Config{Seed: 42})
+	item := ident.ItemID("flight/A")
+	tc.createItem(item, 20) // 10 per site
+
+	tc.net.SetFilter(func(from, to ident.SiteID, kind wire.Kind) bool {
+		return !(kind == wire.KVmAck && from == 1 && to == 2)
+	})
+
+	// Needs 5 from site 2: one Vm flows 2→1, whose ack 1→2 is cut.
+	res := tc.sites[0].Run(&txn.Txn{
+		Ops:   []txn.ItemOp{{Item: item, Op: core.Decr{M: 15}}},
+		Ask:   txn.AskAll,
+		Label: "reserve",
+	})
+	if !res.Committed() {
+		t.Fatalf("reserve: %v", res.Status)
+	}
+
+	// Let the 5ms retransmit loop fire a few times into the ack hole.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if reg.CounterValue("dvp_vmsg_retransmissions_total", "site", "s2") > 0 &&
+			reg.CounterValue("dvp_vmsg_dup_drops_total", "site", "s1", "peer", "s2") > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	tc.net.SetFilter(nil)
+	tc.waitQuiescent(item, 2*time.Second)
+
+	retx := reg.CounterValue("dvp_vmsg_retransmissions_total", "site", "s2")
+	if retx == 0 {
+		t.Error("expected retransmissions > 0 while acks were cut")
+	}
+	if got := tc.sites[1].Stats().Retransmissions; got != retx {
+		t.Errorf("metrics retransmissions = %d, Stats() = %d", retx, got)
+	}
+	if dups := reg.CounterValue("dvp_vmsg_dup_drops_total", "site", "s1", "peer", "s2"); dups == 0 {
+		t.Error("expected duplicate drops > 0 at the receiver")
+	}
+	// Exactly-once: one Vm created, one accepted, however many resends.
+	if got := reg.CounterValue("dvp_vmsg_created_total", "site", "s2", "peer", "s1"); got != 1 {
+		t.Errorf("vm created = %d, want 1", got)
+	}
+	if got := reg.CounterValue("dvp_vmsg_accepted_total", "site", "s1", "peer", "s2"); got != 1 {
+		t.Errorf("vm accepted = %d, want 1", got)
+	}
+	if n := tc.sites[1].VM().PendingCount(ident.SiteID(1)); n != 0 {
+		t.Errorf("pending after heal = %d, want 0", n)
+	}
+	if total := tc.globalTotal(item); total != 5 {
+		t.Errorf("global total = %d, want 5", total)
+	}
+}
+
+// A committed multi-site reserve must leave a trace holding all seven
+// protocol steps, in order, with the committed outcome.
+func TestTraceSevenSteps(t *testing.T) {
+	tc, _, ring := obsCluster(t, 2, simnet.Config{Seed: 7})
+	item := ident.ItemID("flight/B")
+	tc.createItem(item, 20)
+
+	res := tc.sites[0].Run(&txn.Txn{
+		Ops:   []txn.ItemOp{{Item: item, Op: core.Decr{M: 15}}},
+		Ask:   txn.AskAll,
+		Label: "reserve",
+	})
+	if !res.Committed() {
+		t.Fatalf("reserve: %v", res.Status)
+	}
+
+	traces := ring.Last(10)
+	var got *obs.Trace
+	for _, tr := range traces {
+		if tr.Label == "reserve" && tr.Outcome == "committed" {
+			got = tr
+		}
+	}
+	if got == nil {
+		t.Fatalf("no committed reserve trace in %d traces", len(traces))
+	}
+	if got.Site != "s1" {
+		t.Errorf("trace site = %q, want s1", got.Site)
+	}
+	if got.TS == 0 {
+		t.Error("trace has no timestamp")
+	}
+	want := []string{"admit", "cc-check", "lock", "ask", "vm-accept", "wal-flush", "apply"}
+	var names []string
+	for _, st := range got.Steps {
+		names = append(names, st.Name)
+	}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("trace steps = %v, want %v", names, want)
+	}
+	prev := int64(-1)
+	for _, st := range got.Steps {
+		if st.AtMicros < prev {
+			t.Errorf("step %s at %dµs precedes prior step at %dµs", st.Name, st.AtMicros, prev)
+		}
+		prev = st.AtMicros
+	}
+}
+
+// The registry render must be well-formed even while sites are live:
+// vmsg's pending gauge function takes the manager lock at exposition.
+func TestMetricsRenderWhileLive(t *testing.T) {
+	tc, reg, _ := obsCluster(t, 3, simnet.Config{Seed: 9})
+	item := ident.ItemID("sku/x")
+	tc.createItem(item, 30)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			tc.sites[i%3].Run(&txn.Txn{
+				Ops:   []txn.ItemOp{{Item: item, Op: core.Decr{M: 1}}},
+				Ask:   txn.AskAll,
+				Label: "reserve",
+			})
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if out := reg.Render(); out == "" {
+			t.Error("empty render from live registry")
+		}
+	}
+	<-done
+
+	out := reg.Render()
+	for _, want := range []string{
+		"dvp_site_txn_total{outcome=\"committed\",site=\"s1\"}",
+		"dvp_site_txn_seconds_bucket",
+		"dvp_vmsg_pending{",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %s", want)
+		}
+	}
+}

@@ -80,6 +80,7 @@ func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value
 	s.mu.Lock()
 	s.stats.VmCreated++
 	s.mu.Unlock()
+	s.obsm.forPeer(peer).vmCreated.Inc()
 	if s.sameEpoch(epoch) {
 		s.sendVm(rec.Msgs[0])
 	}

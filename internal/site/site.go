@@ -18,6 +18,7 @@ import (
 	"dvp/internal/core"
 	"dvp/internal/ident"
 	"dvp/internal/lock"
+	"dvp/internal/obs"
 	"dvp/internal/recovery"
 	"dvp/internal/store"
 	"dvp/internal/tstamp"
@@ -55,6 +56,15 @@ type Config struct {
 	// OnCommit, when set, observes every committed transaction
 	// (metrics, serializability checking). Called outside locks.
 	OnCommit func(CommitInfo)
+	// Metrics, when set, registers the site's runtime metrics (txn
+	// latency by label and outcome, quota-ask traffic and honor rate
+	// per peer, Vm channel state) with the registry, labelled
+	// site=<id>.
+	Metrics *obs.Registry
+	// Trace, when set, records each transaction's §5 protocol steps
+	// into the ring (admit → cc-check → lock → ask → vm-accept →
+	// wal-flush → apply → outcome).
+	Trace *obs.Ring
 }
 
 // CommitInfo describes a committed transaction to the OnCommit hook.
@@ -112,6 +122,10 @@ type Site struct {
 	// read side, so when Crash returns holding the write side, no
 	// handler is mid-flight and the stable log is quiescent.
 	lifeMu sync.RWMutex
+
+	// obsm holds resolved metric handles; initialized once in New,
+	// read-only afterwards (the handles themselves are atomic).
+	obsm siteObs
 
 	mu        sync.Mutex // guards waiters, up, epoch, stats, askCursor
 	lastRec   recovery.Summary
@@ -175,6 +189,7 @@ func New(cfg Config) (*Site, error) {
 		vm:      vmsg.NewManager(),
 		flow:    newFlowClocks(),
 	}
+	s.initObs()
 	if err := s.recover(); err != nil {
 		return nil, err
 	}

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"dvp/internal/ident"
+	"dvp/internal/metrics"
+	"dvp/internal/obs"
 	"dvp/internal/wire"
 )
 
@@ -34,11 +36,26 @@ type Config struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds accepted frame sizes (default 1 MiB).
 	MaxFrame uint32
+	// Metrics, when set, registers per-peer traffic counters
+	// (dvp_net_{bytes,msgs}_{in,out}_total, dvp_net_dial_failures_total)
+	// with the registry, labelled site=<self> and peer=<id>.
+	Metrics *obs.Registry
+}
+
+// peerCounters holds one remote site's traffic counters. Outbound
+// counts cover frames actually written to a socket (loopback sends are
+// excluded); inbound counts cover every decoded envelope delivered to
+// the handler, attributed to its From site.
+type peerCounters struct {
+	bytesOut, msgsOut *metrics.Counter
+	bytesIn, msgsIn   *metrics.Counter
+	dialFailures      *metrics.Counter
 }
 
 // Endpoint implements wire.Endpoint over TCP.
 type Endpoint struct {
-	cfg Config
+	cfg   Config
+	peerm map[ident.SiteID]*peerCounters // immutable after New
 
 	mu       sync.Mutex
 	handler  wire.Handler
@@ -60,8 +77,22 @@ func New(cfg Config) (*Endpoint, error) {
 	}
 	e := &Endpoint{
 		cfg:      cfg,
+		peerm:    make(map[ident.SiteID]*peerCounters, len(cfg.Peers)),
 		conns:    make(map[ident.SiteID]net.Conn),
 		accepted: make(map[net.Conn]bool),
+	}
+	if cfg.Metrics != nil {
+		self := cfg.Site.String()
+		for p := range cfg.Peers {
+			pl := p.String()
+			e.peerm[p] = &peerCounters{
+				bytesOut:     cfg.Metrics.Counter("dvp_net_bytes_out_total", "site", self, "peer", pl),
+				msgsOut:      cfg.Metrics.Counter("dvp_net_msgs_out_total", "site", self, "peer", pl),
+				bytesIn:      cfg.Metrics.Counter("dvp_net_bytes_in_total", "site", self, "peer", pl),
+				msgsIn:       cfg.Metrics.Counter("dvp_net_msgs_in_total", "site", self, "peer", pl),
+				dialFailures: cfg.Metrics.Counter("dvp_net_dial_failures_total", "site", self, "peer", pl),
+			}
+		}
 	}
 	if err := e.Open(); err != nil {
 		return nil, err
@@ -168,6 +199,9 @@ func (e *Endpoint) Send(env *wire.Envelope) error {
 	}
 	conn, err := e.connTo(env.To, addr)
 	if err != nil {
+		if pc := e.peerm[env.To]; pc != nil {
+			pc.dialFailures.Inc()
+		}
 		return nil // unreachable peer == silent loss, per the model
 	}
 	frame := make([]byte, 4+len(buf))
@@ -176,6 +210,10 @@ func (e *Endpoint) Send(env *wire.Envelope) error {
 	if _, err := conn.Write(frame); err != nil {
 		e.dropConn(env.To, conn)
 		return nil // loss
+	}
+	if pc := e.peerm[env.To]; pc != nil {
+		pc.msgsOut.Inc()
+		pc.bytesOut.Add(uint64(len(frame)))
 	}
 	return nil
 }
@@ -270,6 +308,10 @@ func (e *Endpoint) deliver(buf []byte) {
 	env, err := wire.Unmarshal(buf)
 	if err != nil {
 		return // corrupt frame: drop, like line noise
+	}
+	if pc := e.peerm[env.From]; pc != nil {
+		pc.msgsIn.Inc()
+		pc.bytesIn.Add(uint64(len(buf)))
 	}
 	h(env)
 }

@@ -27,9 +27,12 @@ package vmsg
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"dvp/internal/core"
 	"dvp/internal/ident"
+	"dvp/internal/metrics"
+	"dvp/internal/obs"
 	"dvp/internal/wal"
 )
 
@@ -39,12 +42,23 @@ type Manager struct {
 	mu  sync.Mutex
 	out map[ident.SiteID]*outChannel
 	in  map[ident.SiteID]*inChannel
+
+	// Observability (see Instrument): nil when not instrumented.
+	reg  *obs.Registry
+	site string
 }
 
 type outChannel struct {
 	nextSeq uint64 // last allocated
 	cumAck  uint64 // highest cumulative ack received
 	pending map[uint64]wal.VmOut
+
+	// Instrumentation (nil when the manager is not instrumented):
+	// ackRTT observes each Vm's lifespan — creation to cumulative
+	// ack, i.e. the full guaranteed-delivery round trip including any
+	// retransmissions; sentAt remembers creation instants.
+	ackRTT *metrics.Histogram
+	sentAt map[uint64]time.Time
 }
 
 type inChannel struct {
@@ -71,11 +85,63 @@ func (m *Manager) Reset() {
 	m.in = make(map[ident.SiteID]*inChannel)
 }
 
+// Instrument registers this manager's channel metrics with reg,
+// labelled site=site and peer=<id>: per-peer pending-set depth
+// (dvp_vmsg_pending, registered for every peer up front so idle
+// channels still expose 0) and Vm ack round-trip
+// (dvp_vmsg_ack_seconds, creation to cumulative ack, retransmissions
+// included). Event counters (created/accepted/duplicates) live at the
+// site layer, which distinguishes live protocol traffic from recovery
+// replay.
+func (m *Manager) Instrument(reg *obs.Registry, site string, peers []ident.SiteID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg = reg
+	m.site = site
+	for _, p := range peers {
+		peer := p
+		reg.GaugeFunc("dvp_vmsg_pending",
+			func() float64 { return float64(m.PendingCount(peer)) },
+			"site", site, "peer", peer.String())
+	}
+	for peer, c := range m.out {
+		m.instrumentOutLocked(peer, c)
+	}
+}
+
+// instrumentOutLocked attaches metric handles to one outbound channel.
+// Called with m.mu held; the registered gauge function re-acquires
+// m.mu only at exposition time, with no registry lock held.
+func (m *Manager) instrumentOutLocked(peer ident.SiteID, c *outChannel) {
+	if m.reg == nil {
+		return
+	}
+	c.ackRTT = m.reg.Histogram("dvp_vmsg_ack_seconds", "site", m.site, "peer", peer.String())
+	if c.sentAt == nil {
+		c.sentAt = make(map[uint64]time.Time)
+	}
+	m.reg.GaugeFunc("dvp_vmsg_pending",
+		func() float64 { return float64(m.PendingCount(peer)) },
+		"site", m.site, "peer", peer.String())
+}
+
+// PendingCount returns the number of unacknowledged outbound Vm toward
+// peer (the retransmission-set depth).
+func (m *Manager) PendingCount(peer ident.SiteID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.out[peer]; ok {
+		return len(c.pending)
+	}
+	return 0
+}
+
 func (m *Manager) outChan(peer ident.SiteID) *outChannel {
 	c, ok := m.out[peer]
 	if !ok {
 		c = &outChannel{pending: make(map[uint64]wal.VmOut)}
 		m.out[peer] = c
+		m.instrumentOutLocked(peer, c)
 	}
 	return c
 }
@@ -114,6 +180,9 @@ func (m *Manager) Created(msgs []wal.VmOut) {
 		}
 		if v.Seq > c.cumAck {
 			c.pending[v.Seq] = v
+			if c.sentAt != nil {
+				c.sentAt[v.Seq] = time.Now()
+			}
 		}
 	}
 }
@@ -131,6 +200,10 @@ func (m *Manager) OnAck(peer ident.SiteID, upTo uint64) {
 	for seq := range c.pending {
 		if seq <= upTo {
 			delete(c.pending, seq)
+			if at, ok := c.sentAt[seq]; ok {
+				c.ackRTT.Record(time.Since(at))
+				delete(c.sentAt, seq)
+			}
 		}
 	}
 }

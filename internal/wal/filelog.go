@@ -7,6 +7,10 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"dvp/internal/metrics"
+	"dvp/internal/obs"
 )
 
 // FileLog is an append-only file-backed stable log for real
@@ -26,6 +30,11 @@ type FileLog struct {
 	size    int64
 	sync    bool
 	closed  bool
+
+	// Instrumentation (see Instrument); nil when not instrumented.
+	appendLat *metrics.Histogram
+	fsyncLat  *metrics.Histogram
+	recKind   map[RecordKind]*metrics.Counter
 }
 
 const fileHeaderLen = 4 + 4 + 8 + 1
@@ -104,12 +113,32 @@ func (l *FileLog) recoverTail() error {
 	return nil
 }
 
+// Instrument registers this log's metrics with reg, under the given
+// extra k,v label pairs (conventionally site=<id>): append and fsync
+// latency histograms (dvp_wal_append_seconds, dvp_wal_fsync_seconds)
+// and per-kind record counts (dvp_wal_records_total{kind=...}).
+func (l *FileLog) Instrument(reg *obs.Registry, labels ...string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appendLat = reg.Histogram("dvp_wal_append_seconds", labels...)
+	l.fsyncLat = reg.Histogram("dvp_wal_fsync_seconds", labels...)
+	l.recKind = make(map[RecordKind]*metrics.Counter)
+	for k := RecVmCreate; k <= RecBaseApplied; k++ {
+		l.recKind[k] = reg.Counter("dvp_wal_records_total",
+			append([]string{"kind", k.String()}, labels...)...)
+	}
+}
+
 // Append implements Log.
 func (l *FileLog) Append(kind RecordKind, data []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, ErrClosed
+	}
+	var start time.Time
+	if l.appendLat != nil {
+		start = time.Now()
 	}
 	lsn := l.lastLSN + 1
 	body := make([]byte, 9+len(data))
@@ -124,12 +153,25 @@ func (l *FileLog) Append(kind RecordKind, data []byte) (uint64, error) {
 		return 0, fmt.Errorf("wal: append to %s: %w", l.path, err)
 	}
 	if l.sync {
+		var syncStart time.Time
+		if l.fsyncLat != nil {
+			syncStart = time.Now()
+		}
 		if err := l.f.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: fsync %s: %w", l.path, err)
+		}
+		if l.fsyncLat != nil {
+			l.fsyncLat.Record(time.Since(syncStart))
 		}
 	}
 	l.size += int64(len(frame))
 	l.lastLSN = lsn
+	if l.appendLat != nil {
+		l.appendLat.Record(time.Since(start))
+		if c := l.recKind[kind]; c != nil {
+			c.Inc()
+		}
+	}
 	return lsn, nil
 }
 
