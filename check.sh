@@ -1,6 +1,8 @@
 #!/bin/sh
-# check.sh — the tier-1 gate: formatting, vet, build, race tests.
-# Run from the repo root; exits non-zero on the first failure.
+# check.sh — the tier-1 gate: formatting, vet, build, race tests,
+# fuzz smoke over the checked-in corpus, and coverage floors on the
+# invariant-bearing packages. Run from the repo root; exits non-zero
+# on the first failure.
 set -e
 
 unformatted=$(gofmt -l .)
@@ -13,3 +15,33 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Fuzz smoke: a short randomized pass per target on top of the
+# checked-in seed corpus (which includes envelopes and WAL records
+# captured from chaos runs — regenerate with `dvpsim chaos -corpus
+# internal`).
+go test ./internal/wire -run='^$' -fuzz=FuzzUnmarshal -fuzztime=10s
+go test ./internal/wal -run='^$' -fuzz=FuzzDecodeRecords -fuzztime=10s
+go test ./internal/wal -run='^$' -fuzz=FuzzFileLogRecovery -fuzztime=10s
+
+# Coverage floors. These packages carry the paper's algebra (core),
+# the exactly-once channel (vmsg) and the serializability machinery
+# (cc); their coverage must not regress below the level at which the
+# floors were recorded.
+check_cover() {
+	pkg=$1
+	floor=$2
+	pct=$(go test -cover -count=1 "$pkg" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p')
+	if [ -z "$pct" ]; then
+		echo "coverage: could not read figure for $pkg" >&2
+		exit 1
+	fi
+	if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p+0 < f+0) }'; then
+		echo "coverage: $pkg at ${pct}%, below floor ${floor}%" >&2
+		exit 1
+	fi
+	echo "coverage: $pkg ${pct}% (floor ${floor}%)"
+}
+check_cover ./internal/core 97
+check_cover ./internal/vmsg 81
+check_cover ./internal/cc 97

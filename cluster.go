@@ -199,6 +199,16 @@ func (c *Cluster) SetLink(a, b int, up bool) {
 	c.net.SetLink(ident.SiteID(a), ident.SiteID(b), up)
 }
 
+// SetLoss adjusts the random message-loss probability at runtime —
+// fault schedules flap lossiness mid-run.
+func (c *Cluster) SetLoss(p float64) { c.net.SetLoss(p) }
+
+// SetDup adjusts the message-duplication probability at runtime.
+func (c *Cluster) SetDup(p float64) { c.net.SetDup(p) }
+
+// SetDelay adjusts the simulated propagation-delay bounds at runtime.
+func (c *Cluster) SetDelay(min, max time.Duration) { c.net.SetDelayBounds(min, max) }
+
 // Crash kills site i: volatile state is lost; log and store survive.
 // In-progress transactions at the site abort with SiteDown.
 func (c *Cluster) Crash(i int) { c.checkSite(i).Crash() }
@@ -296,6 +306,11 @@ func (c *Cluster) LogRecords(i int) uint64 { return c.checkSite(i).LogLastLSN() 
 // Net exposes the underlying simulated network for advanced fault
 // scenarios (kind-selective filters, traces).
 func (c *Cluster) Net() *simnet.Net { return c.net }
+
+// SiteEngine exposes the underlying site engine for 1-based index i —
+// invariant checkers need its log, store and Vm channel state (same
+// spirit as Net; never drive transactions through it directly, use At).
+func (c *Cluster) SiteEngine(i int) *site.Site { return c.checkSite(i) }
 
 // Metrics returns the cluster-wide metrics registry. Every site
 // registers its series here (distinguished by the site=... label);

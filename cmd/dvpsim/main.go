@@ -10,6 +10,13 @@
 //	dvpsim -exp T2
 //	dvpsim -exp all -quick
 //	dvpsim -exp F4 -seed 7 -csv
+//
+// The chaos subcommand runs seeded crash/partition scenarios with
+// global invariant checking (see internal/chaos):
+//
+//	dvpsim chaos -seeds 20
+//	dvpsim chaos -seed 7 -seeds 1 -v
+//	dvpsim chaos -replay failing.schedule
 package main
 
 import (
@@ -19,10 +26,14 @@ import (
 	"strings"
 	"time"
 
+	"dvp/internal/chaos"
 	"dvp/internal/harness"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		os.Exit(chaos.Main(os.Args[2:]))
+	}
 	var (
 		exp   = flag.String("exp", "", "experiment id (T1..T5, F1..F6, A1..A2, or 'all')")
 		list  = flag.Bool("list", false, "list experiments and exit")

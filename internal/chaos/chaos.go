@@ -1,0 +1,381 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"dvp"
+	"dvp/internal/ident"
+	"dvp/internal/wire"
+)
+
+// Base network conditions outside scheduled fault surges. Loss and
+// duplication are always on a little — a chaos run should never see a
+// clean network — and Vm retransmission is paced fast so rounds are
+// short.
+const (
+	baseLoss        = 0.02
+	baseDup         = 0.02
+	maxDelay        = time.Millisecond
+	retransmitEvery = 4 * time.Millisecond
+	txnTimeout      = 25 * time.Millisecond
+	quiesceBound    = 5 * time.Second
+)
+
+// Options tunes a run. The zero value is what the tests use.
+type Options struct {
+	// Trace, when set, receives trace lines live as the run executes
+	// (the dvpsim chaos -v stream). The Report keeps the full trace
+	// regardless.
+	Trace io.Writer
+	// Tap, when set, observes every frame the simulated network
+	// transmits (corpus capture).
+	Tap func(from, to ident.SiteID, kind wire.Kind, frame []byte)
+	// OnQuiescent, when set, runs after the final barrier's invariant
+	// checks while the cluster is still up and quiescent (corpus
+	// capture scans the stable logs here).
+	OnQuiescent func(c *dvp.Cluster)
+}
+
+// Report summarizes what a run did and checked. A report with a nil
+// error from Run means every invariant held at every barrier.
+type Report struct {
+	Seed                 int64
+	Sites, Items, Rounds int
+
+	// Fault actions actually applied (a scheduled crash of an
+	// already-down site, say, does not count).
+	Crashes, Restarts, Partitions, Heals, LinkFlaps, Checkpoints int
+
+	// Workload outcomes.
+	Committed, Aborted int
+
+	// InvariantChecks counts completed barrier passes (each pass runs
+	// all five invariant families).
+	InvariantChecks int
+
+	// Trace is the full event trace, replayable alongside the
+	// schedule.
+	Trace []string
+}
+
+// String is a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"seed=%d sites=%d items=%d rounds=%d crashes=%d restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d committed=%d aborted=%d checks=%d",
+		r.Seed, r.Sites, r.Items, r.Rounds,
+		r.Crashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints,
+		r.Committed, r.Aborted, r.InvariantChecks)
+}
+
+// TraceString renders the event trace, one line per event.
+func (r *Report) TraceString() string {
+	return strings.Join(r.Trace, "\n")
+}
+
+// runner carries one run's live state.
+type runner struct {
+	sched *Schedule
+	opt   Options
+	c     *dvp.Cluster
+	items []string
+
+	// initial holds the per-item starting totals (Γ per item).
+	initial map[string]int64
+
+	mu          sync.Mutex
+	report      *Report
+	committed   []dvp.CommitInfo
+	downedLinks map[[2]int]bool
+	start       time.Time
+}
+
+// Run executes the schedule and checks the global invariants at every
+// round barrier. The returned report is always non-nil; a non-nil
+// error names the first invariant violation (the report's trace then
+// reproduces the scenario together with the schedule).
+func Run(sched *Schedule, opt Options) (*Report, error) {
+	r := &runner{
+		sched: sched,
+		opt:   opt,
+		report: &Report{
+			Seed:  sched.Seed,
+			Sites: sched.Sites,
+			Items: sched.Items,
+		},
+		initial:     make(map[string]int64),
+		downedLinks: make(map[[2]int]bool),
+		start:       time.Now(),
+	}
+	c, err := dvp.NewCluster(dvp.Config{
+		Sites:           sched.Sites,
+		Seed:            sched.Seed,
+		MaxDelay:        maxDelay,
+		LossProb:        baseLoss,
+		DupProb:         baseDup,
+		RetransmitEvery: retransmitEvery,
+		DefaultTimeout:  txnTimeout,
+		OnCommit: func(ci dvp.CommitInfo) {
+			r.mu.Lock()
+			r.committed = append(r.committed, ci)
+			r.mu.Unlock()
+		},
+	})
+	if err != nil {
+		return r.report, err
+	}
+	r.c = c
+	defer c.Close()
+	if opt.Tap != nil {
+		c.Net().SetTap(opt.Tap)
+	}
+
+	for k := 0; k < sched.Items; k++ {
+		item := fmt.Sprintf("item/%d", k)
+		r.items = append(r.items, item)
+		if err := c.CreateItem(item, dvp.Value(sched.Total)); err != nil {
+			return r.report, err
+		}
+		r.initial[item] = sched.Total
+	}
+	// Initial checkpoint at every site: the checkpoint carries the
+	// store snapshot, so rebuild-from-log-alone (the idempotence
+	// invariant) covers the whole history. Also the first log
+	// compaction.
+	for i := 1; i <= sched.Sites; i++ {
+		if err := c.Checkpoint(i); err != nil {
+			return r.report, err
+		}
+	}
+
+	for round := 1; round <= sched.Rounds; round++ {
+		r.report.Rounds = round
+		r.tracef("round %d: begin (%d events)", round, len(r.sched.eventsIn(round)))
+		r.runRound(round)
+		if err := r.barrier(round); err != nil {
+			return r.report, fmt.Errorf("chaos seed %d round %d: %w", sched.Seed, round, err)
+		}
+	}
+	if opt.OnQuiescent != nil {
+		opt.OnQuiescent(c)
+	}
+	r.tracef("run complete: %s", r.report)
+	return r.report, nil
+}
+
+// runRound schedules the round's fault events on the network clock and
+// drives the concurrent workload until the round deadline, then joins
+// both.
+func (r *runner) runRound(round int) {
+	deadline := time.Now().Add(time.Duration(r.sched.RoundMS) * time.Millisecond)
+
+	var events sync.WaitGroup
+	for _, e := range r.sched.eventsIn(round) {
+		e := e
+		events.Add(1)
+		r.c.Net().ScheduleAfter(time.Duration(e.AtMS)*time.Millisecond, func() {
+			defer events.Done()
+			r.apply(round, e)
+		})
+	}
+
+	var workers sync.WaitGroup
+	for i := 1; i <= r.sched.Sites; i++ {
+		workers.Add(1)
+		go func(site int) {
+			defer workers.Done()
+			r.workload(round, site, deadline)
+		}(i)
+	}
+	workers.Wait()
+	events.Wait()
+}
+
+// workload issues randomized transactions at one site until the round
+// deadline. The op stream is a pure function of (seed, round, site);
+// how far into the stream the round gets depends on timing, which is
+// fine — the schedule, not the workload prefix, is the reproduction
+// contract.
+func (r *runner) workload(round, site int, deadline time.Time) {
+	rng := rand.New(rand.NewSource(
+		r.sched.Seed*7919 + int64(round)*1000003 + int64(site)*104729))
+	h := r.c.At(site)
+	for time.Now().Before(deadline) {
+		item := r.items[rng.Intn(len(r.items))]
+		var res *dvp.Result
+		p := rng.Float64()
+		switch {
+		case p < 0.06:
+			res = h.Run(dvp.NewTxn().Read(item).Label("audit"))
+		case p < 0.34:
+			res = h.Run(dvp.NewTxn().Add(item, dvp.Value(1+rng.Intn(3))).Label("cancel"))
+		case p < 0.44 && len(r.items) > 1:
+			// Transfer between two distinct items.
+			k := rng.Intn(len(r.items) - 1)
+			other := r.items[(k+1)%len(r.items)]
+			if other == item {
+				other = r.items[k]
+			}
+			n := dvp.Value(1 + rng.Intn(3))
+			res = h.Run(dvp.NewTxn().Sub(item, n).Add(other, n).Label("transfer"))
+		default:
+			// Reserves skew large enough to force redistribution.
+			res = h.Run(dvp.NewTxn().Sub(item, dvp.Value(1+rng.Intn(8))).Label("reserve"))
+		}
+		r.mu.Lock()
+		if res.Committed() {
+			r.report.Committed++
+		} else {
+			r.report.Aborted++
+		}
+		r.mu.Unlock()
+		// Pace: bounds the round's op count and keeps serializability
+		// replay cheap.
+		time.Sleep(time.Duration(400+rng.Intn(800)) * time.Microsecond)
+	}
+}
+
+// apply executes one fault event against the live cluster.
+func (r *runner) apply(round int, e Event) {
+	applied := true
+	switch e.Kind {
+	case EvCrash:
+		if r.c.SiteUp(e.Site) {
+			r.c.Crash(e.Site)
+			r.count(func(rep *Report) { rep.Crashes++ })
+		} else {
+			applied = false
+		}
+	case EvRestart:
+		if !r.c.SiteUp(e.Site) {
+			if err := r.c.Restart(e.Site); err != nil {
+				r.tracef("r%d %s FAILED: %v", round, e, err)
+				return
+			}
+			r.count(func(rep *Report) { rep.Restarts++ })
+		} else {
+			applied = false
+		}
+	case EvPartition:
+		groups := make([][]int, len(e.Groups))
+		copy(groups, e.Groups)
+		r.c.PartitionGroups(groups...)
+		r.count(func(rep *Report) { rep.Partitions++ })
+	case EvHeal:
+		r.c.Heal()
+		r.count(func(rep *Report) { rep.Heals++ })
+	case EvLinkDown:
+		r.c.SetLink(e.A, e.B, false)
+		r.c.SetLink(e.B, e.A, false)
+		r.mu.Lock()
+		r.downedLinks[[2]int{e.A, e.B}] = true
+		r.report.LinkFlaps++
+		r.mu.Unlock()
+	case EvLinkUp:
+		r.c.SetLink(e.A, e.B, true)
+		r.c.SetLink(e.B, e.A, true)
+		r.mu.Lock()
+		delete(r.downedLinks, [2]int{e.A, e.B})
+		r.mu.Unlock()
+	case EvLoss:
+		r.c.SetLoss(e.P)
+	case EvDup:
+		r.c.SetDup(e.P)
+	case EvCheckpoint:
+		if r.c.SiteUp(e.Site) {
+			if err := r.c.Checkpoint(e.Site); err != nil {
+				r.tracef("r%d %s FAILED: %v", round, e, err)
+				return
+			}
+			r.count(func(rep *Report) { rep.Checkpoints++ })
+		} else {
+			applied = false
+		}
+	}
+	if applied {
+		r.tracef("r%d +%dms %s", round, e.AtMS, e)
+	} else {
+		r.tracef("r%d +%dms %s (no-op)", round, e.AtMS, e)
+	}
+}
+
+// barrier restores the cluster to a fully connected, fully up,
+// quiescent state and checks every global invariant. Mid-run checks
+// happen here: once per round, not only at the end of the run.
+func (r *runner) barrier(round int) error {
+	// Heal whatever the round left broken.
+	r.c.Heal()
+	r.count(func(rep *Report) { rep.Heals++ })
+	r.mu.Lock()
+	links := make([][2]int, 0, len(r.downedLinks))
+	for l := range r.downedLinks {
+		links = append(links, l)
+	}
+	r.downedLinks = make(map[[2]int]bool)
+	r.mu.Unlock()
+	for _, l := range links {
+		r.c.SetLink(l[0], l[1], true)
+		r.c.SetLink(l[1], l[0], true)
+	}
+	r.c.SetLoss(baseLoss)
+	r.c.SetDup(baseDup)
+
+	// Restart every crashed site through full §7 recovery.
+	for i := 1; i <= r.sched.Sites; i++ {
+		if !r.c.SiteUp(i) {
+			if err := r.c.Restart(i); err != nil {
+				return fmt.Errorf("barrier restart site %d: %w", i, err)
+			}
+			r.count(func(rep *Report) { rep.Restarts++ })
+			r.tracef("r%d barrier: restarted site %d", round, i)
+		}
+	}
+
+	// Drain: all in-flight traffic delivered, no Vm awaiting
+	// retransmission anywhere.
+	r.c.Quiesce(quiesceBound)
+	if n := r.pendingVm(); n != 0 {
+		return fmt.Errorf("failed to drain: %d Vm still pending after %v", n, quiesceBound)
+	}
+
+	if err := r.checkInvariants(round); err != nil {
+		return err
+	}
+	r.count(func(rep *Report) { rep.InvariantChecks++ })
+	r.tracef("r%d barrier: all invariants hold", round)
+	return nil
+}
+
+// pendingVm counts outbound Vm not yet cumulatively acked, across all
+// sites.
+func (r *runner) pendingVm() int {
+	n := 0
+	for i := 1; i <= r.sched.Sites; i++ {
+		n += len(r.c.SiteEngine(i).VM().PendingAll())
+	}
+	return n
+}
+
+// count applies a report mutation under the lock.
+func (r *runner) count(f func(*Report)) {
+	r.mu.Lock()
+	f(r.report)
+	r.mu.Unlock()
+}
+
+// tracef appends a timestamped line to the trace.
+func (r *runner) tracef(format string, args ...any) {
+	line := fmt.Sprintf("[%6.0fms] ", float64(time.Since(r.start).Microseconds())/1000) +
+		fmt.Sprintf(format, args...)
+	r.mu.Lock()
+	r.report.Trace = append(r.report.Trace, line)
+	w := r.opt.Trace
+	r.mu.Unlock()
+	if w != nil {
+		fmt.Fprintln(w, line)
+	}
+}

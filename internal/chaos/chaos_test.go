@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"testing"
+)
+
+// seedCount widens the corpus for long-running soak sessions:
+//
+//	go test ./internal/chaos -run Chaos -chaos.seeds=500
+//
+// The default (0) runs the short-mode corpus of 20 fixed seeds.
+var seedCount = flag.Int("chaos.seeds", 0, "number of chaos seeds to run (0 = fixed corpus of 20)")
+
+// TestChaosSeeds is the main gate: every seed builds a distinct
+// crash/partition schedule, runs it against a concurrent randomized
+// workload, and checks all five global invariants at every round
+// barrier. A failure prints the seed, the exact replay commands, the
+// full schedule and the event trace.
+func TestChaosSeeds(t *testing.T) {
+	n := 20
+	if *seedCount > 0 {
+		n = *seedCount
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sched := Build(seed)
+			rep, err := Run(sched, Options{})
+			if err != nil {
+				t.Fatalf("%v\n\nreplay: go test ./internal/chaos -run 'TestChaosSeeds/seed=%d$' -count=1\n    or: dvpsim chaos -seed %d -v\n\nschedule:\n%s\ntrace:\n%s",
+					err, seed, seed, sched.EncodeString(), rep.TraceString())
+			}
+			// Every run must actually exercise the fault space the
+			// schedule guarantees: at least one crash-recovery cycle
+			// and at least one partition/heal cycle.
+			if rep.Crashes < 1 {
+				t.Errorf("no crash applied (schedule guarantees ≥1)")
+			}
+			if rep.Restarts < rep.Crashes {
+				t.Errorf("crashes=%d but restarts=%d — some site never recovered",
+					rep.Crashes, rep.Restarts)
+			}
+			if rep.Partitions < 1 {
+				t.Errorf("no partition applied (schedule guarantees ≥1)")
+			}
+			if rep.Heals < rep.Partitions {
+				t.Errorf("partitions=%d but heals=%d", rep.Partitions, rep.Heals)
+			}
+			if rep.InvariantChecks != sched.Rounds {
+				t.Errorf("invariant checks = %d, want one per round (%d)",
+					rep.InvariantChecks, sched.Rounds)
+			}
+			if rep.Committed == 0 {
+				t.Errorf("workload committed nothing — cluster dead under chaos?")
+			}
+			t.Logf("%s", rep)
+		})
+	}
+}
+
+// TestRunFromDecodedSchedule closes the replay loop: a schedule that
+// round-tripped through the text encoding must drive a full run.
+func TestRunFromDecodedSchedule(t *testing.T) {
+	orig := Build(42)
+	decoded, err := DecodeSchedule(stringsReader(orig.EncodeString()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(decoded, Options{})
+	if err != nil {
+		t.Fatalf("replayed schedule failed: %v\ntrace:\n%s", err, rep.TraceString())
+	}
+	if rep.Crashes < 1 || rep.Partitions < 1 {
+		t.Errorf("replayed run crashes=%d partitions=%d, want ≥1 each", rep.Crashes, rep.Partitions)
+	}
+}

@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Main implements the `dvpsim chaos` subcommand: run seeded scenarios
+// (or replay an encoded schedule) and report invariant coverage. It
+// returns the process exit code.
+//
+//	dvpsim chaos                  # 20 seeds starting at 1
+//	dvpsim chaos -seed 7 -seeds 1 -v
+//	dvpsim chaos -replay failing.schedule
+func Main(args []string) int {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 1, "first scenario seed")
+		seeds   = fs.Int("seeds", 20, "number of consecutive seeds to run")
+		replay  = fs.String("replay", "", "replay an encoded schedule from this file ('-' for stdin) instead of building from seeds")
+		verbose = fs.Bool("v", false, "stream the event trace live")
+		showSch = fs.Bool("schedule", false, "print each schedule before running it")
+		corpus  = fs.String("corpus", "", "capture fuzz seed corpus from a run into this internal/ directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *corpus != "" {
+		if err := CaptureCorpus(*seed, *corpus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	scheds := make([]*Schedule, 0, *seeds)
+	if *replay != "" {
+		var r io.Reader = os.Stdin
+		if *replay != "-" {
+			f, err := os.Open(*replay)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			defer f.Close()
+			r = f
+		}
+		s, err := DecodeSchedule(r)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		scheds = append(scheds, s)
+	} else {
+		for s := *seed; s < *seed+int64(*seeds); s++ {
+			scheds = append(scheds, Build(s))
+		}
+	}
+
+	var opt Options
+	if *verbose {
+		opt.Trace = os.Stdout
+	}
+	for _, sched := range scheds {
+		if *showSch {
+			fmt.Print(sched.EncodeString())
+		}
+		rep, err := Run(sched, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %v\n\nschedule (replay with: dvpsim chaos -replay <file>):\n%s\ntrace:\n%s\n",
+				err, sched.EncodeString(), rep.TraceString())
+			return 1
+		}
+		fmt.Printf("ok  %s\n", rep)
+	}
+	return 0
+}

@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"dvp"
+	"dvp/internal/ident"
+	"dvp/internal/wal"
+	"dvp/internal/wire"
+)
+
+// CaptureCorpus runs one chaos scenario with a network tap and turns
+// what actually went over the wire and into the logs into checked-in
+// seed corpus entries for the repository's fuzz targets:
+//
+//   - every distinct envelope kind tapped off the simulated network →
+//     internal/wire/testdata/fuzz/FuzzUnmarshal
+//   - every distinct WAL record payload scanned from the sites' logs →
+//     internal/wal/testdata/fuzz/FuzzDecodeRecords
+//   - complete and torn file-log images built from those records →
+//     internal/wal/testdata/fuzz/FuzzFileLogRecovery
+//
+// internalDir is the repository's internal/ directory (regenerate with
+// `dvpsim chaos -corpus internal` from the repo root). Entries are
+// named chaos-* and overwrite previous captures.
+func CaptureCorpus(seed int64, internalDir string) error {
+	sched := Build(seed)
+
+	const perKind = 3
+	var mu sync.Mutex
+	frames := make(map[wire.Kind][][]byte)
+	payloads := make(map[wal.RecordKind][][]byte)
+
+	rep, err := Run(sched, Options{
+		Tap: func(from, to ident.SiteID, kind wire.Kind, frame []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			if len(frames[kind]) < perKind {
+				frames[kind] = append(frames[kind], append([]byte(nil), frame...))
+			}
+		},
+		OnQuiescent: func(c *dvp.Cluster) {
+			for i := 1; i <= sched.Sites; i++ {
+				_ = c.SiteEngine(i).Log().Scan(1, func(rec wal.Record) error {
+					if len(payloads[rec.Kind]) < perKind {
+						payloads[rec.Kind] = append(payloads[rec.Kind],
+							append([]byte(nil), rec.Data...))
+					}
+					return nil
+				})
+			}
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("chaos corpus run: %w", err)
+	}
+	fmt.Printf("corpus capture: %s\n", rep)
+
+	wireDir := filepath.Join(internalDir, "wire", "testdata", "fuzz", "FuzzUnmarshal")
+	for kind, fs := range frames {
+		for i, frame := range fs {
+			name := fmt.Sprintf("chaos-%s-%d", sanitize(kind.String()), i)
+			if err := writeCorpusFile(filepath.Join(wireDir, name), frame); err != nil {
+				return err
+			}
+		}
+	}
+
+	recDir := filepath.Join(internalDir, "wal", "testdata", "fuzz", "FuzzDecodeRecords")
+	var allRecords []wal.Record
+	for kind, ps := range payloads {
+		for i, p := range ps {
+			name := fmt.Sprintf("chaos-%s-%d", sanitize(kind.String()), i)
+			if err := writeCorpusFile(filepath.Join(recDir, name), p); err != nil {
+				return err
+			}
+			allRecords = append(allRecords, wal.Record{Kind: kind, Data: p})
+		}
+	}
+
+	images, err := fileLogImages(allRecords)
+	if err != nil {
+		return err
+	}
+	logDir := filepath.Join(internalDir, "wal", "testdata", "fuzz", "FuzzFileLogRecovery")
+	for i, img := range images {
+		name := fmt.Sprintf("chaos-filelog-%d", i)
+		if err := writeCorpusFile(filepath.Join(logDir, name), img); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fileLogImages builds seed inputs for torn-tail recovery: a clean
+// file-log image containing real records, the same image with a torn
+// tail, and one with a flipped byte mid-file (CRC damage).
+func fileLogImages(records []wal.Record) ([][]byte, error) {
+	dir, err := os.MkdirTemp("", "chaos-corpus-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "img.wal")
+	l, err := wal.OpenFileLog(path, wal.FileLogOptions{})
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range records {
+		if _, err := l.Append(rec.Kind, rec.Data); err != nil {
+			l.Close()
+			return nil, err
+		}
+	}
+	l.Close()
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	images := [][]byte{clean}
+	if len(clean) > 7 {
+		torn := append([]byte(nil), clean[:len(clean)-7]...)
+		images = append(images, torn)
+		flipped := append([]byte(nil), clean...)
+		flipped[len(flipped)/2] ^= 0x40
+		images = append(images, flipped)
+	}
+	return images, nil
+}
+
+// writeCorpusFile writes one entry in the `go test fuzz v1` seed
+// corpus encoding.
+func writeCorpusFile(path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, s)
+}

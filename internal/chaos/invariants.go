@@ -1,0 +1,282 @@
+package chaos
+
+import (
+	"fmt"
+
+	"dvp/internal/cc"
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/recovery"
+	"dvp/internal/tstamp"
+	"dvp/internal/wal"
+)
+
+// checkInvariants runs every global invariant family at a quiescent,
+// fully-up, fully-connected barrier. Order matters: idempotence goes
+// last because it crash-cycles sites, which re-registers
+// already-accepted Vm for retransmission (acks are volatile between
+// checkpoints) — conservation is re-verified after it precisely
+// because of that perturbation.
+func (r *runner) checkInvariants(round int) error {
+	if err := r.checkConservation(); err != nil {
+		return err
+	}
+	if err := r.checkNonNegative(); err != nil {
+		return err
+	}
+	if err := r.checkExactlyOnce(); err != nil {
+		return err
+	}
+	if err := r.checkSerializability(); err != nil {
+		return err
+	}
+	if err := r.checkIdempotence(round); err != nil {
+		return err
+	}
+	if err := r.checkConservation(); err != nil {
+		return fmt.Errorf("after idempotence cycling: %w", err)
+	}
+	return nil
+}
+
+// checkConservation verifies the paper's central invariant: for every
+// item, Σⱼ dⱼ plus in-flight redistribution equals the initial Γ plus
+// the net effect of committed transactions — whatever crashed, lost or
+// duplicated along the way.
+func (r *runner) checkConservation() error {
+	r.mu.Lock()
+	deltas := make(map[string]int64, len(r.items))
+	for _, ci := range r.committed {
+		for item, d := range ci.Deltas {
+			deltas[item] += d
+		}
+	}
+	r.mu.Unlock()
+	for _, item := range r.items {
+		want := r.initial[item] + deltas[item]
+		got := int64(r.c.GlobalTotal(item))
+		if got != want {
+			return fmt.Errorf(
+				"conservation: item %s global total %d, want %d (initial %d %+d committed) — value %s",
+				item, got, want, r.initial[item], deltas[item],
+				gainOrLoss(got-want))
+		}
+	}
+	return nil
+}
+
+func gainOrLoss(d int64) string {
+	if d > 0 {
+		return fmt.Sprintf("duplicated (+%d)", d)
+	}
+	return fmt.Sprintf("lost (%d)", d)
+}
+
+// checkNonNegative verifies no partition dⱼ anywhere went negative —
+// the bounded-decrement guarantee holds per site, not just globally.
+func (r *runner) checkNonNegative() error {
+	for i := 1; i <= r.sched.Sites; i++ {
+		for _, item := range r.items {
+			if v := r.c.Quota(i, item); v < 0 {
+				return fmt.Errorf("non-negative: site %d holds %s=%d", i, item, v)
+			}
+		}
+	}
+	for i := 1; i <= r.sched.Sites; i++ {
+		for _, v := range r.c.SiteEngine(i).VM().PendingAll() {
+			if v.Amount < 0 {
+				return fmt.Errorf("non-negative: site %d has in-flight Vm %s=%d", i, v.Item, v.Amount)
+			}
+		}
+	}
+	return nil
+}
+
+// checkExactlyOnce verifies every virtual message was applied exactly
+// once, three ways:
+//
+//  1. Live counters: at quiescence with nothing pending, every created
+//     Vm has been accepted by its receiver, and accepts equal creates
+//     (duplicate deliveries were detected, counted and discarded).
+//     Neither counter is bumped by recovery replay, so the identity
+//     spans crashes.
+//  2. WAL audit: no sender's log creates the same (to, seq) twice; no
+//     receiver's log accepts the same (from, seq) twice. The stable
+//     history itself contains no double-spend.
+//  3. Channel cursors: no receiver has cumulatively acked past what
+//     its sender ever allocated.
+func (r *runner) checkExactlyOnce() error {
+	var created, accepted, dups uint64
+	for i := 1; i <= r.sched.Sites; i++ {
+		st := r.c.SiteStats(i)
+		created += st.VmCreated
+		accepted += st.VmAccepted
+		dups += st.VmDuplicates
+	}
+	if created != accepted {
+		return fmt.Errorf(
+			"exactly-once: ΣVmCreated=%d but ΣVmAccepted=%d (dups discarded: %d) at quiescence",
+			created, accepted, dups)
+	}
+
+	type chanKey struct {
+		peer ident.SiteID
+		seq  uint64
+	}
+	for i := 1; i <= r.sched.Sites; i++ {
+		log := r.c.SiteEngine(i).Log()
+		sentOnce := make(map[chanKey]bool)
+		acceptedOnce := make(map[chanKey]bool)
+		err := log.Scan(1, func(rec wal.Record) error {
+			switch rec.Kind {
+			case wal.RecVmCreate:
+				cr, err := wal.DecodeVmCreate(rec.Data)
+				if err != nil {
+					return fmt.Errorf("site %d LSN %d: %w", i, rec.LSN, err)
+				}
+				for _, m := range cr.Msgs {
+					k := chanKey{m.To, m.Seq}
+					if sentOnce[k] {
+						return fmt.Errorf(
+							"exactly-once: site %d log creates Vm (to=%v seq=%d) twice", i, m.To, m.Seq)
+					}
+					sentOnce[k] = true
+				}
+			case wal.RecVmAccept:
+				ar, err := wal.DecodeVmAccept(rec.Data)
+				if err != nil {
+					return fmt.Errorf("site %d LSN %d: %w", i, rec.LSN, err)
+				}
+				k := chanKey{ar.From, ar.Seq}
+				if acceptedOnce[k] {
+					return fmt.Errorf(
+						"exactly-once: site %d log accepts Vm (from=%v seq=%d) twice", i, ar.From, ar.Seq)
+				}
+				acceptedOnce[k] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	for i := 1; i <= r.sched.Sites; i++ {
+		for j := 1; j <= r.sched.Sites; j++ {
+			if i == j {
+				continue
+			}
+			send := r.c.SiteEngine(i).VM()
+			recv := r.c.SiteEngine(j).VM()
+			if ack, out := recv.AckFor(ident.SiteID(i)), send.OutSeq(ident.SiteID(j)); ack > out {
+				return fmt.Errorf(
+					"exactly-once: site %d acked %d from site %d, which only ever allocated %d",
+					j, ack, i, out)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSerializability replays the full committed history serially in
+// timestamp order (the §6.1 equivalence order) and verifies every full
+// read observed exactly the serial value, plus conservation of the
+// replayed state — across every crash, partition and loss surge the
+// schedule injected.
+func (r *runner) checkSerializability() error {
+	r.mu.Lock()
+	txns := make([]cc.CommittedTxn, len(r.committed))
+	for k, ci := range r.committed {
+		t := cc.CommittedTxn{
+			TS:     tstamp.TS(ci.TS),
+			Site:   ident.SiteID(ci.Site),
+			Deltas: make(map[ident.ItemID]core.Value, len(ci.Deltas)),
+			Reads:  make(map[ident.ItemID]core.Value, len(ci.Reads)),
+		}
+		for item, d := range ci.Deltas {
+			t.Deltas[ident.ItemID(item)] = core.Value(d)
+		}
+		for item, v := range ci.Reads {
+			t.Reads[ident.ItemID(item)] = core.Value(v)
+		}
+		txns[k] = t
+	}
+	r.mu.Unlock()
+
+	initial := make(map[ident.ItemID]core.Value, len(r.items))
+	final := make(map[ident.ItemID]core.Value, len(r.items))
+	for _, item := range r.items {
+		initial[ident.ItemID(item)] = core.Value(r.initial[item])
+		final[ident.ItemID(item)] = r.c.GlobalTotal(item)
+	}
+	if err := cc.CheckSerializable(initial, final, txns); err != nil {
+		return fmt.Errorf("serializability: %w", err)
+	}
+	return nil
+}
+
+// checkIdempotence verifies WAL-replay idempotence two ways on the
+// chosen sites (one rotating site per round; every site at the final
+// barrier):
+//
+//   - Crash-restart-recheck: a §7 recovery pass over the already-applied
+//     log must change nothing — same item values, zero actions redone
+//     (the store's applied-LSN skips every record), zero network calls.
+//   - Rebuild-from-log-alone: replaying the stable log into a brand-new
+//     store (as if the disk minus log had been replaced) must agree
+//     with the live store on every item.
+func (r *runner) checkIdempotence(round int) error {
+	var sites []int
+	if round == r.sched.Rounds {
+		for i := 1; i <= r.sched.Sites; i++ {
+			sites = append(sites, i)
+		}
+	} else {
+		sites = []int{(round-1)%r.sched.Sites + 1}
+	}
+	for _, i := range sites {
+		eng := r.c.SiteEngine(i)
+		before := make(map[string]core.Value, len(r.items))
+		for _, item := range r.items {
+			before[item] = r.c.Quota(i, item)
+		}
+		r.c.Crash(i)
+		if err := r.c.Restart(i); err != nil {
+			return fmt.Errorf("idempotence: site %d restart: %w", i, err)
+		}
+		r.tracef("r%d barrier: idempotence crash-cycle site %d", round, i)
+		for _, item := range r.items {
+			if after := r.c.Quota(i, item); after != before[item] {
+				return fmt.Errorf(
+					"idempotence: site %d %s changed %d→%d across crash+replay",
+					i, item, before[item], after)
+			}
+		}
+		sum := r.c.LastRecovery(i)
+		if sum.NetworkCalls != 0 {
+			return fmt.Errorf("idempotence: site %d recovery made %d network calls (§7 independence)",
+				i, sum.NetworkCalls)
+		}
+		if sum.ActionsRedone != 0 {
+			return fmt.Errorf(
+				"idempotence: site %d recovery redid %d actions over an already-applied store",
+				i, sum.ActionsRedone)
+		}
+
+		db, _, rsum, err := recovery.Rebuild(eng.Log(), eng.ID())
+		if err != nil {
+			return fmt.Errorf("idempotence: site %d rebuild: %w", i, err)
+		}
+		if rsum.NetworkCalls != 0 {
+			return fmt.Errorf("idempotence: site %d rebuild made network calls", i)
+		}
+		for _, item := range r.items {
+			if rebuilt, live := db.Value(ident.ItemID(item)), r.c.Quota(i, item); rebuilt != live {
+				return fmt.Errorf(
+					"idempotence: site %d %s rebuilt-from-log=%d live=%d",
+					i, item, rebuilt, live)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import "testing"
+
+// Table-driven edge cases at the boundaries of the §4.1 formalism:
+// zero-valued partitions, the degenerate single-site Γ, decrements
+// that land exactly on the bound, and redistribution/effectiveness
+// corner cases. The property tests elsewhere sweep the interior of the
+// space; these pin the edges where off-by-ones live.
+
+func TestZeroValuePartitionEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		elems []Value
+		split int
+		want  Value // Π
+	}{
+		{"all zero", []Value{0, 0, 0}, 2, 0},
+		{"zero among values", []Value{0, 100, 0}, 3, 100},
+		{"single zero", []Value{0}, 1, 0},
+		{"zeros outnumber pieces", []Value{0, 0, 0, 0, 7}, 2, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := MustMultiset(tc.elems...)
+			if got := b.Pi(); got != tc.want {
+				t.Fatalf("Π = %d, want %d", got, tc.want)
+			}
+			// Zero-valued constituents are legitimate members of Γ⁺:
+			// the partitionable property must hold through them.
+			pieces := b.Split(tc.split)
+			collapsed, err := Collapse(pieces)
+			if err != nil {
+				t.Fatalf("collapse: %v", err)
+			}
+			if got := collapsed.Pi(); got != tc.want {
+				t.Errorf("Π after split/collapse = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRedistributeZeroEdges(t *testing.T) {
+	cases := []struct {
+		name   string
+		elems  []Value
+		i, j   int
+		amount Value
+		ok     bool
+		wantI  Value
+		wantJ  Value
+	}{
+		{"move zero amount", []Value{5, 3}, 0, 1, 0, true, 5, 3},
+		{"move zero from zero", []Value{0, 3}, 0, 1, 0, true, 0, 3},
+		{"drain element to zero", []Value{5, 3}, 0, 1, 5, true, 0, 8},
+		{"from zero element", []Value{0, 3}, 0, 1, 1, false, 0, 3},
+		{"into zero element", []Value{4, 0}, 0, 1, 4, true, 0, 4},
+		{"negative amount", []Value{5, 3}, 0, 1, -1, false, 5, 3},
+		{"one more than held", []Value{5, 3}, 0, 1, 6, false, 5, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := MustMultiset(tc.elems...)
+			before := b.Pi()
+			out, ok := b.Redistribute(tc.i, tc.j, tc.amount)
+			if ok != tc.ok {
+				t.Fatalf("ok = %v, want %v", ok, tc.ok)
+			}
+			if got := out.Pi(); got != before {
+				t.Errorf("Π changed %d→%d under redistribution", before, got)
+			}
+			if got := out.At(tc.i); got != tc.wantI {
+				t.Errorf("elem %d = %d, want %d", tc.i, got, tc.wantI)
+			}
+			if got := out.At(tc.j); got != tc.wantJ {
+				t.Errorf("elem %d = %d, want %d", tc.j, got, tc.wantJ)
+			}
+		})
+	}
+}
+
+func TestSingleSiteGamma(t *testing.T) {
+	// One site holds all of Γ: shares collapse to the total, every
+	// operator acts as it would on the undistributed item.
+	cases := []struct {
+		name  string
+		total Value
+	}{
+		{"zero total", 0},
+		{"unit total", 1},
+		{"large total", 1 << 40},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			shares := EvenShares(tc.total, 1)
+			if len(shares) != 1 || shares[0] != tc.total {
+				t.Fatalf("EvenShares(%d, 1) = %v, want [%d]", tc.total, shares, tc.total)
+			}
+			ws := WeightedShares(tc.total, []float64{3.7})
+			if len(ws) != 1 || ws[0] != tc.total {
+				t.Fatalf("WeightedShares(%d, [w]) = %v, want [%d]", tc.total, ws, tc.total)
+			}
+			b := MustMultiset(shares...)
+			if pieces := b.Split(1); len(pieces) != 1 || pieces[0].Pi() != tc.total {
+				t.Errorf("singleton split lost value")
+			}
+			// A full decrement is effective exactly once.
+			out, ok := b.ApplyAt(0, Decr{M: tc.total})
+			if !ok || out.Pi() != 0 {
+				t.Fatalf("decrement of full holding: ok=%v Π=%d", ok, out.Pi())
+			}
+			if _, ok := out.ApplyAt(0, Decr{M: 1}); ok {
+				t.Error("decrement below empty holding was effective")
+			}
+		})
+	}
+}
+
+func TestDecrExactlyToBound(t *testing.T) {
+	cases := []struct {
+		name string
+		v, m Value
+		ok   bool
+		want Value
+	}{
+		{"exactly to zero", 10, 10, true, 0},
+		{"one short", 10, 11, false, 10},
+		{"one spare", 10, 9, true, 1},
+		{"zero from zero", 0, 0, true, 0},
+		{"one from zero", 0, 1, false, 0},
+		{"decr by zero", 7, 0, true, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := Decr{M: tc.m}.Apply(tc.v)
+			if ok != tc.ok || got != tc.want {
+				t.Errorf("decr(%d) on %d = (%d, %v), want (%d, %v)",
+					tc.m, tc.v, got, ok, tc.want, tc.ok)
+			}
+			if need := (Decr{M: tc.m}).Needs(); (tc.v >= need) != tc.ok {
+				t.Errorf("Needs()=%d disagrees with effectiveness on %d", need, tc.v)
+			}
+		})
+	}
+}
+
+func TestComposeBoundEdges(t *testing.T) {
+	// Compositions whose intermediate states touch the bound exactly.
+	cases := []struct {
+		name string
+		ops  []Op
+		v    Value
+		ok   bool
+		want Value
+	}{
+		{"drain then refill", []Op{Decr{M: 5}, Incr{M: 5}}, 5, true, 5},
+		{"refill then overdrain", []Op{Incr{M: 2}, Decr{M: 8}}, 5, false, 5},
+		{"touch zero twice", []Op{Decr{M: 5}, Incr{M: 3}, Decr{M: 3}}, 5, true, 0},
+		{"needs met by prefix incr", []Op{Incr{M: 10}, Decr{M: 10}}, 0, true, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			op := Compose(tc.ops...)
+			got, ok := op.Apply(tc.v)
+			if ok != tc.ok || got != tc.want {
+				t.Errorf("%v on %d = (%d, %v), want (%d, %v)",
+					op, tc.v, got, ok, tc.want, tc.ok)
+			}
+			if need := op.Needs(); (tc.v >= need) != tc.ok {
+				t.Errorf("Needs()=%d disagrees with effectiveness on %d", need, tc.v)
+			}
+		})
+	}
+}
+
+func TestGrantPolicyZeroEdges(t *testing.T) {
+	policies := []SplitPolicy{GrantExact{}, GrantAll{}, GrantHalfExcess{}, GrantFraction{Num: 1, Den: 4}}
+	cases := []struct {
+		name       string
+		have, want Value
+	}{
+		{"nothing held", 0, 5},
+		{"nothing wanted", 9, 0},
+		{"both zero", 0, 0},
+		{"want equals have", 6, 6},
+		{"negative want", 6, -3},
+	}
+	for _, p := range policies {
+		for _, tc := range cases {
+			t.Run(p.String()+"/"+tc.name, func(t *testing.T) {
+				g := p.Grant(tc.have, tc.want)
+				// The SplitPolicy contract: 0 ≤ grant ≤ have, whatever
+				// the inputs. (GrantAll legitimately grants everything
+				// even for want=0: full reads need the entire holding.)
+				if g < 0 || g > tc.have {
+					t.Errorf("%s.Grant(%d, %d) = %d out of [0, %d]",
+						p, tc.have, tc.want, g, tc.have)
+				}
+			})
+		}
+	}
+}
+
+func TestEvenSharesEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		total Value
+		n     int
+		want  []Value
+	}{
+		{"zero total many sites", 0, 4, []Value{0, 0, 0, 0}},
+		{"fewer units than sites", 2, 4, []Value{1, 1, 0, 0}},
+		{"one unit", 1, 3, []Value{1, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := EvenShares(tc.total, tc.n)
+			if len(got) != len(tc.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(tc.want))
+			}
+			var sum Value
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("share %d = %d, want %d", i, got[i], tc.want[i])
+				}
+				sum += got[i]
+			}
+			if sum != tc.total {
+				t.Errorf("shares sum to %d, want %d", sum, tc.total)
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@ package recovery
 import (
 	"fmt"
 
+	"dvp/internal/ident"
 	"dvp/internal/store"
 	"dvp/internal/tstamp"
 	"dvp/internal/vmsg"
@@ -150,6 +151,25 @@ func Recover(log wal.Log, db *store.Durable, vm *vmsg.Manager, clock *tstamp.Clo
 		}
 	}
 	return sum, nil
+}
+
+// Rebuild replays a site's stable log into brand-new volatile and
+// durable state, as if the site's disk (minus the log and its last
+// checkpoint) had been replaced. Invariant checkers use it to verify
+// WAL-replay idempotence: the rebuilt store must agree with the live
+// one on every item value, however many crashes interleaved the
+// history. The log is only read, never written.
+//
+// Note the rebuilt state reflects logged history only: the initial
+// quota placement and Conc1 lock stamps are not logged, so a rebuild
+// is exact only from the first checkpoint onward (checkpoints carry
+// the full store snapshot).
+func Rebuild(log wal.Log, site ident.SiteID) (*store.Durable, *vmsg.Manager, Summary, error) {
+	db := store.New()
+	vm := vmsg.NewManager()
+	clock := tstamp.NewClock(site)
+	sum, err := Recover(log, db, vm, clock)
+	return db, vm, sum, err
 }
 
 // observeActions folds the timestamps a record carries into the clock

@@ -75,6 +75,7 @@ type Net struct {
 	filter func(from, to ident.SiteID, kind wire.Kind) bool
 	stats  Stats
 	trace  func(ev TraceEvent)
+	tap    func(from, to ident.SiteID, kind wire.Kind, frame []byte)
 	closed bool
 	fifos  map[linkKey]chan deliverJob // OrderPreserving queues
 	// pending counts in-flight messages. A plain WaitGroup would be
@@ -189,6 +190,65 @@ func (n *Net) SetLinkBoth(a, b ident.SiteID, up bool) {
 	n.SetLink(b, a, up)
 }
 
+// SetLoss adjusts the random message-loss probability at runtime.
+// Fault schedules use it to flap lossiness mid-run; messages already
+// in flight are unaffected.
+func (n *Net) SetLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.LossProb = p
+}
+
+// SetDup adjusts the message-duplication probability at runtime.
+func (n *Net) SetDup(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cfg.DupProb = p
+}
+
+// SetDelayBounds adjusts the propagation-delay bounds at runtime
+// (max < min is clamped to min, matching New).
+func (n *Net) SetDelayBounds(min, max time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if max < min {
+		max = min
+	}
+	n.cfg.MinDelay, n.cfg.MaxDelay = min, max
+}
+
+// ScheduleAfter runs fn once d has elapsed on the network's clock —
+// the scheduled-fault hook: chaos schedules partition/heal/crash
+// actions at virtual or real instants without owning a timer. fn is
+// skipped (not run) if the network has been closed by then.
+func (n *Net) ScheduleAfter(d time.Duration, fn func()) {
+	ch := n.cfg.Clock.After(d)
+	go func() {
+		<-ch
+		n.mu.Lock()
+		closed := n.closed
+		n.mu.Unlock()
+		if !closed {
+			fn()
+		}
+	}()
+}
+
+// Clock returns the clock the network schedules deliveries on. Tests
+// driving a vclock.Virtual use it to advance simulated time.
+func (n *Net) Clock() vclock.Clock { return n.cfg.Clock }
+
+// SetTap installs a frame tap: it observes every marshaled envelope
+// at the moment of transmission, before any loss/partition decision
+// (nil disables). Fuzz-corpus capture and wire-level debugging hang
+// off this; the callback runs on the sending goroutine under no locks
+// and must not retain frame.
+func (n *Net) SetTap(fn func(from, to ident.SiteID, kind wire.Kind, frame []byte)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tap = fn
+}
+
 // SetFilter installs a message filter: return false to drop the
 // message (counted as Cut). Kind-selective drops let tests and
 // experiments build precise fault scenarios — e.g. losing exactly the
@@ -261,6 +321,13 @@ func (n *Net) send(from *endpoint, env *wire.Envelope) error {
 		return err
 	}
 	kind := env.Msg.Kind()
+
+	n.mu.Lock()
+	tap := n.tap
+	n.mu.Unlock()
+	if tap != nil {
+		tap(from.site, env.To, kind, buf)
+	}
 
 	n.mu.Lock()
 	if n.closed || from.closed {

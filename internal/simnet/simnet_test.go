@@ -400,8 +400,113 @@ func TestCloseStopsDelivery(t *testing.T) {
 	env.To = 2
 	e1.Send(env)
 	n.Close() // before the 50ms delay elapses
-	time.Sleep(80 * time.Millisecond)
+	// Quiesce rather than wall-clock sleep: it returns once the
+	// in-flight delivery goroutine has run (and been dropped by the
+	// closed check), making the assertion timing-independent.
+	n.Quiesce()
 	if c.count() != 0 {
 		t.Error("message delivered after Close")
+	}
+}
+
+func TestRuntimeFaultKnobs(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	e1 := n.Endpoint(1)
+	e2 := n.Endpoint(2)
+	var c collector
+	e2.SetHandler(c.handler)
+
+	send := func(k int) {
+		for i := 0; i < k; i++ {
+			env := ack(uint64(i))
+			env.To = 2
+			e1.Send(env)
+		}
+		n.Quiesce()
+	}
+
+	// 100% loss: nothing arrives.
+	n.SetLoss(1.0)
+	send(20)
+	if c.count() != 0 {
+		t.Fatalf("delivered %d with loss=1.0, want 0", c.count())
+	}
+	// Back to lossless: everything arrives.
+	n.SetLoss(0)
+	send(20)
+	if c.count() != 20 {
+		t.Fatalf("delivered %d with loss=0, want 20", c.count())
+	}
+	// 100% duplication: every message arrives twice.
+	n.SetDup(1.0)
+	send(10)
+	if got := c.count(); got != 40 {
+		t.Fatalf("delivered %d with dup=1.0, want 40", got)
+	}
+	// Delay bounds are clamped like New (max < min → min).
+	n.SetDelayBounds(time.Millisecond, 0)
+	n.mu.Lock()
+	min, max := n.cfg.MinDelay, n.cfg.MaxDelay
+	n.mu.Unlock()
+	if min != time.Millisecond || max != time.Millisecond {
+		t.Errorf("delay bounds = %v/%v, want 1ms/1ms", min, max)
+	}
+}
+
+func TestScheduleAfterFiresOnClock(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	fired := make(chan struct{})
+	n.ScheduleAfter(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduled fault never fired")
+	}
+}
+
+func TestScheduleAfterSkippedWhenClosed(t *testing.T) {
+	n := New(Config{MinDelay: 20 * time.Millisecond, MaxDelay: 20 * time.Millisecond})
+	var fired atomic.Bool
+	done := make(chan struct{})
+	n.ScheduleAfter(10*time.Millisecond, func() { fired.Store(true) })
+	n.ScheduleAfter(10*time.Millisecond, func() { close(done) })
+	n.Close()
+	// The second callback never runs (net closed), so wait on the
+	// first timer's worst case via a third schedule on the real clock.
+	select {
+	case <-done:
+		t.Fatal("scheduled fault ran after Close")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if fired.Load() {
+		t.Error("scheduled fault ran after Close")
+	}
+}
+
+func TestTapSeesEveryFrame(t *testing.T) {
+	n := New(Config{LossProb: 1.0}) // even lost messages are tapped
+	defer n.Close()
+	e1 := n.Endpoint(1)
+	n.Endpoint(2)
+	var frames atomic.Int64
+	n.SetTap(func(from, to ident.SiteID, kind wire.Kind, frame []byte) {
+		if from != 1 || to != 2 || kind != wire.KVmAck || len(frame) == 0 {
+			t.Errorf("tap saw from=%v to=%v kind=%v len=%d", from, to, kind, len(frame))
+		}
+		if _, err := wire.Unmarshal(frame); err != nil {
+			t.Errorf("tapped frame does not decode: %v", err)
+		}
+		frames.Add(1)
+	})
+	for i := 0; i < 5; i++ {
+		env := ack(uint64(i))
+		env.To = 2
+		e1.Send(env)
+	}
+	n.Quiesce()
+	if frames.Load() != 5 {
+		t.Errorf("tap saw %d frames, want 5", frames.Load())
 	}
 }

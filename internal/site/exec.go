@@ -161,11 +161,18 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 		}
 		actions = append(actions, wal.Action{Item: item, Delta: d, SetTS: ts})
 	}
+	// The epoch check and the append must be one unit against Crash:
+	// lifeMu's fence guarantees that once Crash returns, no stale-epoch
+	// commit record can still reach the log — recovery's scan would
+	// miss it and could reissue its timestamp.
+	s.lifeMu.RLock()
 	if !s.sameEpoch(epoch) {
+		s.lifeMu.RUnlock()
 		return finish(txn.StatusSiteDown)
 	}
 	lsn, err := s.cfg.Log.Append(wal.RecCommit, (&wal.CommitRec{Txn: ts, Actions: actions}).Encode())
 	if err != nil {
+		s.lifeMu.RUnlock()
 		return finish(txn.StatusSiteDown)
 	}
 	tr.Step("wal-flush", fmt.Sprintf("lsn=%d actions=%d", lsn, len(actions)))
@@ -176,6 +183,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 		panic("site: committed actions failed to apply: " + err.Error())
 	}
 	_, _ = s.cfg.Log.Append(wal.RecApplied, (&wal.AppliedRec{CommitLSN: lsn}).Encode())
+	s.lifeMu.RUnlock()
 	tr.Step("apply", "")
 
 	// Step 7 — locks released by the deferred ReleaseAll. Flow

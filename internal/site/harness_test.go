@@ -129,6 +129,28 @@ func (tc *testCluster) waitQuiescent(item ident.ItemID, deadline time.Duration) 
 	}
 }
 
+// waitUntil polls cond until it holds or the deadline passes —
+// condition-based synchronization instead of wall-clock sleeps, so
+// -race runs are timing-independent.
+func waitUntil(t *testing.T, deadline time.Duration, what string, cond func() bool) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("condition %q not reached within %v", what, deadline)
+}
+
+// lockHeld reports whether any transaction currently holds the lock
+// on item at s — the observable signal that a concurrent Run has
+// passed its §5 step-1 lock acquisition.
+func lockHeld(s *Site, item ident.ItemID) bool {
+	return s.locks.Holder(item) != ident.NoTxn
+}
+
 func (tc *testCluster) committedTxns() []cc.CommittedTxn {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()

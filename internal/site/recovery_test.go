@@ -25,7 +25,11 @@ func TestCrashAbortsInFlightAndRecovers(t *testing.T) {
 			Ask:     txn.AskAll,
 		})
 	}()
-	time.Sleep(20 * time.Millisecond)
+	// Crash only once the transaction is provably in its step-3 wait
+	// (lock held), so the SiteDown path is the one under test.
+	waitUntil(t, 2*time.Second, "txn holds the lock", func() bool {
+		return lockHeld(tc.sites[0], "flight/A")
+	})
 	tc.sites[0].Crash()
 	select {
 	case res := <-done:

@@ -319,6 +319,10 @@ func (s *Site) DB() *store.Durable { return s.cfg.DB }
 // LogLastLSN reports the stable log's newest LSN (log growth metric).
 func (s *Site) LogLastLSN() uint64 { return s.cfg.Log.LastLSN() }
 
+// Log exposes the site's stable log for invariant checkers and fault
+// harnesses (exactly-once audits scan it; never write to it).
+func (s *Site) Log() wal.Log { return s.cfg.Log }
+
 // VM exposes the Vm channel manager (conservation checks need the
 // created-but-unaccepted sets on both sides of each channel).
 func (s *Site) VM() *vmsg.Manager { return s.vm }

@@ -162,8 +162,10 @@ func TestLockConflictAbortsImmediately(t *testing.T) {
 	// First txn grabs the lock and waits (shortfall unsatisfiable).
 	done := make(chan *txn.Result, 1)
 	go func() { done <- tc.sites[0].Run(reserve("hot", 5)) }()
-	// Give it time to acquire the lock.
-	time.Sleep(10 * time.Millisecond)
+	// Wait for it to actually hold the lock (no wall-clock guess).
+	waitUntil(t, 2*time.Second, "first txn holds the lock", func() bool {
+		return lockHeld(tc.sites[0], "hot")
+	})
 	res2 := tc.sites[0].Run(reserve("hot", 1))
 	if res2.Status != txn.StatusLockConflict && res2.Status != txn.StatusCCRejected {
 		t.Errorf("concurrent same-site txn: %v, want immediate lock/cc abort", res2.Status)
