@@ -1,6 +1,8 @@
 package dvp_test
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -48,6 +50,7 @@ func BenchmarkF5PartitionTimeline(b *testing.B)     { benchExperiment(b, "F5") }
 func BenchmarkF6QuotaDynamics(b *testing.B)         { benchExperiment(b, "F6") }
 func BenchmarkA1RebalancerAblation(b *testing.B)    { benchExperiment(b, "A1") }
 func BenchmarkA2GrantPolicyAblation(b *testing.B)   { benchExperiment(b, "A2") }
+func BenchmarkP1GroupCommit(b *testing.B)           { benchExperiment(b, "P1") }
 
 // --- micro benches -----------------------------------------------------------
 
@@ -66,6 +69,85 @@ func BenchmarkLocalCommit(b *testing.B) {
 		if res := c.At(1).Reserve("bench", 1); !res.Committed() {
 			b.Fatalf("local reserve aborted: %v", res.Status)
 		}
+	}
+}
+
+// BenchmarkLocalCommitParallel measures the group-commit win: 8
+// committers on disjoint items, each commit force-written to a real
+// synced file log. Unbatched, every committer pays its own fsync in
+// turn; grouped, the flusher folds concurrent commits into one
+// write+fsync, so throughput scales with the batch instead of
+// serializing on the disk. The grouped/unbatched ratio is the PR's
+// headline number (recorded in BENCH_PR3.json).
+func BenchmarkLocalCommitParallel(b *testing.B) {
+	const committers = 8
+	run := func(b *testing.B, group bool) {
+		c, err := dvp.NewCluster(dvp.Config{
+			Sites:       1,
+			Seed:        1,
+			FileLogDir:  b.TempDir(),
+			FileLogSync: true,
+			GroupCommit: group,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		items := make([]string, committers)
+		for g := range items {
+			items[g] = fmt.Sprintf("bench/%d", g)
+			if err := c.CreateItem(items[g], dvp.Value(b.N)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < committers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < b.N; i += committers {
+					if res := c.At(1).Reserve(items[g], 1); !res.Committed() {
+						b.Errorf("parallel reserve aborted: %v", res.Status)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	b.Run("unbatched", func(b *testing.B) { run(b, false) })
+	b.Run("grouped", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkVmThroughput measures the Vm pipeline end to end: b.N
+// single-unit Rds transfers from site 1 to site 2 (log create → send →
+// accept → cumulative ack), timed until the receiver has accepted every
+// one. Coalesced network writes and VmBatch piggybacking determine how
+// many envelopes and syscalls that takes.
+func BenchmarkVmThroughput(b *testing.B) {
+	c, err := dvp.NewCluster(dvp.Config{
+		Sites: 2, Seed: 1, RetransmitEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.CreateItemShares("bench", []dvp.Value{dvp.Value(b.N) + 1, 0}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SendValue("bench", 1, 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for deadline := time.Now().Add(time.Minute); c.Quota(2, "bench") < dvp.Value(b.N); {
+		if time.Now().After(deadline) {
+			b.Fatalf("receiver accepted %d of %d transfers within a minute",
+				c.Quota(2, "bench"), b.N)
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 }
 

@@ -16,6 +16,11 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Bench smoke: one iteration of the perf-bearing benchmarks, so the
+# group-commit and Vm pipelines stay runnable under `go test -bench`
+# without paying full measurement time.
+go test -run='^$' -bench='BenchmarkLocalCommitParallel|BenchmarkVmThroughput' -benchtime=1x .
+
 # Fuzz smoke: a short randomized pass per target on top of the
 # checked-in seed corpus (which includes envelopes and WAL records
 # captured from chaos runs — regenerate with `dvpsim chaos -corpus

@@ -52,7 +52,11 @@ func main() {
 		creates  = flag.String("create", "", "comma list item=localshare installed if absent")
 		scheme   = flag.String("cc", "conc1", "concurrency control: conc1 or conc2")
 		timeout  = flag.Duration("timeout", 250*time.Millisecond, "default transaction timeout")
-		sync     = flag.Bool("sync", false, "fsync the WAL on every append")
+		sync     = flag.Bool("sync", false, "fsync the WAL on every force-write")
+		groupCmt = flag.Bool("group-commit", false, "batch concurrent WAL appends into single force-writes")
+		groupMax = flag.Int("group-batch", 0, "max records per group-commit flush (0 = default 128)")
+		groupLng = flag.Duration("group-linger", 0, "group-commit linger: wait this long for more committers before flushing")
+		stripes  = flag.Int("stripes", 0, "admission stripes sharding the per-item critical section (0 = default 16; forced to 1 under conc2)")
 		ckptIv   = flag.Duration("checkpoint", 0, "write a checkpoint record on this interval (0 disables)")
 		metricsL = flag.String("metrics", "", "HTTP listen address serving /metrics and /traces (optional)")
 		traceCap = flag.Int("trace-buf", 1024, "transaction trace ring capacity")
@@ -80,8 +84,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer logFile.Close()
 	logFile.Instrument(reg, "site", self.String())
+	var siteLog wal.Log = logFile
+	if *groupCmt {
+		gl := wal.NewGroupLog(logFile, wal.GroupCommitOptions{
+			MaxBatch: *groupMax,
+			Linger:   *groupLng,
+		})
+		gl.Instrument(reg, "site", self.String())
+		siteLog = gl
+	}
+	defer siteLog.Close()
 
 	ep, err := tcpnet.New(tcpnet.Config{Site: self, Listen: *listen, Peers: addrs, Metrics: reg})
 	if err != nil {
@@ -97,13 +110,14 @@ func main() {
 	db := store.New()
 	s, err := site.New(site.Config{
 		ID: self, Peers: peers,
-		Log: logFile, DB: db,
-		Endpoint:        ep,
-		CC:              ccPolicy,
-		DefaultTimeout:  *timeout,
-		RetransmitEvery: 25 * time.Millisecond,
-		Metrics:         reg,
-		Trace:           traces,
+		Log: siteLog, DB: db,
+		Endpoint:         ep,
+		CC:               ccPolicy,
+		DefaultTimeout:   *timeout,
+		RetransmitEvery:  25 * time.Millisecond,
+		AdmissionStripes: *stripes,
+		Metrics:          reg,
+		Trace:            traces,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -127,7 +141,7 @@ func main() {
 			// process rebuilds its store from the WAL — so the
 			// initial share must itself be a logged action.
 			rec := &wal.CommitRec{Actions: []wal.Action{{Item: item, Delta: share}}}
-			lsn, err := logFile.Append(wal.RecCommit, rec.Encode())
+			lsn, err := siteLog.Append(wal.RecCommit, rec.Encode())
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -128,11 +128,32 @@ type Config struct {
 	// FileLogDir, when set, backs each site's stable log with a real
 	// CRC-framed file under this directory instead of memory.
 	FileLogDir string
-	// LogAppendDelay simulates stable-storage force-write latency on
-	// every log append (e.g. 200µs ≈ SSD fsync). It makes commit
-	// cost a wait rather than CPU, so concurrency behaviour is
-	// realistic regardless of host core count.
+	// FileLogSync forces an fsync per force-write on file-backed logs
+	// (see wal.FileLogOptions.Sync). Meaningful only with FileLogDir.
+	FileLogSync bool
+	// LogAppendDelay simulates stable-storage force-write latency per
+	// flush (e.g. 200µs ≈ SSD fsync). It makes commit cost a wait
+	// rather than CPU, so concurrency behaviour is realistic
+	// regardless of host core count. With GroupCommit on, one delay
+	// covers a whole batch — the batching win the real fsync gives.
 	LogAppendDelay time.Duration
+
+	// GroupCommit batches concurrent log appends per site into single
+	// force-writes: committers park on a dedicated flusher goroutine's
+	// durable-LSN notification instead of each paying their own fsync.
+	// The Log contract is unchanged (Append returns ⇒ record stable).
+	GroupCommit bool
+	// GroupCommitMaxBatch bounds records per flush (default 128).
+	GroupCommitMaxBatch int
+	// GroupCommitLinger is how long the flusher waits after the first
+	// record of a batch for concurrent committers to join (default 0:
+	// flush immediately; arrivals during a flush still batch up).
+	GroupCommitLinger time.Duration
+
+	// AdmissionStripes shards each site's admission/message critical
+	// section by item so transactions on disjoint items admit
+	// concurrently (default 16; forced to 1 under Conc2).
+	AdmissionStripes int
 
 	// OnCommit observes every committed transaction (metrics,
 	// serializability checking). Called from transaction goroutines.
@@ -157,6 +178,10 @@ type CommitInfo struct {
 	WriterIdx map[string]uint64
 	ReadVec   map[string]map[int]uint64
 	Label     string
+	// CommitLSN is the stable-log LSN of the commit record that
+	// acknowledged this transaction — the handle durability audits
+	// use to assert no acknowledged commit is ever lost.
+	CommitLSN uint64
 }
 
 // Value is a quantity (Γ in the paper: non-negative int64).

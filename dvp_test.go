@@ -1,7 +1,9 @@
 package dvp
 
 import (
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -226,6 +228,64 @@ func TestLossyNetworkStillConserves(t *testing.T) {
 	c.Quiesce(3 * time.Second)
 	if got := c.GlobalTotal("x"); got != 200-committed {
 		t.Errorf("N = %d, want %d", got, 200-committed)
+	}
+}
+
+// A group-commit cluster must behave identically to an unbatched one
+// (commits durable, totals conserved) while exposing the pipeline: a
+// per-site GroupLog handle, a durable-LSN watermark covering every
+// acknowledged commit, and batch/flush histograms in the registry.
+func TestGroupCommitCluster(t *testing.T) {
+	c := mustCluster(t, Config{
+		Sites:       3,
+		Seed:        17,
+		GroupCommit: true,
+	})
+	if err := c.CreateItem("flight/G", 90); err != nil {
+		t.Fatal(err)
+	}
+	var committed int64
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if c.At(1+i%3).Reserve("flight/G", 1).Committed() {
+				atomic.AddInt64(&committed, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.Quiesce(2 * time.Second)
+
+	if committed == 0 {
+		t.Fatal("no transaction committed through the group-commit pipeline")
+	}
+	if got := c.GlobalTotal("flight/G"); got != 90-Value(committed) {
+		t.Errorf("N = %d, want %d", got, 90-committed)
+	}
+
+	for i := 1; i <= 3; i++ {
+		gl := c.GroupLog(i)
+		if gl == nil {
+			t.Fatalf("site %d: GroupLog() = nil with GroupCommit on", i)
+		}
+		if gl.Waiters() != 0 {
+			t.Errorf("site %d: %d waiters parked after quiesce", i, gl.Waiters())
+		}
+		if got, want := gl.DurableLSN(), gl.LastLSN(); got != want {
+			t.Errorf("site %d: durable LSN %d behind last LSN %d", i, got, want)
+		}
+	}
+	out := c.Metrics().Render()
+	for _, want := range []string{
+		"dvp_wal_group_batch_bucket",
+		"dvp_wal_flush_seconds_bucket",
+		`site="s1"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics render missing %s", want)
+		}
 	}
 }
 

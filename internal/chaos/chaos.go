@@ -48,8 +48,10 @@ type Report struct {
 	Sites, Items, Rounds int
 
 	// Fault actions actually applied (a scheduled crash of an
-	// already-down site, say, does not count).
-	Crashes, Restarts, Partitions, Heals, LinkFlaps, Checkpoints int
+	// already-down site, say, does not count). FlushCrashes counts
+	// crash-in-flush traps that actually fired (armed traps whose site
+	// never flushed again don't); fired traps also count as Crashes.
+	Crashes, Restarts, Partitions, Heals, LinkFlaps, Checkpoints, FlushCrashes int
 
 	// Workload outcomes.
 	Committed, Aborted int
@@ -66,9 +68,9 @@ type Report struct {
 // String is a one-line summary.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"seed=%d sites=%d items=%d rounds=%d crashes=%d restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d committed=%d aborted=%d checks=%d",
+		"seed=%d sites=%d items=%d rounds=%d crashes=%d (in-flush=%d) restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d committed=%d aborted=%d checks=%d",
 		r.Seed, r.Sites, r.Items, r.Rounds,
-		r.Crashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints,
+		r.Crashes, r.FlushCrashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints,
 		r.Committed, r.Aborted, r.InvariantChecks)
 }
 
@@ -92,6 +94,13 @@ type runner struct {
 	committed   []dvp.CommitInfo
 	downedLinks map[[2]int]bool
 	start       time.Time
+
+	// Crash-in-flush machinery: hooksLive gates armed flush traps (the
+	// barrier clears it before disarming, so a trap firing during the
+	// barrier is a no-op), crashWG tracks in-flight trap crashes so the
+	// barrier can join them before restarting sites.
+	hooksLive bool
+	crashWG   sync.WaitGroup
 }
 
 // Run executes the schedule and checks the global invariants at every
@@ -119,6 +128,11 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		DupProb:         baseDup,
 		RetransmitEvery: retransmitEvery,
 		DefaultTimeout:  txnTimeout,
+		// Group commit is always on under chaos: every schedule crashes
+		// a site inside a flush window (EvCrashInFlush) and the
+		// durability invariant audits the acked-commit/durable-LSN
+		// boundary the pipeline introduces.
+		GroupCommit: true,
 		OnCommit: func(ci dvp.CommitInfo) {
 			r.mu.Lock()
 			r.committed = append(r.committed, ci)
@@ -172,6 +186,10 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 // both.
 func (r *runner) runRound(round int) {
 	deadline := time.Now().Add(time.Duration(r.sched.RoundMS) * time.Millisecond)
+
+	r.mu.Lock()
+	r.hooksLive = true
+	r.mu.Unlock()
 
 	var events sync.WaitGroup
 	for _, e := range r.sched.eventsIn(round) {
@@ -295,6 +313,44 @@ func (r *runner) apply(round int, e Event) {
 		} else {
 			applied = false
 		}
+	case EvCrashInFlush:
+		gl := r.c.GroupLog(e.Site)
+		if gl == nil || !r.c.SiteUp(e.Site) {
+			applied = false
+			break
+		}
+		site := e.Site
+		var once sync.Once
+		// The hook runs on the flusher goroutine at the start of a
+		// flush window (before the force-write); the kill must come
+		// from a fresh goroutine — Crash blocks on the lifecycle fence
+		// until parked committers drain, which needs the flusher free.
+		gl.SetFlushHook(func(batch int) {
+			once.Do(func() {
+				r.mu.Lock()
+				live := r.hooksLive
+				if live {
+					r.crashWG.Add(1)
+				}
+				r.mu.Unlock()
+				if !live {
+					return
+				}
+				go func() {
+					defer r.crashWG.Done()
+					if !r.c.SiteUp(site) {
+						return
+					}
+					r.c.Crash(site)
+					r.count(func(rep *Report) {
+						rep.Crashes++
+						rep.FlushCrashes++
+					})
+					r.tracef("r%d crash-in-flush fired: site %d killed inside a %d-record flush window",
+						round, site, batch)
+				}()
+			})
+		})
 	}
 	if applied {
 		r.tracef("r%d +%dms %s", round, e.AtMS, e)
@@ -307,6 +363,18 @@ func (r *runner) apply(round int, e Event) {
 // quiescent state and checks every global invariant. Mid-run checks
 // happen here: once per round, not only at the end of the run.
 func (r *runner) barrier(round int) error {
+	// Disarm flush traps and join any crash they already launched —
+	// after this, no trap can kill a site the barrier just restarted.
+	r.mu.Lock()
+	r.hooksLive = false
+	r.mu.Unlock()
+	for i := 1; i <= r.sched.Sites; i++ {
+		if gl := r.c.GroupLog(i); gl != nil {
+			gl.SetFlushHook(nil)
+		}
+	}
+	r.crashWG.Wait()
+
 	// Heal whatever the round left broken.
 	r.c.Heal()
 	r.count(func(rep *Report) { rep.Heals++ })

@@ -18,6 +18,9 @@ import (
 // checkpoints) — conservation is re-verified after it precisely
 // because of that perturbation.
 func (r *runner) checkInvariants(round int) error {
+	if err := r.checkDurability(); err != nil {
+		return err
+	}
 	if err := r.checkConservation(); err != nil {
 		return err
 	}
@@ -25,6 +28,9 @@ func (r *runner) checkInvariants(round int) error {
 		return err
 	}
 	if err := r.checkExactlyOnce(); err != nil {
+		return err
+	}
+	if err := r.checkDurability(); err != nil {
 		return err
 	}
 	if err := r.checkSerializability(); err != nil {
@@ -172,6 +178,63 @@ func (r *runner) checkExactlyOnce() error {
 				return fmt.Errorf(
 					"exactly-once: site %d acked %d from site %d, which only ever allocated %d",
 					j, ack, i, out)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDurability verifies the group-commit pipeline never lied about
+// stability: every transaction the workload saw commit carries the LSN
+// of the commit record that acknowledged it, and that record must
+// still exist in the site's stable log — whatever crashes (including
+// crash-in-flush, which kills the site with committers parked
+// mid-batch) the schedule injected. Records older than the log's
+// compaction horizon (a checkpoint subsumed them) are exempt. The
+// pipeline itself must also be drained at a barrier: no parked
+// committers, durable watermark caught up with the last assigned LSN.
+func (r *runner) checkDurability() error {
+	r.mu.Lock()
+	ackedBySite := make(map[int][]uint64)
+	for _, ci := range r.committed {
+		if ci.CommitLSN > 0 {
+			ackedBySite[ci.Site] = append(ackedBySite[ci.Site], ci.CommitLSN)
+		}
+	}
+	r.mu.Unlock()
+
+	for i := 1; i <= r.sched.Sites; i++ {
+		if gl := r.c.GroupLog(i); gl != nil {
+			if n := gl.Waiters(); n != 0 {
+				return fmt.Errorf("durability: site %d has %d committers parked in the group-commit queue at a quiescent barrier", i, n)
+			}
+			if d, l := gl.DurableLSN(), gl.LastLSN(); d != l {
+				return fmt.Errorf("durability: site %d durable watermark %d behind last LSN %d at a quiescent barrier", i, d, l)
+			}
+		}
+		acked := ackedBySite[i]
+		if len(acked) == 0 {
+			continue
+		}
+		var horizon uint64 // first retained LSN
+		commits := make(map[uint64]bool)
+		err := r.c.SiteEngine(i).Log().Scan(1, func(rec wal.Record) error {
+			if horizon == 0 || rec.LSN < horizon {
+				horizon = rec.LSN
+			}
+			if rec.Kind == wal.RecCommit {
+				commits[rec.LSN] = true
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("durability: site %d log scan: %w", i, err)
+		}
+		for _, lsn := range acked {
+			if lsn >= horizon && !commits[lsn] {
+				return fmt.Errorf(
+					"durability: site %d acknowledged a commit at LSN %d but the record is gone from the stable log (retained from LSN %d) — an acked commit was lost",
+					i, lsn, horizon)
 			}
 		}
 	}

@@ -51,18 +51,27 @@ const (
 	// EvCheckpoint writes a checkpoint at a site, compacting its log
 	// mid-history (recovery then starts from the checkpoint).
 	EvCheckpoint
+	// EvCrashInFlush arms a one-shot trap on the site's group-commit
+	// pipeline: the site is killed the moment its NEXT flush window
+	// opens, so the crash lands with committers parked mid-batch. The
+	// durability invariant (no acknowledged commit lost) is exactly
+	// what this schedule stresses. New kinds append here — the text
+	// encoding names kinds, but keeping the enum stable keeps archived
+	// numeric traces meaningful.
+	EvCrashInFlush
 )
 
 var kindNames = map[EventKind]string{
-	EvCrash:      "crash",
-	EvRestart:    "restart",
-	EvPartition:  "partition",
-	EvHeal:       "heal",
-	EvLinkDown:   "link-down",
-	EvLinkUp:     "link-up",
-	EvLoss:       "loss",
-	EvDup:        "dup",
-	EvCheckpoint: "checkpoint",
+	EvCrash:        "crash",
+	EvRestart:      "restart",
+	EvPartition:    "partition",
+	EvHeal:         "heal",
+	EvLinkDown:     "link-down",
+	EvLinkUp:       "link-up",
+	EvLoss:         "loss",
+	EvDup:          "dup",
+	EvCheckpoint:   "checkpoint",
+	EvCrashInFlush: "crash-in-flush",
 }
 
 func (k EventKind) String() string {
@@ -100,7 +109,7 @@ type Event struct {
 // String renders the event the way the trace and Encode print it.
 func (e Event) String() string {
 	switch e.Kind {
-	case EvCrash, EvRestart, EvCheckpoint:
+	case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush:
 		return fmt.Sprintf("%s site=%d", e.Kind, e.Site)
 	case EvLinkDown, EvLinkUp:
 		return fmt.Sprintf("%s link=%d-%d", e.Kind, e.A, e.B)
@@ -145,12 +154,13 @@ func (s *Schedule) eventsIn(round int) []Event {
 // Build derives a schedule from a seed. Every choice — cluster shape,
 // how many faults per round, their kinds, targets and offsets — is
 // sampled from a PRNG seeded with the scenario seed, so the same seed
-// always yields the same schedule. Two guarantees are enforced after
+// always yields the same schedule. Three guarantees are enforced after
 // sampling, because the acceptance conditions require them: every
 // schedule contains at least one crash (hence at least one
 // crash-recovery cycle, since the round barrier restarts through §7
-// recovery) and at least one partition (healed mid-round or at the
-// barrier).
+// recovery), at least one partition (healed mid-round or at the
+// barrier), and at least one crash-in-flush (a site killed inside a
+// group-commit window).
 func Build(seed int64) *Schedule {
 	if seed == 0 {
 		seed = 1
@@ -169,7 +179,7 @@ func Build(seed int64) *Schedule {
 		n := 1 + rng.Intn(3) // 1..3 primary faults this round
 		for i := 0; i < n; i++ {
 			at := 10 + rng.Intn(s.RoundMS-30)
-			switch rng.Intn(6) {
+			switch rng.Intn(7) {
 			case 0, 1: // crash, maybe mid-round restart
 				site := 1 + rng.Intn(s.Sites)
 				s.add(Event{Round: r, AtMS: at, Kind: EvCrash, Site: site})
@@ -201,6 +211,8 @@ func Build(seed int64) *Schedule {
 				s.add(Event{Round: r, AtMS: at, Kind: kind, P: p})
 			case 5: // checkpoint + log compaction under traffic
 				s.add(Event{Round: r, AtMS: at, Kind: EvCheckpoint, Site: 1 + rng.Intn(s.Sites)})
+			case 6: // crash inside the next group-commit window
+				s.add(Event{Round: r, AtMS: at, Kind: EvCrashInFlush, Site: 1 + rng.Intn(s.Sites)})
 			}
 		}
 	}
@@ -212,6 +224,13 @@ func Build(seed int64) *Schedule {
 	if !s.has(EvPartition) {
 		r := 1 + rng.Intn(s.Rounds)
 		s.add(Event{Round: r, AtMS: 40, Kind: EvPartition, Groups: s.sampleGroups(rng)})
+	}
+	// Every schedule stresses the group-commit crash window at least
+	// once: the mid-batch crash is where the durability invariant (no
+	// acknowledged commit lost) earns its keep.
+	if !s.has(EvCrashInFlush) {
+		r := 1 + rng.Intn(s.Rounds)
+		s.add(Event{Round: r, AtMS: 20 + rng.Intn(50), Kind: EvCrashInFlush, Site: 1 + rng.Intn(s.Sites)})
 	}
 	sort.SliceStable(s.Events, func(i, j int) bool {
 		if s.Events[i].Round != s.Events[j].Round {
@@ -295,7 +314,7 @@ func (s *Schedule) Encode(w io.Writer) error {
 	for _, e := range s.Events {
 		fmt.Fprintf(bw, "event r=%d at=%d kind=%s", e.Round, e.AtMS, e.Kind)
 		switch e.Kind {
-		case EvCrash, EvRestart, EvCheckpoint:
+		case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush:
 			fmt.Fprintf(bw, " site=%d", e.Site)
 		case EvLinkDown, EvLinkUp:
 			fmt.Fprintf(bw, " a=%d b=%d", e.A, e.B)

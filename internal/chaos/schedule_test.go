@@ -36,6 +36,9 @@ func TestBuildGuarantees(t *testing.T) {
 		if !s.has(EvPartition) {
 			t.Errorf("seed %d: schedule has no partition", seed)
 		}
+		if !s.has(EvCrashInFlush) {
+			t.Errorf("seed %d: schedule has no crash-in-flush", seed)
+		}
 		for k, e := range s.Events {
 			if e.Round < 1 || e.Round > s.Rounds {
 				t.Fatalf("seed %d: event %d round %d out of range", seed, k, e.Round)
@@ -50,7 +53,7 @@ func TestBuildGuarantees(t *testing.T) {
 				}
 			}
 			switch e.Kind {
-			case EvCrash, EvRestart, EvCheckpoint:
+			case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush:
 				if e.Site < 1 || e.Site > s.Sites {
 					t.Fatalf("seed %d: event %d site %d out of range", seed, k, e.Site)
 				}

@@ -36,7 +36,7 @@ func newTwopcClusterDelay(n int, netCfg simnet.Config, appendDelay time.Duration
 		s, err := twopc.New(twopc.Config{
 			ID:          peers[i],
 			Peers:       peers,
-			Log:         wal.NewSlowLog(wal.NewMemLog(), appendDelay, nil),
+			Log:         wal.NewSlowDevice(wal.NewMemLog(), appendDelay, nil),
 			DB:          store.New(),
 			Endpoint:    c.net.Endpoint(peers[i]),
 			LockTimeout: 40 * time.Millisecond,

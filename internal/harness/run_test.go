@@ -68,6 +68,17 @@ func TestRunA1Quick(t *testing.T) {
 	}
 }
 
+func TestRunP1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	res := runQuick(t, "P1")
+	// Quick sweep: 2 site counts × 2 committer counts × 3 modes.
+	if got := len(res.Table.Rows()); got != 12 {
+		t.Errorf("P1 rows = %d, want 12", got)
+	}
+}
+
 func TestRunT5Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment run")

@@ -42,19 +42,21 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 	tr.Step("admit", fmt.Sprintf("items=%d", len(items)))
 
 	// Step 1 — atomically lock the local values of A(t), with the
-	// scheme's admission check, stamping under Conc1. protoMu makes
-	// check+lock+stamp one atomic step against message handling.
-	s.protoMu.Lock()
+	// scheme's admission check, stamping under Conc1. The stripes
+	// covering A(t) make check+lock+stamp one atomic step against
+	// message handling on those items; transactions on disjoint
+	// stripes admit concurrently.
+	unlock := s.lockStripesFor(items)
 	for _, item := range items {
 		it, _ := s.cfg.DB.Get(item)
 		if !s.policy.AllowLock(ts, it.TS) {
-			s.protoMu.Unlock()
+			unlock()
 			return finish(txn.StatusCCRejected)
 		}
 	}
 	tr.Step("cc-check", "")
 	if !s.locks.TryLockAll(id, items) {
-		s.protoMu.Unlock()
+		unlock()
 		return finish(txn.StatusLockConflict)
 	}
 	tr.Step("lock", "")
@@ -63,7 +65,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 			s.cfg.DB.SetTS(item, ts)
 		}
 	}
-	s.protoMu.Unlock()
+	unlock()
 
 	defer s.locks.ReleaseAll(id)
 
@@ -164,14 +166,29 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 	// The epoch check and the append must be one unit against Crash:
 	// lifeMu's fence guarantees that once Crash returns, no stale-epoch
 	// commit record can still reach the log — recovery's scan would
-	// miss it and could reissue its timestamp.
+	// miss it and could reissue its timestamp. ckptMu's read side keeps
+	// the append+apply pair atomic against Checkpoint's cut. The
+	// written items' stripes keep append+apply atomic per item against
+	// the message handlers too: the store's page-LSN idempotence needs
+	// same-item records applied in LSN order, and group commit wakes a
+	// whole batch of appenders at once — without the stripes a lower-LSN
+	// commit could apply after a higher-LSN Vm record on the same item
+	// and be silently skipped.
+	written := make([]ident.ItemID, 0, len(actions))
+	for _, a := range actions {
+		written = append(written, a.Item)
+	}
 	s.lifeMu.RLock()
 	if !s.sameEpoch(epoch) {
 		s.lifeMu.RUnlock()
 		return finish(txn.StatusSiteDown)
 	}
+	unlockW := s.lockStripesFor(written)
+	s.ckptMu.RLock()
 	lsn, err := s.cfg.Log.Append(wal.RecCommit, (&wal.CommitRec{Txn: ts, Actions: actions}).Encode())
 	if err != nil {
+		s.ckptMu.RUnlock()
+		unlockW()
 		s.lifeMu.RUnlock()
 		return finish(txn.StatusSiteDown)
 	}
@@ -183,6 +200,8 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 		panic("site: committed actions failed to apply: " + err.Error())
 	}
 	_, _ = s.cfg.Log.Append(wal.RecApplied, (&wal.AppliedRec{CommitLSN: lsn}).Encode())
+	s.ckptMu.RUnlock()
+	unlockW()
 	s.lifeMu.RUnlock()
 	tr.Step("apply", "")
 
@@ -206,6 +225,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 		s.cfg.OnCommit(CommitInfo{
 			TS: ts, Site: s.cfg.ID, Deltas: deltas, Reads: reads,
 			WriterIdx: writerIdx, ReadVec: readVec, Label: t.Label,
+			CommitLSN: lsn,
 		})
 	}
 	return finish(txn.StatusCommitted)

@@ -9,9 +9,10 @@ import (
 
 // handle is the network entry point. It folds the piggybacked Lamport
 // clock and Vm acknowledgement into local state (§4.2), then
-// dispatches by message kind. protoMu serializes processing, modelling
-// the paper's "messages that arrive at a site are processed in the
-// order of their arrival".
+// dispatches by message kind. Each handler serializes on the target
+// item's admission stripe — per-item arrival order, which is all
+// Conc1 needs; under Conc2 the single stripe restores the paper's
+// whole-site "processed in the order of their arrival" model.
 func (s *Site) handle(env *wire.Envelope) {
 	s.lifeMu.RLock()
 	defer s.lifeMu.RUnlock()
@@ -30,6 +31,8 @@ func (s *Site) handle(env *wire.Envelope) {
 		s.handleRequest(env.From, m)
 	case *wire.Vm:
 		s.handleVm(env.From, m)
+	case *wire.VmBatch:
+		s.handleVmBatch(env.From, m)
 	case *wire.VmAck:
 		s.vm.OnAck(env.From, m.UpTo)
 	case *wire.QuotaQuery:
@@ -48,10 +51,11 @@ func (s *Site) handle(env *wire.Envelope) {
 // whether to honor a request for local quota, and if so create the
 // virtual message that carries it.
 func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
-	s.protoMu.Lock()
+	stripe := &s.stripes[s.stripeOf(req.Item)]
+	stripe.Lock()
 
 	decline := func() {
-		s.protoMu.Unlock()
+		stripe.Unlock()
 		s.mu.Lock()
 		s.stats.RequestsDeclined++
 		s.mu.Unlock()
@@ -114,8 +118,10 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 			FlowVec: s.flow.snapshot(req.Item).Entries(),
 		}},
 	}
+	s.ckptMu.RLock()
 	lsn, err := s.cfg.Log.Append(wal.RecVmCreate, rec.Encode())
 	if err != nil {
+		s.ckptMu.RUnlock()
 		s.locks.Unlock(rdsID, req.Item)
 		decline()
 		return
@@ -124,8 +130,9 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
 		panic("site: vm-create actions failed to apply: " + err.Error())
 	}
+	s.ckptMu.RUnlock()
 	s.locks.Unlock(rdsID, req.Item)
-	s.protoMu.Unlock()
+	stripe.Unlock()
 
 	s.mu.Lock()
 	s.stats.RequestsHonored++
@@ -144,17 +151,42 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 // deferral (ignore; retransmission will return) when an unrelated
 // transaction holds it.
 func (s *Site) handleVm(from ident.SiteID, m *wire.Vm) {
-	s.protoMu.Lock()
+	if s.processVm(from, m) {
+		s.send(from, &wire.VmAck{UpTo: s.vm.AckFor(from)})
+	}
+}
+
+// handleVmBatch accepts each carried Vm independently, then sends one
+// cumulative ack for the whole batch — the receiving half of Vm
+// piggybacking (one envelope, many Vm; one ack envelope back).
+func (s *Site) handleVmBatch(from ident.SiteID, b *wire.VmBatch) {
+	ack := false
+	for i := range b.Vms {
+		if s.processVm(from, &b.Vms[i]) {
+			ack = true
+		}
+	}
+	if ack {
+		s.send(from, &wire.VmAck{UpTo: s.vm.AckFor(from)})
+	}
+}
+
+// processVm is the acceptance path for one Vm (§4.2, §5). It reports
+// whether an ack is owed (accepted or duplicate); a deferral (item
+// locked by a non-waiting transaction) owes none — retransmission
+// will return.
+func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
+	stripe := &s.stripes[s.stripeOf(m.Item)]
+	stripe.Lock()
 
 	if !s.vm.ShouldAccept(from, m.Seq) {
-		s.protoMu.Unlock()
+		stripe.Unlock()
 		s.mu.Lock()
 		s.stats.VmDuplicates++
 		s.mu.Unlock()
 		s.obsm.forPeer(from).vmDups.Inc()
 		// Duplicate: re-ack so the sender can retire it.
-		s.send(from, &wire.VmAck{UpTo: s.vm.AckFor(from)})
-		return
+		return true
 	}
 
 	var w *waiter
@@ -167,8 +199,8 @@ func (s *Site) handleVm(from ident.SiteID, m *wire.Vm) {
 			// Locked by a transaction not in its waiting phase: "if
 			// it is locked, the message can be ignored; it will
 			// eventually be sent again anyway" (§4.2).
-			s.protoMu.Unlock()
-			return
+			stripe.Unlock()
+			return false
 		}
 	}
 
@@ -183,17 +215,20 @@ func (s *Site) handleVm(from ident.SiteID, m *wire.Vm) {
 		// still needs the acceptance record for dedup state.
 		rec.Actions = nil
 	}
+	s.ckptMu.RLock()
 	lsn, err := s.cfg.Log.Append(wal.RecVmAccept, rec.Encode())
 	if err != nil {
-		s.protoMu.Unlock()
-		return
+		s.ckptMu.RUnlock()
+		stripe.Unlock()
+		return false
 	}
 	s.vm.MarkAccepted(from, m.Seq)
 	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
 		panic("site: vm-accept actions failed to apply: " + err.Error())
 	}
+	s.ckptMu.RUnlock()
 	s.flow.merge(m.Item, flowVecFromEntries(m.FlowVec))
-	s.protoMu.Unlock()
+	stripe.Unlock()
 
 	s.obsm.forPeer(from).vmAccepted.Inc()
 	s.mu.Lock()
@@ -209,7 +244,7 @@ func (s *Site) handleVm(from ident.SiteID, m *wire.Vm) {
 	if w != nil {
 		w.wake()
 	}
-	s.send(from, &wire.VmAck{UpTo: s.vm.AckFor(from)})
+	return true
 }
 
 // sendVm transmits one real message for a virtual message.
@@ -232,8 +267,15 @@ func flowVecFromEntries(es []wire.FlowEntry) FlowVec {
 	return out
 }
 
+// maxVmPerEnvelope bounds how many Vm one retransmission envelope
+// carries (stays well inside the wire frame limit).
+const maxVmPerEnvelope = 64
+
 // retransmitLoop periodically resends every unacknowledged Vm — the
-// guaranteed-delivery engine behind "a Vm is never lost" (§4.2).
+// guaranteed-delivery engine behind "a Vm is never lost" (§4.2). All
+// pending Vm toward one peer coalesce into VmBatch envelopes: the
+// retransmission tick fires them together anyway, so one frame (and
+// one piggybacked ack back) carries the lot.
 func (s *Site) retransmitLoop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	for {
@@ -242,8 +284,15 @@ func (s *Site) retransmitLoop(stop <-chan struct{}, done chan<- struct{}) {
 			return
 		case <-s.cfg.Clock.After(s.cfg.RetransmitEvery):
 		}
-		pending := s.vm.PendingAll()
-		if len(pending) == 0 {
+		total := 0
+		perPeer := make(map[ident.SiteID][]wal.VmOut)
+		for _, p := range s.peersExceptSelf() {
+			if vms := s.vm.PendingTo(p); len(vms) > 0 {
+				perPeer[p] = vms
+				total += len(vms)
+			}
+		}
+		if total == 0 {
 			continue
 		}
 		s.mu.Lock()
@@ -251,11 +300,30 @@ func (s *Site) retransmitLoop(stop <-chan struct{}, done chan<- struct{}) {
 			s.mu.Unlock()
 			return
 		}
-		s.stats.Retransmissions += uint64(len(pending))
+		s.stats.Retransmissions += uint64(total)
 		s.mu.Unlock()
-		s.obsm.retx.Add(uint64(len(pending)))
-		for _, v := range pending {
-			s.sendVm(v)
+		s.obsm.retx.Add(uint64(total))
+		for _, p := range s.peersExceptSelf() {
+			vms := perPeer[p]
+			for len(vms) > 0 {
+				n := len(vms)
+				if n > maxVmPerEnvelope {
+					n = maxVmPerEnvelope
+				}
+				if n == 1 {
+					s.sendVm(vms[0])
+				} else {
+					batch := &wire.VmBatch{Vms: make([]wire.Vm, n)}
+					for i, v := range vms[:n] {
+						batch.Vms[i] = wire.Vm{
+							Seq: v.Seq, Item: v.Item, Amount: v.Amount,
+							ReqTxn: v.ReqTxn, FlowVec: v.FlowVec,
+						}
+					}
+					s.send(p, batch)
+				}
+				vms = vms[n:]
+			}
 		}
 	}
 }

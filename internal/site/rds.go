@@ -36,19 +36,29 @@ func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value
 	ts := s.lamport.Next()
 	id := ts.Txn()
 
-	s.protoMu.Lock()
+	// Lock order: lifeMu.RLock ≺ stripe ≺ ckptMu.RLock. The lifeMu
+	// fence keeps the append inside the site's lifetime, like the
+	// commit path: once Crash returns, no rds record can still reach
+	// the log.
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	if !s.sameEpoch(epoch) {
+		return fmt.Errorf("site %v: down", s.cfg.ID)
+	}
+	stripe := &s.stripes[s.stripeOf(item)]
+	stripe.Lock()
 	it, _ := s.cfg.DB.Get(item)
 	if !s.policy.AllowLock(ts, it.TS) {
-		s.protoMu.Unlock()
+		stripe.Unlock()
 		return fmt.Errorf("site %v: cc rejected rds on %q", s.cfg.ID, item)
 	}
 	if !s.locks.TryLock(id, item) {
-		s.protoMu.Unlock()
+		stripe.Unlock()
 		return fmt.Errorf("site %v: %q locked", s.cfg.ID, item)
 	}
 	defer s.locks.Unlock(id, item)
 	if have := s.cfg.DB.Value(item); have < amount {
-		s.protoMu.Unlock()
+		stripe.Unlock()
 		return fmt.Errorf("site %v: quota %d < transfer %d", s.cfg.ID, have, amount)
 	}
 	if s.policy.StampOnLock() {
@@ -66,16 +76,19 @@ func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value
 			FlowVec: s.flow.snapshot(item).Entries(),
 		}},
 	}
+	s.ckptMu.RLock()
 	lsn, err := s.cfg.Log.Append(wal.RecVmCreate, rec.Encode())
 	if err != nil {
-		s.protoMu.Unlock()
+		s.ckptMu.RUnlock()
+		stripe.Unlock()
 		return fmt.Errorf("site %v: rds log append: %w", s.cfg.ID, err)
 	}
 	s.vm.Created(rec.Msgs)
 	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
 		panic("site: rds actions failed to apply: " + err.Error())
 	}
-	s.protoMu.Unlock()
+	s.ckptMu.RUnlock()
+	stripe.Unlock()
 
 	s.mu.Lock()
 	s.stats.VmCreated++

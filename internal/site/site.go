@@ -53,6 +53,14 @@ type Config struct {
 	// DefaultTimeout bounds transactions that don't set their own
 	// (default 100ms).
 	DefaultTimeout time.Duration
+	// AdmissionStripes shards the admission/message-handling critical
+	// section by data item, so transactions on disjoint items run the
+	// check+lock+stamp path concurrently (default 16). Per-item
+	// semantics are unchanged: everything touching one item still
+	// serializes on that item's stripe. Forced to 1 under Conc2, whose
+	// §6.2 correctness argument needs whole-site arrival-order
+	// processing, not merely per-item order.
+	AdmissionStripes int
 	// OnCommit, when set, observes every committed transaction
 	// (metrics, serializability checking). Called outside locks.
 	OnCommit func(CommitInfo)
@@ -73,6 +81,11 @@ type CommitInfo struct {
 	Site   ident.SiteID
 	Deltas map[ident.ItemID]core.Value
 	Reads  map[ident.ItemID]core.Value
+	// CommitLSN is the stable-log LSN of the commit record whose
+	// stability acknowledged this transaction. Durability audits check
+	// it against the log: an acknowledged commit is either still in
+	// the log or behind the compaction horizon, never lost.
+	CommitLSN uint64
 	// WriterIdx gives, per written item, this transaction's local
 	// writer index at its site; ReadVec gives, per fully-read item,
 	// the observation vector (see flowClocks). Together they drive
@@ -108,15 +121,30 @@ type Site struct {
 
 	// Volatile state, reset in place on restart (the objects are
 	// shared with concurrently finishing goroutines, so they are
-	// never swapped, only Reset under their own locks). protoMu
-	// serializes message handling and the lock-admission critical
-	// sections (a site "processes messages in the order of their
-	// arrival", §6.2).
-	protoMu sync.Mutex
+	// never swapped, only Reset under their own locks). stripes
+	// shards what used to be a single protocol mutex: the admission
+	// check+lock+stamp step and message handling serialize per data
+	// item (everything touching one item maps to one stripe), so
+	// transactions on disjoint items proceed concurrently. Under
+	// Conc2 there is exactly one stripe, restoring the paper's §6.2
+	// whole-site "processed in the order of their arrival" model that
+	// its 2PL proof assumes; Conc1's per-item timestamp rule needs
+	// only per-item order. Lock order: lifeMu.RLock ≺ stripe ≺
+	// ckptMu.RLock (acquire a stripe only when not yet holding a
+	// later-ordered lock; multiple stripes in ascending index order).
+	stripes []sync.Mutex
 	lamport *tstamp.Clock
 	locks   *lock.NoWait
 	vm      *vmsg.Manager
 	flow    *flowClocks
+
+	// ckptMu fences Checkpoint against every append+apply pair: the
+	// mutating paths (commit, Vm create/accept) hold the read side
+	// from log append through store apply, so under the write side
+	// the snapshot, the checkpoint record's LSN and the compaction
+	// horizon are one consistent cut — no record below the horizon
+	// can still be unapplied.
+	ckptMu sync.RWMutex
 
 	// lifeMu fences message handling against Crash: handlers hold the
 	// read side, so when Crash returns holding the write side, no
@@ -179,10 +207,17 @@ func New(cfg Config) (*Site, error) {
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 100 * time.Millisecond
 	}
+	if cfg.AdmissionStripes <= 0 {
+		cfg.AdmissionStripes = 16
+	}
+	if cfg.CC.Scheme() == cc.Conc2 {
+		cfg.AdmissionStripes = 1
+	}
 	s := &Site{
 		cfg:     cfg,
 		policy:  cfg.CC,
 		grant:   cfg.Grant,
+		stripes: make([]sync.Mutex, cfg.AdmissionStripes),
 		waiters: make(map[ident.TxnID]*waiter),
 		lamport: tstamp.NewClock(cfg.ID),
 		locks:   lock.NewNoWait(),
@@ -327,13 +362,70 @@ func (s *Site) Log() wal.Log { return s.cfg.Log }
 // created-but-unaccepted sets on both sides of each channel).
 func (s *Site) VM() *vmsg.Manager { return s.vm }
 
+// stripeOf maps an item to its admission stripe (FNV-1a).
+func (s *Site) stripeOf(item ident.ItemID) int {
+	if len(s.stripes) == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(item); i++ {
+		h ^= uint32(item[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(s.stripes)))
+}
+
+// lockStripesFor acquires the stripes covering items (deduplicated,
+// ascending — the deadlock-free total order) and returns the release.
+func (s *Site) lockStripesFor(items []ident.ItemID) func() {
+	if len(s.stripes) == 1 {
+		s.stripes[0].Lock()
+		return s.stripes[0].Unlock
+	}
+	need := make([]bool, len(s.stripes))
+	for _, it := range items {
+		need[s.stripeOf(it)] = true
+	}
+	var held []int
+	for i := range s.stripes {
+		if need[i] {
+			s.stripes[i].Lock()
+			held = append(held, i)
+		}
+	}
+	return func() {
+		for _, i := range held {
+			s.stripes[i].Unlock()
+		}
+	}
+}
+
+// lockAllStripes takes every stripe in ascending order (Checkpoint's
+// whole-site quiescent point) and returns the release.
+func (s *Site) lockAllStripes() func() {
+	for i := range s.stripes {
+		s.stripes[i].Lock()
+	}
+	return func() {
+		for i := range s.stripes {
+			s.stripes[i].Unlock()
+		}
+	}
+}
+
 // Checkpoint writes a checkpoint record capturing store and Vm state,
 // bounding future recovery scans (§7), then compacts the log: records
 // before the checkpoint are no longer needed (the checkpoint carries
 // the store snapshot, channel cursors, pending Vm and clock).
+//
+// All stripes plus ckptMu's write side make the cut exact even
+// against the commit path (which runs outside the stripes): every
+// record below the compaction horizon is applied, every unapplied
+// record survives compaction.
 func (s *Site) Checkpoint() error {
-	s.protoMu.Lock()
-	defer s.protoMu.Unlock()
+	defer s.lockAllStripes()()
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
 	rec := &wal.CheckpointRec{
 		Items:    s.cfg.DB.Snapshot(),
 		Channels: s.vm.SnapshotChannels(),

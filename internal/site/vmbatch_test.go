@@ -1,0 +1,93 @@
+package site
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/simnet"
+	"dvp/internal/txn"
+	"dvp/internal/wire"
+)
+
+// A retransmission sweep with several Vm pending toward one peer must
+// coalesce them into KVmBatch envelopes (one frame, many Vm, one
+// cumulative ack back) — and the batch must still deliver every value
+// exactly once. The simnet tap observes the actual envelopes.
+func TestRetransmitCoalescesIntoVmBatch(t *testing.T) {
+	tc := newTestCluster(t, 2, simnet.Config{Seed: 11}, nil)
+	items := []ident.ItemID{"flight/A", "flight/B", "flight/C"}
+	for _, it := range items {
+		tc.createItem(it, 20) // 10 per site
+	}
+
+	// Tap: record the Vm count of every 2→1 value-carrying envelope.
+	var mu sync.Mutex
+	var batchSizes []int
+	tc.net.SetTap(func(from, to ident.SiteID, kind wire.Kind, frame []byte) {
+		if from != 2 || to != 1 || kind != wire.KVmBatch {
+			return
+		}
+		env, err := wire.Unmarshal(frame)
+		if err != nil {
+			t.Errorf("tap: bad VmBatch frame: %v", err)
+			return
+		}
+		mu.Lock()
+		batchSizes = append(batchSizes, len(env.Msg.(*wire.VmBatch).Vms))
+		mu.Unlock()
+	})
+
+	// Cut all value transfer 2→1 so site 2 accumulates pending Vm.
+	tc.net.SetFilter(func(from, to ident.SiteID, kind wire.Kind) bool {
+		return !((kind == wire.KVm || kind == wire.KVmBatch) && from == 2 && to == 1)
+	})
+
+	// Each reserve needs 5 from site 2; the granted Vm never arrives,
+	// so the transaction times out while the value rides the pending
+	// set. Three items → three Vm pending toward site 1.
+	for _, it := range items {
+		tc.sites[0].Run(&txn.Txn{
+			Ops:   []txn.ItemOp{{Item: it, Op: core.Decr{M: 15}}},
+			Ask:   txn.AskAll,
+			Label: "reserve-" + string(it),
+		})
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for tc.sites[1].VM().PendingCount(1) < len(items) {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending 2→1 = %d, want %d", tc.sites[1].VM().PendingCount(1), len(items))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Heal. The next retransmission tick must carry all three in one
+	// envelope, and the values must land exactly once.
+	tc.net.SetFilter(nil)
+	for _, it := range items {
+		tc.waitQuiescent(it, 2*time.Second)
+	}
+
+	mu.Lock()
+	sizes := append([]int(nil), batchSizes...)
+	mu.Unlock()
+	if len(sizes) == 0 {
+		t.Fatal("no KVmBatch envelope observed: retransmission did not coalesce")
+	}
+	max := 0
+	for _, n := range sizes {
+		if n > max {
+			max = n
+		}
+	}
+	if max < len(items) {
+		t.Errorf("largest VmBatch carried %d Vm, want %d (all pending to one peer in one envelope)", max, len(items))
+	}
+	for _, it := range items {
+		if total := tc.globalTotal(it); total != 20 {
+			t.Errorf("global total %s = %d, want 20 (exactly-once batch acceptance)", it, total)
+		}
+	}
+}

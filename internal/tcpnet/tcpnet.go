@@ -10,6 +10,7 @@
 package tcpnet
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -45,12 +46,30 @@ type Config struct {
 // peerCounters holds one remote site's traffic counters. Outbound
 // counts cover frames actually written to a socket (loopback sends are
 // excluded); inbound counts cover every decoded envelope delivered to
-// the handler, attributed to its From site.
+// the handler, attributed to its From site. flushes counts syscall
+// batches: msgsOut/flushes is the write-coalescing factor.
 type peerCounters struct {
 	bytesOut, msgsOut *metrics.Counter
 	bytesIn, msgsIn   *metrics.Counter
 	dialFailures      *metrics.Counter
+	flushes           *metrics.Counter
 }
+
+// peerWriter owns one peer's outbound connection: Send enqueues a
+// framed envelope; the writer goroutine dials lazily, streams frames
+// through a bufio.Writer, and flushes when the queue goes momentarily
+// idle — so a burst of envelopes (a request fan-out, a retransmission
+// sweep) leaves in one syscall batch, while a lone envelope still
+// flushes immediately.
+type peerWriter struct {
+	site   ident.SiteID
+	addr   string
+	frames chan []byte
+}
+
+// peerWriterQueue bounds the outbound backlog per peer; overflow is
+// dropped (the model's message loss — retransmission owns reliability).
+const peerWriterQueue = 1024
 
 // Endpoint implements wire.Endpoint over TCP.
 type Endpoint struct {
@@ -61,6 +80,8 @@ type Endpoint struct {
 	handler  wire.Handler
 	listener net.Listener
 	conns    map[ident.SiteID]net.Conn
+	writers  map[ident.SiteID]*peerWriter
+	stop     chan struct{} // closed to stop this generation's writers
 	accepted map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
@@ -91,6 +112,7 @@ func New(cfg Config) (*Endpoint, error) {
 				bytesIn:      cfg.Metrics.Counter("dvp_net_bytes_in_total", "site", self, "peer", pl),
 				msgsIn:       cfg.Metrics.Counter("dvp_net_msgs_in_total", "site", self, "peer", pl),
 				dialFailures: cfg.Metrics.Counter("dvp_net_dial_failures_total", "site", self, "peer", pl),
+				flushes:      cfg.Metrics.Counter("dvp_net_flushes_total", "site", self, "peer", pl),
 			}
 		}
 	}
@@ -136,6 +158,8 @@ func (e *Endpoint) Open() error {
 	e.cfg.Listen = ln.Addr().String()
 	e.listener = ln
 	e.closed = false
+	e.stop = make(chan struct{})
+	e.writers = make(map[ident.SiteID]*peerWriter)
 	e.wg.Add(1)
 	go e.acceptLoop(ln)
 	return nil
@@ -154,6 +178,11 @@ func (e *Endpoint) Close() error {
 	e.conns = make(map[ident.SiteID]net.Conn)
 	accepted := e.accepted
 	e.accepted = make(map[net.Conn]bool)
+	if e.stop != nil {
+		close(e.stop) // writers of this generation exit
+		e.stop = nil
+	}
+	e.writers = nil
 	e.mu.Unlock()
 	if ln != nil {
 		ln.Close()
@@ -173,22 +202,23 @@ func (e *Endpoint) Close() error {
 	return nil
 }
 
-// Send implements wire.Endpoint: best-effort framed write; failures
-// drop the message and the cached connection.
+// Send implements wire.Endpoint: best-effort framed write; the frame
+// is handed to the peer's writer goroutine, which coalesces queued
+// frames into one buffered write + flush. A full queue drops the
+// message (loss, per the model) and Send never blocks on the network.
 func (e *Endpoint) Send(env *wire.Envelope) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return wire.ErrClosed
-	}
-	e.mu.Unlock()
-
 	env.From = e.cfg.Site
 	buf, err := env.Marshal()
 	if err != nil {
 		return err
 	}
 	if env.To == e.cfg.Site {
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return wire.ErrClosed
+		}
 		// Loopback without touching the network.
 		e.deliver(buf)
 		return nil
@@ -197,53 +227,119 @@ func (e *Endpoint) Send(env *wire.Envelope) error {
 	if !ok {
 		return fmt.Errorf("%w: %v", wire.ErrUnknownSite, env.To)
 	}
-	conn, err := e.connTo(env.To, addr)
-	if err != nil {
-		if pc := e.peerm[env.To]; pc != nil {
-			pc.dialFailures.Inc()
-		}
-		return nil // unreachable peer == silent loss, per the model
-	}
 	frame := make([]byte, 4+len(buf))
 	binary.BigEndian.PutUint32(frame, uint32(len(buf)))
 	copy(frame[4:], buf)
-	if _, err := conn.Write(frame); err != nil {
-		e.dropConn(env.To, conn)
-		return nil // loss
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return wire.ErrClosed
 	}
-	if pc := e.peerm[env.To]; pc != nil {
-		pc.msgsOut.Inc()
-		pc.bytesOut.Add(uint64(len(frame)))
+	w, ok := e.writers[env.To]
+	if !ok {
+		w = &peerWriter{site: env.To, addr: addr, frames: make(chan []byte, peerWriterQueue)}
+		e.writers[env.To] = w
+		stop := e.stop
+		e.wg.Add(1)
+		go e.writerLoop(w, stop)
+	}
+	e.mu.Unlock()
+
+	select {
+	case w.frames <- frame:
+	default:
+		// Backlogged peer: drop, like a congested link.
 	}
 	return nil
 }
 
-func (e *Endpoint) connTo(site ident.SiteID, addr string) (net.Conn, error) {
-	e.mu.Lock()
-	if c, ok := e.conns[site]; ok {
-		e.mu.Unlock()
-		return c, nil
+// writerLoop streams one peer's frames: lazy dial, buffered writes,
+// flush when the queue goes idle. Any error drops the connection and
+// the in-flight frames (loss); the next frame redials.
+func (e *Endpoint) writerLoop(w *peerWriter, stop <-chan struct{}) {
+	defer e.wg.Done()
+	var conn net.Conn
+	var bw *bufio.Writer
+	pc := e.peerm[w.site]
+	drop := func() {
+		if conn != nil {
+			e.forgetConn(w.site, conn)
+			conn = nil
+			bw = nil
+		}
 	}
-	e.mu.Unlock()
-	c, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
-	if err != nil {
-		return nil, err
+	defer drop()
+	for {
+		var frame []byte
+		select {
+		case <-stop:
+			return
+		case frame = <-w.frames:
+		}
+		// Write the frame plus everything already queued behind it,
+		// then flush the batch with one syscall (well, one Flush).
+		batched := 0
+		var batchBytes uint64
+	writeLoop:
+		for frame != nil {
+			if conn == nil {
+				c, err := net.DialTimeout("tcp", w.addr, e.cfg.DialTimeout)
+				if err != nil {
+					if pc != nil {
+						pc.dialFailures.Inc()
+					}
+					break writeLoop // drop this frame; queued ones retry the dial
+				}
+				if !e.rememberConn(w.site, c) {
+					c.Close()
+					return // endpoint closed under us
+				}
+				conn = c
+				bw = bufio.NewWriterSize(conn, 64<<10)
+			}
+			if _, err := bw.Write(frame); err != nil {
+				drop()
+				break writeLoop
+			}
+			batched++
+			batchBytes += uint64(len(frame))
+			select {
+			case frame = <-w.frames:
+			case <-stop:
+				return
+			default:
+				frame = nil
+			}
+		}
+		if bw != nil && bw.Buffered() > 0 {
+			if err := bw.Flush(); err != nil {
+				drop()
+				continue
+			}
+		}
+		if pc != nil && batched > 0 {
+			pc.msgsOut.Add(uint64(batched))
+			pc.bytesOut.Add(batchBytes)
+			pc.flushes.Inc()
+		}
 	}
+}
+
+// rememberConn registers a writer's live connection so Close can
+// unblock it; reports false if the endpoint is already closed.
+func (e *Endpoint) rememberConn(site ident.SiteID, conn net.Conn) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		c.Close()
-		return nil, wire.ErrClosed
+		return false
 	}
-	if prev, ok := e.conns[site]; ok {
-		c.Close() // lost the race; reuse the existing one
-		return prev, nil
-	}
-	e.conns[site] = c
-	return c, nil
+	e.conns[site] = conn
+	return true
 }
 
-func (e *Endpoint) dropConn(site ident.SiteID, conn net.Conn) {
+// forgetConn drops a writer's dead connection from the registry.
+func (e *Endpoint) forgetConn(site ident.SiteID, conn net.Conn) {
 	e.mu.Lock()
 	if e.conns[site] == conn {
 		delete(e.conns, site)

@@ -1,12 +1,14 @@
 package tcpnet
 
 import (
+	"encoding/binary"
 	"sync"
 	"testing"
 	"time"
 
 	"dvp/internal/cc"
 	"dvp/internal/ident"
+	"dvp/internal/obs"
 	"dvp/internal/site"
 	"dvp/internal/store"
 	"dvp/internal/tstamp"
@@ -139,6 +141,78 @@ func TestManyMessagesManyGoroutines(t *testing.T) {
 			t.Fatalf("received %d/%d (TCP is reliable; all must arrive)", c, total)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWriterCoalescesBurst is the syscall-batching regression test: a
+// burst of envelopes queued before the writer goroutine starts must
+// leave as ONE flush (msgsOut counts envelopes, flushes counts syscall
+// batches). Pre-filling the queue and then starting the loop makes the
+// batch boundary deterministic — the drain loop writes every queued
+// frame through the bufio.Writer before its single Flush.
+func TestWriterCoalescesBurst(t *testing.T) {
+	reg := obs.NewRegistry()
+	e2, err := New(Config{Site: 2, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	e1, err := New(Config{
+		Site: 1, Listen: "127.0.0.1:0",
+		Peers:   map[ident.SiteID]string{2: e2.Addr()},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+
+	var mu sync.Mutex
+	var got int
+	e2.SetHandler(func(*wire.Envelope) {
+		mu.Lock()
+		got++
+		mu.Unlock()
+	})
+
+	const burst = 10
+	w := &peerWriter{site: 2, addr: e2.Addr(), frames: make(chan []byte, burst)}
+	for i := 0; i < burst; i++ {
+		env := &wire.Envelope{From: 1, To: 2, Msg: &wire.VmAck{UpTo: uint64(i)}}
+		buf, err := env.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := make([]byte, 4+len(buf))
+		binary.BigEndian.PutUint32(frame, uint32(len(buf)))
+		copy(frame[4:], buf)
+		w.frames <- frame
+	}
+	e1.mu.Lock()
+	e1.writers[2] = w
+	stop := e1.stop
+	e1.mu.Unlock()
+	e1.wg.Add(1)
+	go e1.writerLoop(w, stop)
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		c := got
+		mu.Unlock()
+		if c == burst {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d", c, burst)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if n := reg.CounterValue("dvp_net_msgs_out_total", "site", "s1", "peer", "s2"); n != burst {
+		t.Errorf("msgsOut = %d, want %d", n, burst)
+	}
+	if n := reg.CounterValue("dvp_net_flushes_total", "site", "s1", "peer", "s2"); n != 1 {
+		t.Errorf("flushes = %d, want 1 (the whole burst must share one syscall batch)", n)
 	}
 }
 

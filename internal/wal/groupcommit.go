@@ -1,0 +1,259 @@
+package wal
+
+import (
+	"sync"
+	"time"
+
+	"dvp/internal/metrics"
+	"dvp/internal/obs"
+	"dvp/internal/vclock"
+)
+
+// GroupCommitOptions configures a GroupLog.
+type GroupCommitOptions struct {
+	// MaxBatch bounds how many records one flush may carry
+	// (default 128).
+	MaxBatch int
+	// Linger is how long the flusher waits after the first record of
+	// a batch arrives before forcing, giving concurrent committers a
+	// window to join. Zero (the default) flushes immediately; natural
+	// batching still happens, because arrivals during an in-progress
+	// flush queue up and ride the next one.
+	Linger time.Duration
+	// Clock times the linger (nil = real clock).
+	Clock vclock.Clock
+}
+
+// groupWaiter is one queued append and the parked caller's mailbox.
+type groupWaiter struct {
+	entry BatchEntry
+	lsn   uint64
+	err   error
+	done  chan struct{}
+}
+
+// GroupLog is the group-commit pipeline: a Log whose Append parks the
+// caller while a dedicated flusher goroutine drains the queue of all
+// concurrent appends into a single AppendBatch on the inner log — one
+// write, one force, many commit points (§5 step 5: stability of the
+// record is the commit point; *whose* fsync made it stable is
+// immaterial). Append keeps the Log contract exactly: when it returns
+// nil, the record is stable.
+//
+// The GroupLog itself is volatile (the queue is process state): a
+// crash loses queued-but-unflushed records, which is safe because
+// their appenders were still parked and nothing was acknowledged.
+type GroupLog struct {
+	inner Log
+	batch BatchAppender // inner's native batching, if any
+	opts  GroupCommitOptions
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*groupWaiter
+	inFlight int
+	durable  uint64
+	closed   bool
+	done     chan struct{}
+
+	hook func(batch int) // test/chaos observation of each flush
+
+	// Instrumentation (see Instrument); nil when not instrumented.
+	flushLat  *metrics.Histogram
+	batchHist *metrics.Histogram
+	flushes   *metrics.Counter
+	records   *metrics.Counter
+}
+
+// NewGroupLog wraps inner with a group-commit flusher. Close stops the
+// flusher and closes inner.
+func NewGroupLog(inner Log, opts GroupCommitOptions) *GroupLog {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 128
+	}
+	if opts.Clock == nil {
+		opts.Clock = vclock.Real{}
+	}
+	g := &GroupLog{
+		inner:   inner,
+		opts:    opts,
+		durable: inner.LastLSN(),
+		done:    make(chan struct{}),
+	}
+	if ba, ok := inner.(BatchAppender); ok {
+		g.batch = ba
+	}
+	g.cond = sync.NewCond(&g.mu)
+	go g.flusher()
+	return g
+}
+
+// Append implements Log: enqueue and park until the flusher reports
+// the record stable.
+func (g *GroupLog) Append(kind RecordKind, data []byte) (uint64, error) {
+	w := &groupWaiter{
+		entry: BatchEntry{Kind: kind, Data: append([]byte(nil), data...)},
+		done:  make(chan struct{}),
+	}
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return 0, ErrClosed
+	}
+	g.queue = append(g.queue, w)
+	g.cond.Signal()
+	g.mu.Unlock()
+	<-w.done
+	return w.lsn, w.err
+}
+
+// flusher is the dedicated group-commit goroutine: wait for work,
+// optionally linger to let a group gather, then force the whole group
+// with one inner AppendBatch and wake every parked appender.
+func (g *GroupLog) flusher() {
+	defer close(g.done)
+	for {
+		g.mu.Lock()
+		for len(g.queue) == 0 && !g.closed {
+			g.cond.Wait()
+		}
+		if len(g.queue) == 0 && g.closed {
+			g.mu.Unlock()
+			return
+		}
+		if g.opts.Linger > 0 && len(g.queue) < g.opts.MaxBatch && !g.closed {
+			g.mu.Unlock()
+			g.opts.Clock.Sleep(g.opts.Linger)
+			g.mu.Lock()
+		}
+		n := len(g.queue)
+		if n > g.opts.MaxBatch {
+			n = g.opts.MaxBatch
+		}
+		group := g.queue[:n:n]
+		g.queue = append([]*groupWaiter(nil), g.queue[n:]...)
+		g.inFlight = n
+		hook := g.hook
+		flushLat := g.flushLat
+		g.mu.Unlock()
+
+		if hook != nil {
+			hook(n)
+		}
+		entries := make([]BatchEntry, n)
+		for i, w := range group {
+			entries[i] = w.entry
+		}
+		var start time.Time
+		if flushLat != nil {
+			start = time.Now()
+		}
+		var first uint64
+		var err error
+		if g.batch != nil {
+			first, err = g.batch.AppendBatch(entries)
+		} else {
+			first, err = appendBatchFallback(g.inner, entries)
+		}
+		if flushLat != nil {
+			flushLat.Record(time.Since(start))
+			// The batch-size histogram reuses the duration histogram's
+			// log-spaced buckets by encoding size n as n microseconds.
+			g.mu.Lock()
+			batchHist, flushes, records := g.batchHist, g.flushes, g.records
+			g.mu.Unlock()
+			batchHist.Record(time.Duration(n) * time.Microsecond)
+			flushes.Inc()
+			records.Add(uint64(n))
+		}
+
+		g.mu.Lock()
+		if err == nil {
+			g.durable = first + uint64(n) - 1
+		}
+		g.inFlight = 0
+		g.mu.Unlock()
+		for i, w := range group {
+			if err != nil {
+				w.err = err
+			} else {
+				w.lsn = first + uint64(i)
+			}
+			close(w.done)
+		}
+	}
+}
+
+// DurableLSN reports the highest LSN the flusher has made stable. At a
+// quiescent point it equals LastLSN(); mid-flush it trails it.
+func (g *GroupLog) DurableLSN() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.durable
+}
+
+// Waiters reports how many appends are queued or riding an in-progress
+// flush — the waiter/durable-LSN boundary the chaos harness audits: a
+// record is either durable (LSN ≤ DurableLSN) or its appender is still
+// parked here, never acknowledged-but-lost.
+func (g *GroupLog) Waiters() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue) + g.inFlight
+}
+
+// SetFlushHook installs fn to be called at the start of every flush
+// with the batch size. Chaos uses it to land a crash inside the
+// group-commit window; fn must not call back into the GroupLog's
+// appenders synchronously (crash the site from a fresh goroutine).
+func (g *GroupLog) SetFlushHook(fn func(batch int)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.hook = fn
+}
+
+// Instrument registers the group-commit metrics with reg under the
+// given extra k,v label pairs (conventionally site=<id>):
+// dvp_wal_flush_seconds (force-write latency per flush) and
+// dvp_wal_group_batch (batch size, encoded as n microseconds in the
+// duration histogram), plus flush/record counters.
+func (g *GroupLog) Instrument(reg *obs.Registry, labels ...string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flushLat = reg.Histogram("dvp_wal_flush_seconds", labels...)
+	g.batchHist = reg.Histogram("dvp_wal_group_batch", labels...)
+	g.flushes = reg.Counter("dvp_wal_group_flushes_total", labels...)
+	g.records = reg.Counter("dvp_wal_group_records_total", labels...)
+}
+
+// Scan implements Log over the durable records.
+func (g *GroupLog) Scan(from uint64, fn func(Record) error) error {
+	return g.inner.Scan(from, fn)
+}
+
+// LastLSN implements Log (durable view).
+func (g *GroupLog) LastLSN() uint64 { return g.inner.LastLSN() }
+
+// Compact implements Log. Safe concurrently with flushing: the inner
+// log serializes Compact against AppendBatch, and compaction only
+// drops LSNs ≤ upto, which are already durable.
+func (g *GroupLog) Compact(upto uint64) error { return g.inner.Compact(upto) }
+
+// Close drains the queue (flushing any remaining records), stops the
+// flusher and closes the inner log.
+func (g *GroupLog) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		<-g.done
+		return nil
+	}
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	<-g.done
+	return g.inner.Close()
+}
+
+// Inner exposes the wrapped log (harness audits and tests).
+func (g *GroupLog) Inner() Log { return g.inner }

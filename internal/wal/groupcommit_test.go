@@ -1,0 +1,340 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dvp/internal/obs"
+)
+
+func TestGroupLogAppendDurableAndOrdered(t *testing.T) {
+	inner := NewMemLog()
+	g := NewGroupLog(inner, GroupCommitOptions{})
+	defer g.Close()
+	for i := 1; i <= 5; i++ {
+		lsn, err := g.Append(RecCommit, []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("append %d got LSN %d", i, lsn)
+		}
+		// The Log contract: record is stable when Append returns.
+		if inner.LastLSN() < lsn {
+			t.Fatalf("append %d returned before inner durable (inner at %d)", i, inner.LastLSN())
+		}
+	}
+	if g.DurableLSN() != 5 || g.LastLSN() != 5 {
+		t.Fatalf("durable=%d last=%d, want 5", g.DurableLSN(), g.LastLSN())
+	}
+}
+
+func TestGroupLogBatchesConcurrentAppends(t *testing.T) {
+	// Gate the first flush so concurrent appenders pile up, then count
+	// flushes: k appends must arrive in far fewer than k flushes.
+	inner := NewMemLog()
+	g := NewGroupLog(inner, GroupCommitOptions{})
+	defer g.Close()
+
+	release := make(chan struct{})
+	var flushes atomic.Int64
+	var gateOnce sync.Once
+	g.SetFlushHook(func(batch int) {
+		flushes.Add(1)
+		gateOnce.Do(func() { <-release })
+	})
+
+	const k = 32
+	lsns := make([]uint64, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, err := g.Append(RecCommit, []byte{byte(i)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			lsns[i] = lsn
+		}(i)
+	}
+	// Wait for the first flush to be gated and the rest to queue up.
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Waiters() < k-1 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := flushes.Load(); n >= k/2 {
+		t.Errorf("%d appends took %d flushes — no batching happened", k, n)
+	}
+	seen := make(map[uint64]bool)
+	for i, lsn := range lsns {
+		if lsn == 0 || seen[lsn] {
+			t.Fatalf("appender %d got bad/duplicate LSN %d", i, lsn)
+		}
+		seen[lsn] = true
+	}
+	if g.Waiters() != 0 {
+		t.Errorf("waiters = %d after drain", g.Waiters())
+	}
+}
+
+func TestGroupLogMaxBatch(t *testing.T) {
+	inner := NewMemLog()
+	g := NewGroupLog(inner, GroupCommitOptions{MaxBatch: 4})
+	defer g.Close()
+
+	release := make(chan struct{})
+	var gateOnce sync.Once
+	var maxSeen atomic.Int64
+	g.SetFlushHook(func(batch int) {
+		if int64(batch) > maxSeen.Load() {
+			maxSeen.Store(int64(batch))
+		}
+		gateOnce.Do(func() { <-release })
+	})
+
+	const k = 19
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := g.Append(RecCommit, nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Waiters() < k-1 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+	if maxSeen.Load() > 4 {
+		t.Errorf("flush carried %d records, MaxBatch is 4", maxSeen.Load())
+	}
+	if g.LastLSN() != k {
+		t.Errorf("LastLSN = %d, want %d", g.LastLSN(), k)
+	}
+}
+
+func TestGroupLogLinger(t *testing.T) {
+	// With a linger, two appends issued a moment apart should share a
+	// flush. Issue the second from a goroutine shortly after the first.
+	inner := NewMemLog()
+	g := NewGroupLog(inner, GroupCommitOptions{Linger: 20 * time.Millisecond})
+	defer g.Close()
+	var flushes atomic.Int64
+	g.SetFlushHook(func(int) { flushes.Add(1) })
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Append(RecCommit, nil)
+		}()
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	if flushes.Load() != 1 {
+		t.Errorf("2 appends within the linger window took %d flushes, want 1", flushes.Load())
+	}
+}
+
+func TestGroupLogErrorFailsWholeGroup(t *testing.T) {
+	inner := NewMemLog()
+	boom := errors.New("disk full")
+	g := NewGroupLog(inner, GroupCommitOptions{})
+	defer g.Close()
+
+	inner.SetAppendHook(func(Record) error { return boom })
+	if _, err := g.Append(RecCommit, nil); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	inner.SetAppendHook(nil)
+	if lsn, err := g.Append(RecCommit, nil); err != nil || lsn != 1 {
+		t.Fatalf("after recovery: lsn=%d err=%v", lsn, err)
+	}
+}
+
+func TestGroupLogCloseDrainsThenRejects(t *testing.T) {
+	inner := NewMemLog()
+	g := NewGroupLog(inner, GroupCommitOptions{})
+	g.Append(RecCommit, nil)
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Append(RecCommit, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	// Close is idempotent.
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupLogScanCompactDelegate(t *testing.T) {
+	inner := NewMemLog()
+	g := NewGroupLog(inner, GroupCommitOptions{})
+	defer g.Close()
+	for i := 0; i < 4; i++ {
+		g.Append(RecCommit, []byte{byte(i)})
+	}
+	if err := g.Compact(2); err != nil {
+		t.Fatal(err)
+	}
+	var lsns []uint64
+	g.Scan(1, func(r Record) error { lsns = append(lsns, r.LSN); return nil })
+	if len(lsns) != 2 || lsns[0] != 3 {
+		t.Errorf("after compact: %v", lsns)
+	}
+	if g.Inner() != Log(inner) {
+		t.Error("Inner() must expose the wrapped log")
+	}
+}
+
+func TestGroupLogInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := NewGroupLog(NewMemLog(), GroupCommitOptions{})
+	defer g.Close()
+	g.Instrument(reg, "site", "1")
+	g.Append(RecCommit, nil)
+	if n := reg.CounterValue("dvp_wal_group_flushes_total", "site", "1"); n == 0 {
+		t.Error("flush counter did not move")
+	}
+	if n := reg.CounterValue("dvp_wal_group_records_total", "site", "1"); n != 1 {
+		t.Errorf("records counter = %d", n)
+	}
+	if h := reg.Histogram("dvp_wal_flush_seconds", "site", "1"); h.Count() == 0 {
+		t.Error("flush latency histogram empty")
+	}
+	if h := reg.Histogram("dvp_wal_group_batch", "site", "1"); h.Count() == 0 {
+		t.Error("batch size histogram empty")
+	}
+}
+
+func TestGroupLogOverFileLogSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	fl, err := OpenFileLog(path, FileLogOptions{Sync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroupLog(fl, GroupCommitOptions{})
+	const k = 16
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := g.Append(RecCommit, []byte(fmt.Sprintf("r%d", i))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFileLog(path, FileLogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	var n int
+	var last uint64
+	re.Scan(1, func(r Record) error {
+		n++
+		if r.LSN != last+1 {
+			t.Errorf("LSN gap: %d after %d", r.LSN, last)
+		}
+		last = r.LSN
+		return nil
+	})
+	if n != k {
+		t.Errorf("reopened log has %d records, want %d", n, k)
+	}
+}
+
+func TestFileLogAppendBatchFrames(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal")
+	fl, err := OpenFileLog(path, FileLogOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := fl.AppendBatch([]BatchEntry{
+		{Kind: RecCommit, Data: []byte("a")},
+		{Kind: RecVmCreate, Data: []byte("bb")},
+		{Kind: RecApplied, Data: nil},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || fl.LastLSN() != 3 {
+		t.Fatalf("first=%d last=%d", first, fl.LastLSN())
+	}
+	if _, err := fl.AppendBatch(nil); err == nil {
+		t.Error("empty batch must error")
+	}
+	fl.Close()
+	re, err := OpenFileLog(path, FileLogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	var kinds []RecordKind
+	re.Scan(1, func(r Record) error { kinds = append(kinds, r.Kind); return nil })
+	want := []RecordKind{RecCommit, RecVmCreate, RecApplied}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d records", len(kinds))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("record %d kind %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	// A torn tail mid-batch is truncated at reopen like any tail.
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:len(raw)-3], 0o644)
+	re2, err := OpenFileLog(path, FileLogOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.LastLSN() != 2 {
+		t.Errorf("after torn tail LastLSN = %d, want 2", re2.LastLSN())
+	}
+}
+
+func TestSlowLogBatchPaysOneDelayPerFlush(t *testing.T) {
+	l := NewSlowLog(NewMemLog(), 10*time.Millisecond, nil)
+	sl := l.(*SlowLog)
+	entries := make([]BatchEntry, 8)
+	for i := range entries {
+		entries[i] = BatchEntry{Kind: RecCommit}
+	}
+	start := time.Now()
+	first, err := sl.AppendBatch(entries)
+	if err != nil || first != 1 {
+		t.Fatalf("first=%d err=%v", first, err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 9*time.Millisecond {
+		t.Errorf("batch paid %v, want ≥ one 10ms force", elapsed)
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Errorf("batch paid %v — looks like per-record delay, want one per flush", elapsed)
+	}
+}

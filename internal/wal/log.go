@@ -107,6 +107,45 @@ type Log interface {
 // ErrClosed reports use of a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
+// BatchEntry is one record of a batched append: the same (kind, data)
+// pair Append takes, minus the LSN, which the log assigns densely in
+// batch order.
+type BatchEntry struct {
+	Kind RecordKind
+	Data []byte
+}
+
+// BatchAppender is implemented by logs that can make several records
+// stable with a single force-write. AppendBatch assigns dense LSNs in
+// entry order and returns the first; entry i gets first+i. The whole
+// batch becomes durable atomically-enough for group commit: when
+// AppendBatch returns nil, every entry is stable; on error, none of
+// the batch may be acknowledged (a torn tail is truncated at reopen).
+//
+// MemLog, FileLog and SlowLog all implement it; GroupLog uses it to
+// amortize one fsync (or one simulated force-write) over a whole
+// commit group.
+type BatchAppender interface {
+	AppendBatch(entries []BatchEntry) (first uint64, err error)
+}
+
+// appendBatchFallback serializes a batch through plain Append for logs
+// without native batch support. LSN density is guaranteed by the
+// caller holding whatever excludes concurrent appenders.
+func appendBatchFallback(l Log, entries []BatchEntry) (uint64, error) {
+	var first uint64
+	for i, e := range entries {
+		lsn, err := l.Append(e.Kind, e.Data)
+		if err != nil {
+			return 0, err
+		}
+		if i == 0 {
+			first = lsn
+		}
+	}
+	return first, nil
+}
+
 // Stats summarizes a log for experiments and debugging.
 type Stats struct {
 	Records uint64

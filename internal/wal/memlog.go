@@ -44,6 +44,36 @@ func (l *MemLog) Append(kind RecordKind, data []byte) (uint64, error) {
 	return rec.LSN, nil
 }
 
+// AppendBatch implements BatchAppender: all entries become stable
+// under one critical section (in-memory "stability" has no per-record
+// force cost, but the dense-LSN contract matters for group commit).
+// The appendHook still fires per record; a hook error fails the whole
+// batch with no records written, matching the all-or-nothing ack rule.
+func (l *MemLog) AppendBatch(entries []BatchEntry) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	first := l.lastLSN + 1
+	recs := make([]Record, len(entries))
+	for i, e := range entries {
+		recs[i] = Record{
+			LSN:  first + uint64(i),
+			Kind: e.Kind,
+			Data: append([]byte(nil), e.Data...),
+		}
+		if l.appendHook != nil {
+			if err := l.appendHook(recs[i]); err != nil {
+				return 0, err
+			}
+		}
+	}
+	l.recs = append(l.recs, recs...)
+	l.lastLSN = first + uint64(len(entries)) - 1
+	return first, nil
+}
+
 // Scan implements Log.
 func (l *MemLog) Scan(from uint64, fn func(Record) error) error {
 	l.mu.RLock()

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"sync"
 	"time"
 
 	"dvp/internal/vclock"
@@ -16,11 +17,17 @@ import (
 // The latency is paid by the appending goroutine only; concurrent
 // appenders overlap their waits (like independent I/O requests), while
 // anything serialized above the log — a held lock, a mutex — is
-// serialized across the wait, exactly like real systems.
+// serialized across the wait, exactly like real systems. NewSlowDevice
+// instead serializes the waits themselves, modelling one log device
+// that forces one write at a time.
 type SlowLog struct {
 	inner Log
 	delay time.Duration
 	clock vclock.Clock
+	// dev, when non-nil, serializes force-writes: one delay at a time,
+	// like a single WAL device whose write head the forces queue on.
+	// Nil models independent I/O (overlapping waits).
+	dev *sync.Mutex
 }
 
 // NewSlowLog wraps inner with a per-append delay on the given clock
@@ -36,10 +43,44 @@ func NewSlowLog(inner Log, delay time.Duration, clock vclock.Clock) Log {
 	return &SlowLog{inner: inner, delay: delay, clock: clock}
 }
 
+// NewSlowDevice is NewSlowLog with force-writes serialized: concurrent
+// appends queue and pay the delay one after another, the way a single
+// log device actually forces. This is the model under which group
+// commit earns its keep — without batching, k concurrent committers
+// take k delays; batched, one delay covers the group.
+func NewSlowDevice(inner Log, delay time.Duration, clock vclock.Clock) Log {
+	l := NewSlowLog(inner, delay, clock)
+	if sl, ok := l.(*SlowLog); ok {
+		sl.dev = &sync.Mutex{}
+	}
+	return l
+}
+
+// force pays the storage latency, serialized if this is a device.
+func (l *SlowLog) force() {
+	if l.dev != nil {
+		l.dev.Lock()
+		defer l.dev.Unlock()
+	}
+	l.clock.Sleep(l.delay)
+}
+
 // Append implements Log: wait the storage latency, then append.
 func (l *SlowLog) Append(kind RecordKind, data []byte) (uint64, error) {
-	l.clock.Sleep(l.delay)
+	l.force()
 	return l.inner.Append(kind, data)
+}
+
+// AppendBatch implements BatchAppender: the latency models the
+// force-write, so a batched flush pays it once for the whole batch —
+// that per-flush (not per-record) cost is exactly the win group commit
+// exists to buy, and Quick-mode experiments must see it.
+func (l *SlowLog) AppendBatch(entries []BatchEntry) (uint64, error) {
+	l.force()
+	if ba, ok := l.inner.(BatchAppender); ok {
+		return ba.AppendBatch(entries)
+	}
+	return appendBatchFallback(l.inner, entries)
 }
 
 // Scan implements Log.

@@ -57,6 +57,13 @@ const (
 	// never by transaction processing).
 	KQuotaQuery
 	KQuotaReply
+
+	// KVmBatch coalesces several pending Vm toward one site into a
+	// single envelope (retransmission piggybacking) — the virtual
+	// messages stay individually sequenced; only their carriage
+	// shares a frame. Appended at the enum tail to keep existing
+	// frames and fuzz corpora stable.
+	KVmBatch
 )
 
 func (k Kind) String() string {
@@ -97,6 +104,8 @@ func (k Kind) String() string {
 		return "quotaquery"
 	case KQuotaReply:
 		return "quotareply"
+	case KVmBatch:
+		return "vmbatch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -213,6 +222,47 @@ func DecodeFlowVec(r *Reader) []FlowEntry {
 		out = append(out, FlowEntry{Site: ident.SiteID(r.U16()), Count: r.U64()})
 	}
 	return out
+}
+
+// VmBatch carries several Vm toward the same receiver in one envelope.
+// Each carried Vm keeps its own channel sequence number and is
+// accepted (or deduplicated) independently; batching is purely a
+// carriage optimization for the retransmission path, where every
+// pending Vm toward a peer fires at once anyway.
+type VmBatch struct {
+	Vms []Vm
+}
+
+// maxVmBatch bounds decoded batch length (a frame is ≤ maxFrame bytes
+// anyway; this keeps hostile length prefixes from over-allocating).
+const maxVmBatch = 1 << 12
+
+// Kind implements Msg.
+func (*VmBatch) Kind() Kind { return KVmBatch }
+
+// Encode implements Msg.
+func (m *VmBatch) Encode(w *Writer) {
+	w.U64(uint64(len(m.Vms)))
+	for i := range m.Vms {
+		m.Vms[i].Encode(w)
+	}
+}
+
+func decodeVmBatch(r *Reader) *VmBatch {
+	n := r.U64()
+	if r.Err() != nil || n > maxVmBatch {
+		r.fail(ErrTooLong)
+		return &VmBatch{}
+	}
+	out := make([]Vm, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v := decodeVm(r)
+		if r.Err() != nil {
+			break
+		}
+		out = append(out, *v)
+	}
+	return &VmBatch{Vms: out}
 }
 
 // VmAck acknowledges all Vm with Seq ≤ UpTo on the sender→receiver
@@ -674,6 +724,8 @@ func DecodeMsg(kind Kind, r *Reader) (Msg, error) {
 		m = decodeQuotaQuery(r)
 	case KQuotaReply:
 		m = decodeQuotaReply(r)
+	case KVmBatch:
+		m = decodeVmBatch(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}
