@@ -49,7 +49,8 @@ func BenchmarkF4VmUnderLoss(b *testing.B)           { benchExperiment(b, "F4") }
 func BenchmarkF5PartitionTimeline(b *testing.B)     { benchExperiment(b, "F5") }
 func BenchmarkF6QuotaDynamics(b *testing.B)         { benchExperiment(b, "F6") }
 func BenchmarkA1RebalancerAblation(b *testing.B)    { benchExperiment(b, "A1") }
-func BenchmarkA2GrantPolicyAblation(b *testing.B)   { benchExperiment(b, "A2") }
+func BenchmarkA2DemandRebalancing(b *testing.B)     { benchExperiment(b, "A2") }
+func BenchmarkA3GrantPolicyAblation(b *testing.B)   { benchExperiment(b, "A3") }
 func BenchmarkP1GroupCommit(b *testing.B)           { benchExperiment(b, "P1") }
 
 // --- micro benches -----------------------------------------------------------

@@ -13,6 +13,16 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+
+# staticcheck is gated: CI installs a pinned version (see
+# .github/workflows/ci.yml); local runs use it iff it's on PATH so the
+# gate never requires network access from a dev box.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck: not on PATH, skipping (CI runs it pinned)" >&2
+fi
+
 go build ./...
 go test -race ./...
 

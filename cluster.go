@@ -94,7 +94,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			AdmissionStripes: cfg.AdmissionStripes,
 			Metrics:          c.reg,
 			Trace:            c.traces,
+			Rebalance:        cfg.Rebalance,
 		}
+		// Each site jitters from its own stream: lockstep rounds are
+		// exactly what the jitter exists to break.
+		sc.Rebalance.Seed = cfg.Seed*1000003 + int64(i)*7919 + 1
 		if cfg.OnCommit != nil {
 			hook := cfg.OnCommit
 			sc.OnCommit = func(ci site.CommitInfo) {
@@ -125,6 +129,17 @@ func NewCluster(cfg Config) (*Cluster, error) {
 					out.ReadVec[string(k)] = m
 				}
 				hook(out)
+			}
+		}
+		if cfg.OnRds != nil {
+			hook := cfg.OnRds
+			sc.OnRds = func(ri site.RdsInfo) {
+				hook(RdsInfo{
+					Site:  int(ri.Site),
+					TS:    uint64(ri.TS),
+					Item:  string(ri.Item),
+					Delta: int64(ri.Delta),
+				})
 			}
 		}
 		s, err := site.New(sc)
@@ -278,6 +293,16 @@ func (c *Cluster) Quiesce(deadline time.Duration) {
 			return
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// SetRebalancePaused pauses (true) or resumes (false) every site's
+// demand-driven rebalancer. The flag survives Crash/Restart — fault
+// harnesses pause rebalancing around quiescent invariant checks even
+// while crash-cycling sites. No-op when Config.Rebalance is off.
+func (c *Cluster) SetRebalancePaused(p bool) {
+	for _, s := range c.sites {
+		s.SetRebalancePaused(p)
 	}
 }
 

@@ -60,6 +60,10 @@ func main() {
 		ckptIv   = flag.Duration("checkpoint", 0, "write a checkpoint record on this interval (0 disables)")
 		metricsL = flag.String("metrics", "", "HTTP listen address serving /metrics and /traces (optional)")
 		traceCap = flag.Int("trace-buf", 1024, "transaction trace ring capacity")
+		rebal    = flag.Bool("rebalance", false, "run the demand-driven rebalancer: gossip per-item demand to peers and ship surplus quota toward observed deficits")
+		rebalIv  = flag.Duration("rebalance-interval", 0, "rebalancer tick interval, jittered per tick (0 = default 50ms)")
+		rebalMin = flag.Duration("rebalance-cooldown", 0, "minimum gap between transfers of the same item (0 = default 2×interval)")
+		rebalAmt = flag.Int64("rebalance-min", 0, "smallest surplus/deficit worth a transfer (0 = default 4)")
 	)
 	flag.Parse()
 	if *siteID <= 0 || *listen == "" || *ctlAddr == "" || *peersArg == "" || *walPath == "" {
@@ -118,6 +122,13 @@ func main() {
 		AdmissionStripes: *stripes,
 		Metrics:          reg,
 		Trace:            traces,
+		Rebalance: site.RebalanceConfig{
+			Enabled:     *rebal,
+			Interval:    *rebalIv,
+			MinTransfer: core.Value(*rebalAmt),
+			Cooldown:    *rebalMin,
+			Seed:        int64(*siteID),
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

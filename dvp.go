@@ -37,6 +37,7 @@ import (
 	"dvp/internal/cc"
 	"dvp/internal/core"
 	"dvp/internal/ident"
+	"dvp/internal/site"
 	"dvp/internal/txn"
 )
 
@@ -155,9 +156,35 @@ type Config struct {
 	// concurrently (default 16; forced to 1 under Conc2).
 	AdmissionStripes int
 
+	// Rebalance configures the demand-driven rebalancer at every
+	// site: each site tracks per-item demand (EWMA of consumption
+	// plus deficit aborts), gossips it to peers over the wire, and
+	// ships surplus quota toward the largest observed deficit with
+	// Rds transfers. Set Enabled to turn it on; the Seed field is
+	// overridden per site (derived from Config.Seed) so sites jitter
+	// independently.
+	Rebalance RebalanceOptions
+
 	// OnCommit observes every committed transaction (metrics,
 	// serializability checking). Called from transaction goroutines.
 	OnCommit func(CommitInfo)
+
+	// OnRds observes each half of every redistribution — the deduct
+	// logged with a Vm's creation and the credit logged with its
+	// acceptance, each with the timestamp it serializes at (§6 treats
+	// both as transactions). Exact serializability checking replays
+	// these alongside OnCommit's transactions; see RdsInfo.
+	OnRds func(RdsInfo)
+}
+
+// RdsInfo describes one redistribution half to the OnRds hook: Delta
+// is negative for the sender's deduct, positive for the receiver's
+// credit, and TS is the timestamp that half serializes at.
+type RdsInfo struct {
+	Site  int
+	TS    uint64
+	Item  string
+	Delta int64
 }
 
 // CommitInfo describes one committed transaction to the OnCommit hook.
@@ -183,6 +210,11 @@ type CommitInfo struct {
 	// use to assert no acknowledged commit is ever lost.
 	CommitLSN uint64
 }
+
+// RebalanceOptions tunes the demand-driven rebalancer (see
+// site.RebalanceConfig for field semantics: Enabled, Interval,
+// MinTransfer, Cooldown, HalfLife, AdvertStale, Floor).
+type RebalanceOptions = site.RebalanceConfig
 
 // Value is a quantity (Γ in the paper: non-negative int64).
 type Value = core.Value

@@ -24,6 +24,15 @@ const (
 	retransmitEvery = 4 * time.Millisecond
 	txnTimeout      = 25 * time.Millisecond
 	quiesceBound    = 5 * time.Second
+
+	// The demand-driven rebalancer runs at every site through the whole
+	// run — it is part of the system under test, not a lab fixture. The
+	// clock is fast (intervals well under a round) and the demand
+	// half-life short, so the barrier's anti-thrash check observes the
+	// steady state the round's skew left behind, not a still-decaying
+	// transient.
+	rebalInterval = 5 * time.Millisecond
+	rebalHalfLife = 30 * time.Millisecond
 )
 
 // Options tunes a run. The zero value is what the tests use.
@@ -56,6 +65,11 @@ type Report struct {
 	// Workload outcomes.
 	Committed, Aborted int
 
+	// RebalanceTransfers is the cumulative Rds transfer count the
+	// demand rebalancers issued across the run (read at the final
+	// barrier's anti-thrash check).
+	RebalanceTransfers int
+
 	// InvariantChecks counts completed barrier passes (each pass runs
 	// all five invariant families).
 	InvariantChecks int
@@ -68,10 +82,10 @@ type Report struct {
 // String is a one-line summary.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"seed=%d sites=%d items=%d rounds=%d crashes=%d (in-flush=%d) restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d committed=%d aborted=%d checks=%d",
+		"seed=%d sites=%d items=%d rounds=%d crashes=%d (in-flush=%d) restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d committed=%d aborted=%d rebal=%d checks=%d",
 		r.Seed, r.Sites, r.Items, r.Rounds,
 		r.Crashes, r.FlushCrashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints,
-		r.Committed, r.Aborted, r.InvariantChecks)
+		r.Committed, r.Aborted, r.RebalanceTransfers, r.InvariantChecks)
 }
 
 // TraceString renders the event trace, one line per event.
@@ -92,6 +106,7 @@ type runner struct {
 	mu          sync.Mutex
 	report      *Report
 	committed   []dvp.CommitInfo
+	rds         []dvp.RdsInfo
 	downedLinks map[[2]int]bool
 	start       time.Time
 
@@ -133,9 +148,31 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		// durability invariant audits the acked-commit/durable-LSN
 		// boundary the pipeline introduces.
 		GroupCommit: true,
+		// The demand rebalancer gossips adverts and ships surplus over
+		// the same faulty network the workload runs on; the barrier's
+		// anti-thrash invariant bounds its transfer volume once faults
+		// heal and demand decays.
+		Rebalance: dvp.RebalanceOptions{
+			Enabled:     true,
+			Interval:    rebalInterval,
+			MinTransfer: 4,
+			Cooldown:    2 * rebalInterval,
+			HalfLife:    rebalHalfLife,
+			AdvertStale: 5 * rebalInterval,
+			Floor:       0.25,
+		},
 		OnCommit: func(ci dvp.CommitInfo) {
 			r.mu.Lock()
 			r.committed = append(r.committed, ci)
+			r.mu.Unlock()
+		},
+		// Every redistribution half (Vm-create deduct, Vm-accept
+		// credit) joins the serializability replay at its own stamp —
+		// without them, a full read that correctly observes value in
+		// flight between the halves looks like a violation.
+		OnRds: func(ri dvp.RdsInfo) {
+			r.mu.Lock()
+			r.rds = append(r.rds, ri)
 			r.mu.Unlock()
 		},
 	})
@@ -402,6 +439,17 @@ func (r *runner) barrier(round int) error {
 			r.tracef("r%d barrier: restarted site %d", round, i)
 		}
 	}
+
+	// Anti-thrash invariant: with faults healed and the workload
+	// stopped, the demand rebalancers must go quiet on their own —
+	// still-live, before anything is paused. Only then freeze them so
+	// the remaining checks read stable quota snapshots (the defer keeps
+	// the pause scoped to this barrier).
+	if err := r.checkRebalanceQuiet(round); err != nil {
+		return err
+	}
+	r.c.SetRebalancePaused(true)
+	defer r.c.SetRebalancePaused(false)
 
 	// Drain: all in-flight traffic delivered, no Vm awaiting
 	// retransmission anywhere.

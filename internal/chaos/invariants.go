@@ -2,7 +2,9 @@ package chaos
 
 import (
 	"fmt"
+	"time"
 
+	"dvp"
 	"dvp/internal/cc"
 	"dvp/internal/core"
 	"dvp/internal/ident"
@@ -43,6 +45,41 @@ func (r *runner) checkInvariants(round int) error {
 		return fmt.Errorf("after idempotence cycling: %w", err)
 	}
 	return nil
+}
+
+// checkRebalanceQuiet is the anti-thrash invariant on the demand
+// rebalancer: at a healed, workload-free barrier, transfer volume must
+// die down by itself — the quiescence threshold and per-item cooldown
+// exist precisely so idle skew is left alone. A rebalancer that keeps
+// shipping value between idle sites would burn Vm (and log space)
+// forever in production. The check samples the cluster-wide transfer
+// counter over short windows and insists some window stays (near)
+// quiet; the bound allows a straggler per site pair for transfers
+// already past their demand check when the workload stopped.
+func (r *runner) checkRebalanceQuiet(round int) error {
+	const (
+		window     = 5 * rebalInterval // a few ticks per site per window
+		maxWindows = 12
+	)
+	quiet := uint64(r.sched.Sites / 2)
+	total := func() uint64 {
+		return r.c.Metrics().SumCounters("dvp_rebalance_transfers_total")
+	}
+	last := total()
+	for w := 1; w <= maxWindows; w++ {
+		time.Sleep(window)
+		cur := total()
+		if cur-last <= quiet {
+			r.tracef("r%d barrier: rebalancer quiet after %d window(s), %d transfers total",
+				round, w, cur)
+			r.count(func(rep *Report) { rep.RebalanceTransfers = int(cur) })
+			return nil
+		}
+		last = cur
+	}
+	return fmt.Errorf(
+		"anti-thrash: rebalancer still issued >%d transfers per %v window after %d windows at an idle barrier (%d total)",
+		quiet, window, maxWindows, total())
 }
 
 // checkConservation verifies the paper's central invariant: for every
@@ -264,7 +301,35 @@ func (r *runner) checkSerializability() error {
 		}
 		txns[k] = t
 	}
+	rds := make([]dvp.RdsInfo, len(r.rds))
+	copy(rds, r.rds)
 	r.mu.Unlock()
+
+	// Fold every redistribution half into the replay at its stamp.
+	// Halves sharing a committed transaction's timestamp (request
+	// grants consumed by the waiting transaction) merge into it and
+	// cancel; unmatched halves — a rebalancer deduct, a credit accepted
+	// into a free item after its requester aborted — become their own
+	// serial positions, reproducing the window where the value is in
+	// flight and correctly invisible to full reads.
+	byTS := make(map[tstamp.TS]int, len(txns))
+	for k := range txns {
+		byTS[txns[k].TS] = k
+	}
+	for _, e := range rds {
+		ts := tstamp.TS(e.TS)
+		k, ok := byTS[ts]
+		if !ok {
+			txns = append(txns, cc.CommittedTxn{
+				TS:     ts,
+				Site:   ident.SiteID(e.Site),
+				Deltas: make(map[ident.ItemID]core.Value, 1),
+			})
+			k = len(txns) - 1
+			byTS[ts] = k
+		}
+		txns[k].Deltas[ident.ItemID(e.Item)] += core.Value(e.Delta)
+	}
 
 	initial := make(map[ident.ItemID]core.Value, len(r.items))
 	final := make(map[ident.ItemID]core.Value, len(r.items))
@@ -307,6 +372,10 @@ func (r *runner) checkIdempotence(round int) error {
 		if err := r.c.Restart(i); err != nil {
 			return fmt.Errorf("idempotence: site %d restart: %w", i, err)
 		}
+		// The restarted site comes back with a fresh, unpaused
+		// rebalancer; re-freeze it so the quota comparison below (and
+		// the conservation re-check after) read a motionless cluster.
+		r.c.SetRebalancePaused(true)
 		r.tracef("r%d barrier: idempotence crash-cycle site %d", round, i)
 		for _, item := range r.items {
 			if after := r.c.Quota(i, item); after != before[item] {

@@ -111,6 +111,41 @@ func EvenShares(total Value, n int) []Value {
 	return out
 }
 
+// DemandShares partitions total toward observed per-site demand while
+// guaranteeing every site a floor fraction of its even share — the
+// demand-driven rebalancer's target function (§8's open question of
+// "the best ways to distribute the data values among the sites").
+//
+// floor ∈ [0,1] is the fraction of the even share each site keeps
+// regardless of demand: 0 chases demand completely (a cold site can be
+// drained to nothing), 1 degenerates to EvenShares. The reserved part
+// is carved out first; the remainder is split proportionally to the
+// demand weights (falling back to even when no demand is observed
+// anywhere). The shares always sum to total exactly.
+func DemandShares(total Value, demands []float64, floor float64) []Value {
+	n := len(demands)
+	if n == 0 || total < 0 {
+		return nil
+	}
+	if floor < 0 {
+		floor = 0
+	}
+	if floor > 1 {
+		floor = 1
+	}
+	even := EvenShares(total, n)
+	out := make([]Value, n)
+	var reserved Value
+	for i := range out {
+		out[i] = Value(float64(even[i]) * floor)
+		reserved += out[i]
+	}
+	for i, w := range WeightedShares(total-reserved, demands) {
+		out[i] += w
+	}
+	return out
+}
+
 // WeightedShares partitions total proportionally to non-negative
 // weights (e.g. expected per-site demand), distributing rounding
 // remainders to the largest fractional parts first and then by index.

@@ -98,6 +98,78 @@ func TestWeightedSharesNegativeWeightTreatedZero(t *testing.T) {
 	}
 }
 
+func TestDemandSharesChasesDemand(t *testing.T) {
+	// One hot site, floor 0: everything follows demand.
+	got := DemandShares(100, []float64{3, 1, 0, 0}, 0)
+	want := []Value{75, 25, 0, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DemandShares floor=0: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDemandSharesFloorKeepsMinimum(t *testing.T) {
+	// floor 0.5 over even share 25 reserves 12 each (truncated); the
+	// remaining 52 chase demand entirely toward site 1.
+	got := DemandShares(100, []float64{1, 0, 0, 0}, 0.5)
+	if got[0] != 64 {
+		t.Fatalf("hot site share = %d, want 64", got[0])
+	}
+	for i := 1; i < 4; i++ {
+		if got[i] != 12 {
+			t.Fatalf("cold site %d share = %d, want the 12-unit floor", i, got[i])
+		}
+	}
+}
+
+func TestDemandSharesFloorOneIsEven(t *testing.T) {
+	got := DemandShares(101, []float64{9, 0, 1}, 1)
+	want := EvenShares(101, 3)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("floor=1: got %v, want even %v", got, want)
+		}
+	}
+}
+
+func TestDemandSharesNoDemandFallsBackEven(t *testing.T) {
+	got := DemandShares(100, []float64{0, 0, 0, 0}, 0.25)
+	want := EvenShares(100, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("no demand: got %v, want even %v", got, want)
+		}
+	}
+}
+
+func TestDemandSharesSumProperty(t *testing.T) {
+	f := func(total uint16, w1, w2, w3 uint8, floorRaw uint8) bool {
+		floor := float64(floorRaw) / 128 // covers out-of-range > 1 too
+		shares := DemandShares(Value(total), []float64{float64(w1), float64(w2), float64(w3)}, floor)
+		var sum Value
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return sum == Value(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemandSharesDegenerate(t *testing.T) {
+	if DemandShares(5, nil, 0.5) != nil {
+		t.Error("no sites must yield nil")
+	}
+	if DemandShares(-1, []float64{1}, 0.5) != nil {
+		t.Error("negative total must yield nil")
+	}
+}
+
 func TestGrantExact(t *testing.T) {
 	p := GrantExact{}
 	if g := p.Grant(10, 4); g != 4 {

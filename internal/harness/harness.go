@@ -70,7 +70,7 @@ func All() []Experiment {
 	return []Experiment{
 		expT1(), expT2(), expT3(), expT4(), expT5(),
 		expF1(), expF2(), expF3(), expF4(), expF5(), expF6(),
-		expA1(), expA2(),
+		expA1(), expA2(), expA3(),
 		expP1(),
 		expC1(),
 	}

@@ -53,8 +53,19 @@ func TestRunA2Quick(t *testing.T) {
 		t.Skip("experiment run")
 	}
 	res := runQuick(t, "A2")
+	// 3 Zipf skews × 3 rebalancer modes.
+	if len(res.Table.Rows()) != 9 {
+		t.Errorf("A2 rows = %d, want 9 (3 skews × 3 modes)", len(res.Table.Rows()))
+	}
+}
+
+func TestRunA3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	res := runQuick(t, "A3")
 	if len(res.Table.Rows()) != 3 {
-		t.Errorf("A2 rows = %d, want 3 policies", len(res.Table.Rows()))
+		t.Errorf("A3 rows = %d, want 3 policies", len(res.Table.Rows()))
 	}
 }
 

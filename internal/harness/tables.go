@@ -120,8 +120,8 @@ func expT2() Experiment {
 					}
 					c.CreateItem("flight/A", core.Value(perSite*n*3))
 					c.PartitionGroups(groupA, groupB)
-					ok, total := successCount(func(i int) bool {
-						return retry(3, func() bool {
+					ok, total := successCount(o.seed(), func(i int, rng *rand.Rand) bool {
+						return retry(rng, 3, func() bool {
 							res := c.At(i).Run(dvp.NewTxn().Sub("flight/A", 2).
 								Timeout(40 * time.Millisecond))
 							return res.Committed()
@@ -139,8 +139,8 @@ func expT2() Experiment {
 					}
 					tc.createItem("flight/A", core.Value(perSite*n*3))
 					tc.net.Partition(toSiteIDs(groupA), toSiteIDs(groupB))
-					ok, total := successCount(func(i int) bool {
-						return retry(2, func() bool {
+					ok, total := successCount(o.seed(), func(i int, rng *rand.Rand) bool {
+						return retry(rng, 2, func() bool {
 							return tc.Run(i, &txn.Txn{Ops: []txn.ItemOp{
 								{Item: "flight/A", Op: core.Decr{M: 2}},
 							}}).Committed()
@@ -155,8 +155,8 @@ func expT2() Experiment {
 					rc := newReplicaCluster(n, 1 /*Quorum*/, simnet.Config{Seed: o.seed()})
 					rc.createItem("flight/A", core.Value(perSite*n*3))
 					rc.net.Partition(toSiteIDs(groupA), toSiteIDs(groupB))
-					ok, total := successCount(func(i int) bool {
-						return retry(3, func() bool {
+					ok, total := successCount(o.seed(), func(i int, rng *rand.Rand) bool {
+						return retry(rng, 3, func() bool {
 							return rc.Run(i, &txn.Txn{Ops: []txn.ItemOp{
 								{Item: "flight/A", Op: core.Decr{M: 2}},
 							}}).Committed()
@@ -171,8 +171,8 @@ func expT2() Experiment {
 					rc := newReplicaCluster(n, 2 /*PrimaryCopy*/, simnet.Config{Seed: o.seed()})
 					rc.createItem("flight/A", core.Value(perSite*n*3))
 					rc.net.Partition(toSiteIDs(groupA), toSiteIDs(groupB))
-					ok, total := successCount(func(i int) bool {
-						return retry(3, func() bool {
+					ok, total := successCount(o.seed(), func(i int, rng *rand.Rand) bool {
+						return retry(rng, 3, func() bool {
 							return rc.Run(i, &txn.Txn{Ops: []txn.ItemOp{
 								{Item: "flight/A", Op: core.Decr{M: 2}},
 							}}).Committed()
@@ -413,15 +413,19 @@ func expT5() Experiment {
 
 // --- small helpers -----------------------------------------------------------
 
-func successCount(attempt func(site int) bool, sites, perSite int) (ok, total int) {
+func successCount(seed int64, attempt func(site int, rng *rand.Rand) bool, sites, perSite int) (ok, total int) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for i := 1; i <= sites; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Per-goroutine seeded stream: backoff jitter is
+			// reproducible per (seed, site) and goroutines never
+			// contend on a shared rand source.
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919))
 			for k := 0; k < perSite; k++ {
-				good := attempt(i)
+				good := attempt(i, rng)
 				mu.Lock()
 				total++
 				if good {
@@ -439,12 +443,12 @@ func successCount(attempt func(site int) bool, sites, perSite int) (ok, total in
 // whether any succeeded — the client-level retry loop every
 // availability number assumes. Jitter breaks symmetric livelock among
 // coordinators contending for the same quorum.
-func retry(n int, attempt func() bool) bool {
+func retry(rng *rand.Rand, n int, attempt func() bool) bool {
 	for i := 0; i < n; i++ {
 		if attempt() {
 			return true
 		}
-		time.Sleep(time.Duration(1+rand.Intn(12*(i+1))) * time.Millisecond)
+		time.Sleep(time.Duration(1+rng.Intn(12*(i+1))) * time.Millisecond)
 	}
 	return false
 }

@@ -1,11 +1,13 @@
 package lock
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"dvp/internal/ident"
+	"dvp/internal/vclock"
 )
 
 func TestQueueSharedCompatible(t *testing.T) {
@@ -174,5 +176,108 @@ func TestQueueManyReadersThenWriter(t *testing.T) {
 func TestQueueModeString(t *testing.T) {
 	if Shared.String() != "S" || Exclusive.String() != "X" {
 		t.Error("mode strings")
+	}
+}
+
+// The two tests below pin the grant-vs-timeout race in Lock's timeout
+// branch: a waiter's timer can fire in the same instant a release
+// promotes it. The queue resolves the race under q.mu — whoever gets
+// the mutex first decides — and the w.done check makes the loser's
+// path safe in both orders. Both tests run on a vclock.Virtual, so the
+// interleavings are driven, not slept for.
+
+// waitParked spins (no sleeps) until cond holds — used to park the
+// test until the waiter goroutine has enqueued itself.
+func waitParked(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 1_000_000; i++ {
+		if cond() {
+			return
+		}
+		runtime.Gosched()
+	}
+	t.Fatalf("%s: never reached", what)
+}
+
+// TestQueueGrantBeatsTimeoutRace drives the order where the grant
+// lands first: the timer has fired, but before the waiter can take the
+// timeout path the holder releases and promotion marks the waiter
+// done. The waiter must honor the grant (return true, hold the lock) —
+// the pre-done-check code would instead "time out" a transaction that
+// the table already records as the holder, stranding the lock forever.
+func TestQueueGrantBeatsTimeoutRace(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	q := NewQueue(clk)
+	if !q.Lock(1, "a", Exclusive, time.Second) {
+		t.Fatal("setup lock")
+	}
+	got := make(chan bool, 1)
+	go func() { got <- q.Lock(2, "a", Exclusive, 100*time.Millisecond) }()
+	waitParked(t, "waiter enqueued", func() bool {
+		return q.Waiters("a") == 1 && clk.PendingTimers() == 1
+	})
+
+	// Freeze the queue, then fire the timer: the waiter's select has
+	// exactly one ready case (its grant channel is empty), so it
+	// commits to the timeout branch and blocks on q.mu — which we
+	// hold. Yield until it has had every chance to get there.
+	q.mu.Lock()
+	clk.Advance(200 * time.Millisecond)
+	waitParked(t, "timer consumed", func() bool { return clk.PendingTimers() == 0 })
+	for i := 0; i < 1000; i++ {
+		runtime.Gosched()
+	}
+	// Now the release promotes the waiter while it is stuck at the
+	// mutex: done is set and the grant is buffered before the waiter
+	// re-checks.
+	q.unlockLocked(1, "a")
+	q.mu.Unlock()
+
+	if granted := <-got; !granted {
+		t.Fatal("grant that raced the timer was dropped — waiter returned false while holding the lock")
+	}
+	if q.HeldBy(2, "a") != Exclusive {
+		t.Errorf("waiter granted but not recorded as holder: mode %v", q.HeldBy(2, "a"))
+	}
+	// The honored grant must be releasable like any other.
+	q.Unlock(2, "a")
+	if !q.Lock(3, "a", Exclusive, time.Second) {
+		t.Error("lock stranded after the raced grant was released")
+	}
+}
+
+// TestQueueTimeoutBeatsGrantRace drives the other order: the waiter
+// wins the mutex, sees done unset, dequeues itself and returns false.
+// The subsequent release must not grant the departed waiter — the item
+// must be cleanly free for the next transaction (no phantom holder, no
+// stuck queue).
+func TestQueueTimeoutBeatsGrantRace(t *testing.T) {
+	clk := vclock.NewVirtual(time.Unix(0, 0))
+	q := NewQueue(clk)
+	if !q.Lock(1, "a", Exclusive, time.Second) {
+		t.Fatal("setup lock")
+	}
+	got := make(chan bool, 1)
+	go func() { got <- q.Lock(2, "a", Exclusive, 100*time.Millisecond) }()
+	waitParked(t, "waiter enqueued", func() bool {
+		return q.Waiters("a") == 1 && clk.PendingTimers() == 1
+	})
+
+	clk.Advance(200 * time.Millisecond)
+	if granted := <-got; granted {
+		t.Fatal("waiter granted without a release")
+	}
+	if q.Waiters("a") != 0 {
+		t.Fatal("timed-out waiter still queued")
+	}
+
+	// The release happens strictly after the timeout completed: no one
+	// is promoted, and txn 2 must not appear as a holder.
+	q.Unlock(1, "a")
+	if q.HeldBy(2, "a") != 0 {
+		t.Errorf("departed waiter holds the lock: mode %v", q.HeldBy(2, "a"))
+	}
+	if !q.Lock(3, "a", Exclusive, time.Second) {
+		t.Error("item not grantable after timeout+release")
 	}
 }

@@ -1,0 +1,411 @@
+package site
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/obs"
+	"dvp/internal/vclock"
+	"dvp/internal/wire"
+)
+
+// This file is the demand-driven rebalancing subsystem: each site
+// tracks how fast its local quota is being consumed (plus what it
+// could not serve), gossips that estimate to peers in DemandAdvert
+// messages, and ships surplus toward the largest observed deficit with
+// ordinary Rds transfers. The paper leaves "the best ways to
+// distribute the data values among the sites" open (§8); this is the
+// decentralized answer: no global view, no coordinator — every input
+// is either local or carried by the existing envelope path, and every
+// transfer is a Virtual Message, so partitions and crashes cannot lose
+// or duplicate value.
+
+// RebalanceConfig tunes the per-site demand-driven rebalancer.
+type RebalanceConfig struct {
+	// Enabled starts the rebalancer goroutine with the site.
+	Enabled bool
+	// Interval is the base advert/rebalance pace. Each tick is
+	// jittered over [Interval/2, 3·Interval/2) so concurrent sites
+	// never fall into lockstep rounds. Default 50ms.
+	Interval time.Duration
+	// MinTransfer is the hysteresis dead-band: ship surplus only when
+	// both the local surplus and the peer's deficit reach it. Default 4.
+	MinTransfer core.Value
+	// Cooldown is the minimum gap between transfers of one item from
+	// this site. Default 2·Interval.
+	Cooldown time.Duration
+	// HalfLife sets how fast the demand EWMA decays. Default 8·Interval.
+	HalfLife time.Duration
+	// AdvertStale bounds how old a peer's advert may be and still
+	// count: older entries (and peers that have gone quiet — down or
+	// partitioned away) drop out of the rebalancing view. Default
+	// 4·Interval.
+	AdvertStale time.Duration
+	// Floor is the fraction of the even share every site keeps
+	// regardless of demand (core.DemandShares). Default 0.25.
+	Floor float64
+	// Seed drives the tick jitter (clusters derive a per-site seed).
+	Seed int64
+}
+
+// withDefaults fills zero fields.
+func (c RebalanceConfig) withDefaults() RebalanceConfig {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.MinTransfer <= 0 {
+		c.MinTransfer = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * c.Interval
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = 8 * c.Interval
+	}
+	if c.AdvertStale <= 0 {
+		c.AdvertStale = 4 * c.Interval
+	}
+	if c.Floor <= 0 {
+		c.Floor = 0.25
+	}
+	if c.Floor > 1 {
+		c.Floor = 1
+	}
+	return c
+}
+
+// itemDemand is one item's demand cell: an impulse-decay EWMA (each
+// recorded amount is added whole; the accumulator halves every
+// HalfLife) plus the hysteresis timestamp of the item's last outbound
+// rebalance transfer.
+type itemDemand struct {
+	ewma         float64
+	lastSample   time.Time
+	lastTransfer time.Time
+}
+
+// decayTo brings the accumulator forward to now.
+func (d *itemDemand) decayTo(now time.Time, halfLife time.Duration) {
+	if d.lastSample.IsZero() {
+		d.lastSample = now
+		return
+	}
+	dt := now.Sub(d.lastSample)
+	if dt <= 0 {
+		return
+	}
+	d.ewma *= math.Exp2(-float64(dt) / float64(halfLife))
+	d.lastSample = now
+}
+
+// peerAdvert is the latest demand advert received from one peer.
+type peerAdvert struct {
+	at      time.Time
+	entries map[ident.ItemID]wire.DemandEntry
+}
+
+// demandTracker aggregates local consumption/deficit signals and peer
+// adverts for one site. All methods are safe for concurrent use; the
+// single mutex is fine because recording is a few float ops and the
+// commit path touches it outside the stripes.
+type demandTracker struct {
+	cfg RebalanceConfig
+
+	// Exposition hooks, set once by instrument (nil-safe without).
+	reg   *obs.Registry
+	site  string
+	clock vclock.Clock
+
+	mu      sync.Mutex
+	items   map[ident.ItemID]*itemDemand
+	adverts map[ident.SiteID]*peerAdvert
+}
+
+// instrument enables per-item demand gauges: each item's decayed EWMA
+// is exported as dvp_rebalance_demand{site,item} at exposition time.
+func (t *demandTracker) instrument(reg *obs.Registry, site string, clock vclock.Clock) {
+	t.reg = reg
+	t.site = site
+	t.clock = clock
+}
+
+func newDemandTracker(cfg RebalanceConfig) *demandTracker {
+	return &demandTracker{
+		cfg:     cfg,
+		items:   make(map[ident.ItemID]*itemDemand),
+		adverts: make(map[ident.SiteID]*peerAdvert),
+	}
+}
+
+// cell returns item's demand cell, creating it on first use (and lazily
+// registering its demand gauge — registration is idempotent, so cells
+// recreated after a crash re-attach to the same series). Caller holds
+// t.mu.
+func (t *demandTracker) cell(item ident.ItemID) *itemDemand {
+	d, ok := t.items[item]
+	if !ok {
+		d = &itemDemand{}
+		t.items[item] = d
+		if t.reg != nil {
+			it := item
+			t.reg.GaugeFunc("dvp_rebalance_demand",
+				func() float64 { return t.demand(it, t.clock.Now()) },
+				"site", t.site, "item", string(it))
+		}
+	}
+	return d
+}
+
+// record folds amount units of observed demand (consumption or
+// shortfall) for item into the EWMA.
+func (t *demandTracker) record(item ident.ItemID, amount core.Value, now time.Time) {
+	if amount <= 0 {
+		return
+	}
+	t.mu.Lock()
+	d := t.cell(item)
+	d.decayTo(now, t.cfg.HalfLife)
+	d.ewma += float64(amount)
+	t.mu.Unlock()
+}
+
+// demand reads item's decayed demand estimate.
+func (t *demandTracker) demand(item ident.ItemID, now time.Time) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d, ok := t.items[item]
+	if !ok {
+		return 0
+	}
+	d.decayTo(now, t.cfg.HalfLife)
+	return d.ewma
+}
+
+// reset clears volatile demand state (crash discards it; demand is a
+// hint, rebuilt from live traffic after restart).
+func (t *demandTracker) reset() {
+	t.mu.Lock()
+	t.items = make(map[ident.ItemID]*itemDemand)
+	t.adverts = make(map[ident.SiteID]*peerAdvert)
+	t.mu.Unlock()
+}
+
+// observeAdvert installs a peer's latest advert, replacing the
+// previous one wholesale (adverts carry the peer's full item view).
+func (t *demandTracker) observeAdvert(from ident.SiteID, entries []wire.DemandEntry, now time.Time) {
+	m := make(map[ident.ItemID]wire.DemandEntry, len(entries))
+	for _, e := range entries {
+		m[e.Item] = e
+	}
+	t.mu.Lock()
+	t.adverts[from] = &peerAdvert{at: now, entries: m}
+	t.mu.Unlock()
+}
+
+// peerShare is one reachable peer's advertised state for an item.
+type peerShare struct {
+	site   ident.SiteID
+	demand float64
+	have   core.Value
+}
+
+// peerView returns every peer with a fresh advert mentioning item.
+// Peers whose adverts have aged past AdvertStale — down, partitioned
+// away, or simply not advertising — are excluded: only currently
+// reachable peers take part in rebalancing.
+func (t *demandTracker) peerView(item ident.ItemID, now time.Time) []peerShare {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []peerShare
+	for p, adv := range t.adverts {
+		if now.Sub(adv.at) > t.cfg.AdvertStale {
+			continue
+		}
+		e, ok := adv.entries[item]
+		if !ok {
+			continue
+		}
+		out = append(out, peerShare{site: p, demand: float64(e.Demand) / 1000, have: e.Have})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].site < out[j].site })
+	return out
+}
+
+// cooldownOK reports whether item is outside its transfer cooldown,
+// and if so stamps now as the last transfer time (test-and-set, so
+// concurrent ticks cannot double-send).
+func (t *demandTracker) cooldownOK(item ident.ItemID, now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.cell(item)
+	if !d.lastTransfer.IsZero() && now.Sub(d.lastTransfer) < t.cfg.Cooldown {
+		return false
+	}
+	d.lastTransfer = now
+	return true
+}
+
+// --- the per-site rebalancer loop -------------------------------------------
+
+// maxAdvertItems bounds one advert's entry count; the hottest items
+// win when a site holds more.
+const maxAdvertItems = 256
+
+// minDemandSignal is the quiescence threshold: when the whole view's
+// demand has decayed below this, the item is left where it lies — no
+// anticipatory reshuffling, so an idle cluster goes (and stays) quiet.
+const minDemandSignal = 0.5
+
+// SetRebalancePaused pauses (true) or resumes (false) this site's
+// rebalancer ticks. The flag survives Crash/Restart — harness barriers
+// pause rebalancing around their quiescent invariant checks even while
+// they crash-cycle sites.
+func (s *Site) SetRebalancePaused(p bool) { s.rebalPaused.Store(p) }
+
+// rebalanceLoop is the per-site rebalancer goroutine: each jittered
+// tick advertises local demand to every peer and ships at most one
+// surplus transfer per item toward the largest observed deficit.
+// Mirrors retransmitLoop's lifecycle (started by Start, joined by
+// Crash).
+func (s *Site) rebalanceLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	cfg := s.cfg.Rebalance
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for {
+		// Jittered pace: uniform over [Interval/2, 3·Interval/2), so
+		// concurrent sites' rounds drift apart instead of racing each
+		// other's quota reads in lockstep.
+		d := cfg.Interval/2 + time.Duration(rng.Int63n(int64(cfg.Interval)))
+		select {
+		case <-stop:
+			return
+		case <-s.cfg.Clock.After(d):
+		}
+		if s.rebalPaused.Load() {
+			continue
+		}
+		s.advertiseDemand()
+		s.rebalanceTick()
+	}
+}
+
+// advertiseDemand gossips this site's per-item demand estimate and
+// holdings to every peer. Fire-and-forget: adverts are advisory, the
+// next tick resends, so loss costs one interval of staleness at most.
+func (s *Site) advertiseDemand() {
+	now := s.cfg.Clock.Now()
+	items := s.cfg.DB.Items()
+	entries := make([]wire.DemandEntry, 0, len(items))
+	for _, item := range items {
+		entries = append(entries, wire.DemandEntry{
+			Item:   item,
+			Demand: uint64(s.demand.demand(item, now)*1000 + 0.5),
+			Have:   s.cfg.DB.Value(item),
+		})
+	}
+	if len(entries) > maxAdvertItems {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Demand > entries[j].Demand })
+		entries = entries[:maxAdvertItems]
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Item < entries[j].Item })
+	for _, p := range s.peersExceptSelf() {
+		s.send(p, &wire.DemandAdvert{Entries: entries})
+		s.obsm.advertsSent.Inc()
+	}
+}
+
+// rebalanceTick walks the local items and, for each, compares this
+// site's holding against its demand-weighted share of what the
+// reachable view holds. Surplus at least MinTransfer beyond the target
+// ships to the single largest-deficit peer (one transfer per item per
+// tick, bounding transfer volume); the per-item cooldown and the
+// MinTransfer dead-band on both ends stop oscillation.
+func (s *Site) rebalanceTick() {
+	cfg := s.cfg.Rebalance
+	now := s.cfg.Clock.Now()
+	for _, item := range s.cfg.DB.Items() {
+		view := s.demand.peerView(item, now)
+		if len(view) == 0 {
+			continue
+		}
+		myDemand := s.demand.demand(item, now)
+		demands := make([]float64, 0, len(view)+1)
+		demands = append(demands, myDemand)
+		total := s.cfg.DB.Value(item)
+		totalDemand := myDemand
+		for _, ps := range view {
+			demands = append(demands, ps.demand)
+			total += ps.have
+			totalDemand += ps.demand
+		}
+		if totalDemand < minDemandSignal {
+			continue
+		}
+		targets := core.DemandShares(total, demands, cfg.Floor)
+		surplus := s.cfg.DB.Value(item) - targets[0]
+		if surplus < cfg.MinTransfer {
+			continue
+		}
+		best, bestDeficit := -1, core.Value(0)
+		for k, ps := range view {
+			if deficit := targets[k+1] - ps.have; deficit > bestDeficit {
+				best, bestDeficit = k, deficit
+			}
+		}
+		if best < 0 || bestDeficit < cfg.MinTransfer {
+			continue
+		}
+		amount := surplus
+		if bestDeficit < amount {
+			amount = bestDeficit
+		}
+		if !s.demand.cooldownOK(item, now) {
+			continue
+		}
+		if err := s.SendValue(item, view[best].site, amount); err == nil {
+			s.obsm.rebalTransfers.Inc()
+			s.obsm.rebalMoved.Add(uint64(amount))
+		}
+	}
+}
+
+// recordConsumption feeds committed consumption (negative deltas) into
+// the demand EWMA — the "how fast is quota leaving here" half of the
+// demand signal.
+func (s *Site) recordConsumption(deltas map[ident.ItemID]core.Value) {
+	if s.demand == nil {
+		return
+	}
+	now := s.cfg.Clock.Now()
+	for item, d := range deltas {
+		if d < 0 {
+			s.demand.record(item, -d, now)
+		}
+	}
+}
+
+// recordDeficit feeds a timeout abort's residual shortfall into the
+// demand EWMA and the deficit counter — the "what we could not serve"
+// half. Recording the unmet need, not just consumption, is what pulls
+// quota toward sites whose demand exceeds their holding.
+func (s *Site) recordDeficit(needs map[ident.ItemID]core.Value) {
+	if s.demand == nil {
+		return
+	}
+	now := s.cfg.Clock.Now()
+	counted := false
+	for item, need := range needs {
+		if have := s.cfg.DB.Value(item); have < need {
+			s.demand.record(item, need-have, now)
+			counted = true
+		}
+	}
+	if counted {
+		s.obsm.deficitAborts.Inc()
+	}
+}

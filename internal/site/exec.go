@@ -67,6 +67,9 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 	}
 	unlock()
 
+	// LIFO: locks release first, then parked inbound Vm on these items
+	// get their redelivery shot at the freshly-unlocked window.
+	defer s.redeliverDeferred(items)
 	defer s.locks.ReleaseAll(id)
 
 	// Step 2 — determine inadequate items and send requests.
@@ -122,7 +125,10 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 				// §5 step 3: "declare an abort and then release
 				// the locks". Quota already received stays — the
 				// aborted transaction degenerates to an Rds
-				// transaction (§6).
+				// transaction (§6). The residual shortfall feeds
+				// the demand tracker: unmet need is the strongest
+				// rebalancing signal there is.
+				s.recordDeficit(w.needs)
 				res.VmAccepted = w.accepted
 				tr.Step("vm-accept", fmt.Sprintf("accepted=%d", w.accepted))
 				return finish(txn.StatusTimeout)
@@ -221,6 +227,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 			writerIdx[item] = s.flow.writerCommit(item, s.cfg.ID)
 		}
 	}
+	s.recordConsumption(deltas)
 	if s.cfg.OnCommit != nil {
 		s.cfg.OnCommit(CommitInfo{
 			TS: ts, Site: s.cfg.ID, Deltas: deltas, Reads: reads,

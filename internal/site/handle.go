@@ -3,6 +3,7 @@ package site
 import (
 	"dvp/internal/core"
 	"dvp/internal/ident"
+	"dvp/internal/tstamp"
 	"dvp/internal/wal"
 	"dvp/internal/wire"
 )
@@ -35,6 +36,9 @@ func (s *Site) handle(env *wire.Envelope) {
 		s.handleVmBatch(env.From, m)
 	case *wire.VmAck:
 		s.vm.OnAck(env.From, m.UpTo)
+	case *wire.DemandAdvert:
+		s.demand.observeAdvert(env.From, m.Entries, s.cfg.Clock.Now())
+		s.obsm.advertsRecv.Inc()
 	case *wire.QuotaQuery:
 		s.send(env.From, &wire.QuotaReply{
 			Nonce: m.Nonce,
@@ -134,6 +138,7 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 	s.locks.Unlock(rdsID, req.Item)
 	stripe.Unlock()
 
+	s.reportRds(stamp, req.Item, -grant)
 	s.mu.Lock()
 	s.stats.RequestsHonored++
 	s.stats.VmCreated++
@@ -195,10 +200,19 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 		s.mu.Lock()
 		w = s.waiters[holder]
 		s.mu.Unlock()
-		if w == nil {
-			// Locked by a transaction not in its waiting phase: "if
-			// it is locked, the message can be ignored; it will
-			// eventually be sent again anyway" (§4.2).
+		if w == nil || m.ReqTxn != w.ts {
+			// Locked by a transaction not in its waiting phase, or a
+			// Vm not addressed to the waiting holder (an unsolicited
+			// rebalancer credit, or a grant for an older incarnation
+			// of the request): "if it is locked, the message can be
+			// ignored; it will eventually be sent again anyway"
+			// (§4.2). Consuming a foreign credit at the waiter's
+			// timestamp would splice it into that transaction's
+			// serial position even though the matching deduct
+			// serialized elsewhere — the waiter's full read would
+			// observe value its serial position cannot explain. The
+			// Vm is parked and redelivered when the lock releases.
+			s.deferVm(from, m)
 			stripe.Unlock()
 			return false
 		}
@@ -209,6 +223,22 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 		From:    from,
 		Seq:     m.Seq,
 		Actions: []wal.Action{{Item: m.Item, Delta: m.Amount}},
+	}
+	var creditTS tstamp.TS
+	if w != nil {
+		// The waiting transaction consumes the credit: it serializes
+		// inside that transaction, at its timestamp.
+		creditTS = w.ts
+	} else {
+		// Accepting into a free item is an Rds transaction of its own
+		// (§6): it draws a fresh timestamp and, under Conc1, stamps the
+		// value. Without the stamp a later full read could be admitted
+		// at a timestamp below the credit it already observed — ordered
+		// before it in the serial history, yet seeing its effect.
+		creditTS = s.lamport.Next()
+		if s.policy.StampOnLock() {
+			rec.Actions[0].SetTS = creditTS
+		}
 	}
 	if m.Amount == 0 {
 		// Zero-value Vm (a full-read "I hold nothing" response)
@@ -230,12 +260,13 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 	s.flow.merge(m.Item, flowVecFromEntries(m.FlowVec))
 	stripe.Unlock()
 
+	s.reportRds(creditTS, m.Item, m.Amount)
 	s.obsm.forPeer(from).vmAccepted.Inc()
 	s.mu.Lock()
 	s.stats.VmAccepted++
 	if w != nil {
 		w.accepted++
-		if w.reads[m.Item] && m.ReqTxn == w.ts {
+		if w.reads[m.Item] {
 			w.responded[m.Item][from] = true
 		}
 	}
@@ -245,6 +276,77 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 		w.wake()
 	}
 	return true
+}
+
+// deferredVm is one parked inbound Vm awaiting its item's unlock.
+type deferredVm struct {
+	from ident.SiteID
+	vm   wire.Vm
+}
+
+// maxDeferredPerItem bounds parked Vm per item; beyond it the sender's
+// retransmission is the delivery path, as in plain §4.2.
+const maxDeferredPerItem = 16
+
+// deferVm parks a Vm whose item was locked, for redelivery on unlock.
+// Duplicates (a retransmission racing the parked copy) collapse.
+func (s *Site) deferVm(from ident.SiteID, m *wire.Vm) {
+	s.defMu.Lock()
+	defer s.defMu.Unlock()
+	q := s.deferredVm[m.Item]
+	for i := range q {
+		if q[i].from == from && q[i].vm.Seq == m.Seq {
+			return
+		}
+	}
+	if len(q) >= maxDeferredPerItem {
+		return
+	}
+	s.deferredVm[m.Item] = append(q, deferredVm{from: from, vm: *m})
+}
+
+// redeliverDeferred re-runs the acceptance path for Vm parked on the
+// given items. Called after a transaction releases its locks — the
+// parked Vm land in the unlock window instead of waiting out the
+// sender's retransmit interval (which an item locked back-to-back may
+// never overlap). A redelivered Vm that finds the item locked again
+// simply parks again.
+func (s *Site) redeliverDeferred(items []ident.ItemID) {
+	var batch []deferredVm
+	s.defMu.Lock()
+	for _, item := range items {
+		if q := s.deferredVm[item]; len(q) > 0 {
+			batch = append(batch, q...)
+			delete(s.deferredVm, item)
+		}
+	}
+	s.defMu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	// Mirror the network entry point: the lifeMu fence and up-check
+	// keep redelivery inside the site's lifetime (exec's own lifeMu
+	// window has already closed by the time its unlock defer runs).
+	s.lifeMu.RLock()
+	defer s.lifeMu.RUnlock()
+	s.mu.Lock()
+	up := s.up
+	s.mu.Unlock()
+	if !up {
+		return
+	}
+	for i := range batch {
+		s.handleVm(batch[i].from, &batch[i].vm)
+	}
+}
+
+// reportRds fires the OnRds hook for one redistribution half. Zero
+// deltas (full-read "I hold nothing" responses) are not halves of
+// anything and are skipped.
+func (s *Site) reportRds(ts tstamp.TS, item ident.ItemID, delta core.Value) {
+	if s.cfg.OnRds != nil && delta != 0 {
+		s.cfg.OnRds(RdsInfo{TS: ts, Site: s.cfg.ID, Item: item, Delta: delta})
+	}
 }
 
 // sendVm transmits one real message for a virtual message.

@@ -37,6 +37,16 @@ type siteObs struct {
 	outcomes map[txn.Status]*metrics.Counter
 	peers    map[ident.SiteID]*peerObs
 	orphan   *peerObs // fallback for traffic from unconfigured peers
+
+	// Demand-driven rebalancing series: advert gossip volume in both
+	// directions, transfers shipped (count and value moved), and
+	// timeout aborts that died with an unmet shortfall — the signal
+	// the rebalancer exists to shrink.
+	advertsSent    *metrics.Counter
+	advertsRecv    *metrics.Counter
+	rebalTransfers *metrics.Counter
+	rebalMoved     *metrics.Counter
+	deficitAborts  *metrics.Counter
 }
 
 func newPeerObs(reg *obs.Registry, site, peer string) *peerObs {
@@ -66,6 +76,11 @@ func (s *Site) initObs() {
 		o.outcomes[st] = o.reg.Counter("dvp_site_txn_total",
 			"site", o.site, "outcome", st.String())
 	}
+	o.advertsSent = o.reg.Counter("dvp_rebalance_adverts_sent_total", "site", o.site)
+	o.advertsRecv = o.reg.Counter("dvp_rebalance_adverts_recv_total", "site", o.site)
+	o.rebalTransfers = o.reg.Counter("dvp_rebalance_transfers_total", "site", o.site)
+	o.rebalMoved = o.reg.Counter("dvp_rebalance_value_moved_total", "site", o.site)
+	o.deficitAborts = o.reg.Counter("dvp_site_deficit_aborts_total", "site", o.site)
 	o.peers = make(map[ident.SiteID]*peerObs, len(s.cfg.Peers))
 	for _, p := range s.peersExceptSelf() {
 		o.peers[p] = newPeerObs(o.reg, o.site, p.String())

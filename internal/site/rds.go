@@ -90,6 +90,7 @@ func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value
 	s.ckptMu.RUnlock()
 	stripe.Unlock()
 
+	s.reportRds(stamp, item, -amount)
 	s.mu.Lock()
 	s.stats.VmCreated++
 	s.mu.Unlock()

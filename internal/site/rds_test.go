@@ -1,0 +1,133 @@
+package site
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/simnet"
+	"dvp/internal/tstamp"
+)
+
+// TestVmAcceptIntoFreeItemStampsAndReports pins the Rds-as-two-
+// transactions semantics (§6): a SendValue deduct and its credit at
+// the receiving site are each their own locally-serialized
+// transaction. The credit into a free item must (a) stamp the value
+// with a fresh timestamp — so a later full read cannot be admitted at
+// a timestamp below a credit it already observed — and (b) surface
+// through OnRds with that stamp, strictly after the deduct's, so
+// exact serializability checkers can replay the in-flight window.
+func TestVmAcceptIntoFreeItemStampsAndReports(t *testing.T) {
+	var mu sync.Mutex
+	var events []RdsInfo
+	tc := newTestCluster(t, 2, simnet.Config{Seed: 11}, func(i int, c *Config) {
+		c.OnRds = func(ri RdsInfo) {
+			mu.Lock()
+			events = append(events, ri)
+			mu.Unlock()
+		}
+	})
+	for i, s := range tc.sites {
+		share := core.Value(0)
+		if i == 0 {
+			share = 10
+		}
+		if err := s.DB().Create("x", share); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := tc.sites[0].SendValue("x", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, time.Second, "credit lands at site 2", func() bool {
+		return tc.sites[1].DB().Value("x") == 4
+	})
+
+	it, _ := tc.sites[1].DB().Get(ident.ItemID("x"))
+	if it.TS == 0 {
+		t.Error("free-item Vm accept left the value unstamped: a later reader can serialize below the credit")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("OnRds fired %d times, want 2 (deduct + credit): %+v", len(events), events)
+	}
+	var deduct, credit *RdsInfo
+	for k := range events {
+		switch {
+		case events[k].Delta < 0:
+			deduct = &events[k]
+		case events[k].Delta > 0:
+			credit = &events[k]
+		}
+	}
+	if deduct == nil || credit == nil {
+		t.Fatalf("missing a half: %+v", events)
+	}
+	if deduct.Site != 1 || deduct.Item != "x" || deduct.Delta != -4 {
+		t.Errorf("deduct = %+v, want site 1 x -4", *deduct)
+	}
+	if credit.Site != 2 || credit.Item != "x" || credit.Delta != 4 {
+		t.Errorf("credit = %+v, want site 2 x 4", *credit)
+	}
+	if credit.TS <= deduct.TS {
+		t.Errorf("credit TS %v not after deduct TS %v — the in-flight window has no serial extent", credit.TS, deduct.TS)
+	}
+	if got := tstamp.TS(it.TS); got != credit.TS {
+		t.Errorf("value stamped %v but credit reported %v — checker and store disagree on the serial position", got, credit.TS)
+	}
+}
+
+// TestDeferredVmRedeliversOnUnlock pins the park-and-redeliver path: a
+// Vm that finds its item locked by a transaction it is not addressed
+// to must not be spliced into that transaction (the §4.2 ignore), but
+// must land as soon as the lock releases — without waiting out the
+// sender's retransmit interval, which a busy item might never overlap.
+func TestDeferredVmRedeliversOnUnlock(t *testing.T) {
+	tc := newTestCluster(t, 2, simnet.Config{Seed: 12}, func(i int, c *Config) {
+		// Retransmission alone must not be the delivery path here.
+		c.RetransmitEvery = 10 * time.Second
+	})
+	for i, s := range tc.sites {
+		share := core.Value(0)
+		if i == 0 {
+			share = 10
+		}
+		if err := s.DB().Create("x", share); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dst := tc.sites[1]
+	blocker := ident.TxnID(7)
+	if !dst.locks.TryLock(blocker, "x") {
+		t.Fatal("could not lock x at destination")
+	}
+	if err := tc.sites[0].SendValue("x", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, time.Second, "Vm parked at the locked destination", func() bool {
+		dst.defMu.Lock()
+		defer dst.defMu.Unlock()
+		return len(dst.deferredVm["x"]) == 1
+	})
+	if got := dst.DB().Value("x"); got != 0 {
+		t.Fatalf("credit landed through a held lock: value = %d", got)
+	}
+
+	dst.locks.Unlock(blocker, "x")
+	dst.redeliverDeferred([]ident.ItemID{"x"})
+	if got := dst.DB().Value("x"); got != 4 {
+		t.Errorf("value = %d after unlock redelivery, want 4", got)
+	}
+	dst.defMu.Lock()
+	left := len(dst.deferredVm["x"])
+	dst.defMu.Unlock()
+	if left != 0 {
+		t.Errorf("%d Vm still parked after redelivery", left)
+	}
+}

@@ -12,6 +12,7 @@ package site
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvp/internal/cc"
@@ -61,9 +62,22 @@ type Config struct {
 	// §6.2 correctness argument needs whole-site arrival-order
 	// processing, not merely per-item order.
 	AdmissionStripes int
+	// Rebalance configures the demand-driven rebalancer: when
+	// Enabled, the site tracks per-item demand, gossips it to peers
+	// via DemandAdvert messages, and ships surplus quota toward the
+	// largest observed deficit with Rds transfers (see demand.go).
+	Rebalance RebalanceConfig
 	// OnCommit, when set, observes every committed transaction
 	// (metrics, serializability checking). Called outside locks.
 	OnCommit func(CommitInfo)
+	// OnRds, when set, observes each half of every redistribution: the
+	// deduct logged with a Vm's creation and the credit logged with its
+	// acceptance. Each half is its own locally-serialized transaction
+	// (§6), so exact serializability checking must replay both halves
+	// at their stamps — a concurrent full read that misses value in
+	// flight between the halves is serializable, and looks it only if
+	// the checker models the window.
+	OnRds func(RdsInfo)
 	// Metrics, when set, registers the site's runtime metrics (txn
 	// latency by label and outcome, quota-ask traffic and honor rate
 	// per peer, Vm channel state) with the registry, labelled
@@ -93,6 +107,20 @@ type CommitInfo struct {
 	WriterIdx map[ident.ItemID]uint64
 	ReadVec   map[ident.ItemID]FlowVec
 	Label     string
+}
+
+// RdsInfo describes one half of a redistribution to the OnRds hook: a
+// Vm-create deduct (negative Delta) at the sending site or a Vm-accept
+// credit (positive Delta) at the receiving site, with the timestamp
+// the half serializes at. Request-grant pairs consumed by the waiting
+// transaction both carry the requester's TS (they serialize inside
+// it); a credit accepted into a free item carries a fresh local stamp,
+// strictly after everything the accepting site has seen.
+type RdsInfo struct {
+	TS    tstamp.TS
+	Site  ident.SiteID
+	Item  ident.ItemID
+	Delta core.Value
 }
 
 // Stats counts site-level events. Snapshot with Site.Stats.
@@ -155,6 +183,26 @@ type Site struct {
 	// read-only afterwards (the handles themselves are atomic).
 	obsm siteObs
 
+	// demand is the demand-driven rebalancer's state: local EWMA
+	// demand per item plus the freshest advert from each peer. Always
+	// non-nil; the rebalancer goroutine itself runs only when
+	// cfg.Rebalance.Enabled. rebalPaused gates ticks without stopping
+	// the goroutine and deliberately survives Crash/Restart (harness
+	// barriers rely on that while they crash-cycle sites).
+	demand      *demandTracker
+	rebalPaused atomic.Bool
+
+	// deferredVm parks inbound Vm that found their item locked. §4.2
+	// allows dropping them ("it will eventually be sent again anyway"),
+	// but a site whose item is locked back-to-back — a skewed site
+	// running one deficit transaction after another — would then starve
+	// inbound credits for many retransmit intervals. Parked Vm are
+	// redelivered the moment the locking transaction releases, bounding
+	// the wait by the lock hold time. Volatile: cleared on crash, the
+	// sender's retransmission re-covers anything lost.
+	defMu      sync.Mutex
+	deferredVm map[ident.ItemID][]deferredVm
+
 	mu        sync.Mutex // guards waiters, up, epoch, stats, askCursor
 	lastRec   recovery.Summary
 	waiters   map[ident.TxnID]*waiter
@@ -163,6 +211,8 @@ type Site struct {
 	stats     Stats
 	stopRetx  chan struct{}
 	retxDone  chan struct{}
+	stopRebal chan struct{}
+	rebalDone chan struct{}
 	askCursor int
 }
 
@@ -213,18 +263,22 @@ func New(cfg Config) (*Site, error) {
 	if cfg.CC.Scheme() == cc.Conc2 {
 		cfg.AdmissionStripes = 1
 	}
+	cfg.Rebalance = cfg.Rebalance.withDefaults()
 	s := &Site{
-		cfg:     cfg,
-		policy:  cfg.CC,
-		grant:   cfg.Grant,
-		stripes: make([]sync.Mutex, cfg.AdmissionStripes),
-		waiters: make(map[ident.TxnID]*waiter),
-		lamport: tstamp.NewClock(cfg.ID),
-		locks:   lock.NewNoWait(),
-		vm:      vmsg.NewManager(),
-		flow:    newFlowClocks(),
+		cfg:        cfg,
+		policy:     cfg.CC,
+		grant:      cfg.Grant,
+		stripes:    make([]sync.Mutex, cfg.AdmissionStripes),
+		waiters:    make(map[ident.TxnID]*waiter),
+		deferredVm: make(map[ident.ItemID][]deferredVm),
+		lamport:    tstamp.NewClock(cfg.ID),
+		locks:      lock.NewNoWait(),
+		vm:         vmsg.NewManager(),
+		flow:       newFlowClocks(),
 	}
+	s.demand = newDemandTracker(s.cfg.Rebalance)
 	s.initObs()
+	s.demand.instrument(s.cfg.Metrics, s.obsm.site, s.cfg.Clock)
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -238,6 +292,7 @@ func (s *Site) recover() error {
 	s.locks.Clear()
 	s.vm.Reset()
 	s.flow.reset()
+	s.demand.reset()
 	sum, err := recovery.Recover(s.cfg.Log, s.cfg.DB, s.vm, s.lamport)
 	if err != nil {
 		return fmt.Errorf("site %v: %w", s.cfg.ID, err)
@@ -277,11 +332,21 @@ func (s *Site) Start() {
 	done := make(chan struct{})
 	s.stopRetx = stop
 	s.retxDone = done
+	var stopRebal, rebalDone chan struct{}
+	if s.cfg.Rebalance.Enabled {
+		stopRebal = make(chan struct{})
+		rebalDone = make(chan struct{})
+		s.stopRebal = stopRebal
+		s.rebalDone = rebalDone
+	}
 	s.mu.Unlock()
 
 	s.cfg.Endpoint.SetHandler(s.handle)
 	_ = s.cfg.Endpoint.Open()
 	go s.retransmitLoop(stop, done)
+	if stopRebal != nil {
+		go s.rebalanceLoop(stopRebal, rebalDone)
+	}
 }
 
 // Crash kills the site: volatile state is lost, in-progress
@@ -298,6 +363,12 @@ func (s *Site) Crash() {
 	s.stopRetx = nil
 	done := s.retxDone
 	s.retxDone = nil
+	rebalDone := s.rebalDone
+	if s.stopRebal != nil {
+		close(s.stopRebal)
+		s.stopRebal = nil
+		s.rebalDone = nil
+	}
 	ws := s.waiters
 	s.waiters = make(map[ident.TxnID]*waiter)
 	s.mu.Unlock()
@@ -306,16 +377,23 @@ func (s *Site) Crash() {
 	// Fence: once the write lock is held, no message handler is
 	// mid-flight, so nothing further reaches the log or store.
 	s.lifeMu.Lock()
-	s.lifeMu.Unlock() //nolint:staticcheck // empty critical section is the fence
-	// Join the retransmission loop.
+	s.lifeMu.Unlock() // empty critical section is the fence (SA2001, excluded in staticcheck.conf)
+	// Join the retransmission and rebalancer loops.
 	<-done
+	if rebalDone != nil {
+		<-rebalDone
+	}
 	// Wake every waiting transaction; they observe the epoch change
 	// and report SiteDown.
 	for _, w := range ws {
 		w.wake()
 	}
-	// Volatile lock table is gone — recovery starts clean (§7).
+	// Volatile lock table is gone — recovery starts clean (§7). So
+	// are parked Vm: retransmission re-covers them.
 	s.locks.Clear()
+	s.defMu.Lock()
+	s.deferredVm = make(map[ident.ItemID][]deferredVm)
+	s.defMu.Unlock()
 }
 
 // Restart recovers from the stable log and rejoins the network,

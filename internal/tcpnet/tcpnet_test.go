@@ -253,3 +253,87 @@ func TestDvpSitesOverTCP(t *testing.T) {
 		t.Errorf("on-site total = %d, want 12", v)
 	}
 }
+
+// TestDemandAdvertOverTCP exercises the rebalancer's gossip message
+// through the real framing path: encode, length-prefix, socket, decode.
+func TestDemandAdvertOverTCP(t *testing.T) {
+	e1, e2 := pair(t)
+	got := make(chan *wire.Envelope, 1)
+	e2.SetHandler(func(env *wire.Envelope) { got <- env })
+	adv := &wire.DemandAdvert{Entries: []wire.DemandEntry{
+		{Item: "flight/A", Demand: 12500, Have: 40},
+		{Item: "flight/B", Demand: 0, Have: 3},
+	}}
+	if err := e1.Send(&wire.Envelope{To: 2, Lamport: tstamp.Make(9, 1), Msg: adv}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case g := <-got:
+		m, ok := g.Msg.(*wire.DemandAdvert)
+		if !ok {
+			t.Fatalf("decoded %T, want *wire.DemandAdvert", g.Msg)
+		}
+		if len(m.Entries) != 2 || m.Entries[0] != adv.Entries[0] || m.Entries[1] != adv.Entries[1] {
+			t.Errorf("entries = %+v, want %+v", m.Entries, adv.Entries)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("advert never arrived")
+	}
+}
+
+// TestDemandRebalanceOverTCP runs the demand-driven rebalancer between
+// two real-socket sites: committed consumption at one site builds a
+// demand estimate, the adverts cross localhost, and the idle site's
+// surplus follows — with no transaction ever asking for it.
+func TestDemandRebalanceOverTCP(t *testing.T) {
+	e1, e2 := pair(t)
+	peers := []ident.SiteID{1, 2}
+	mk := func(ep *Endpoint, id ident.SiteID, share core.Value) *site.Site {
+		s, err := site.New(site.Config{
+			ID: id, Peers: peers,
+			Log: wal.NewMemLog(), DB: store.New(),
+			Endpoint:        ep,
+			CC:              cc.New(cc.Conc1),
+			RetransmitEvery: 10 * time.Millisecond,
+			DefaultTimeout:  500 * time.Millisecond,
+			Rebalance: site.RebalanceConfig{
+				Enabled:     true,
+				Interval:    5 * time.Millisecond,
+				MinTransfer: 4,
+				Cooldown:    10 * time.Millisecond,
+				HalfLife:    200 * time.Millisecond,
+				AdvertStale: 25 * time.Millisecond,
+				Seed:        int64(id),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.DB().Create("flight/A", share)
+		s.Start()
+		return s
+	}
+	mk(e1, 1, 30)
+	s2 := mk(e2, 2, 30)
+
+	// All consumption happens at site 2 (purely local commits). Its
+	// demand EWMA rises; site 1's stays zero; quota should drift to
+	// where it is being spent.
+	for i := 0; i < 4; i++ {
+		res := s2.Run(&txn.Txn{
+			Ops: []txn.ItemOp{{Item: "flight/A", Op: core.Decr{M: 5}}},
+		})
+		if !res.Committed() {
+			t.Fatalf("local decrement %d: %v", i, res.Status)
+		}
+	}
+	// Site 2 is down to 10; the rebalancer must pull it back above 20
+	// out of site 1's idle 30.
+	deadline := time.Now().Add(3 * time.Second)
+	for s2.DB().Value("flight/A") < 20 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rebalancer never shipped surplus: site2 holds %d", s2.DB().Value("flight/A"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -64,6 +64,13 @@ const (
 	// shares a frame. Appended at the enum tail to keep existing
 	// frames and fuzz corpora stable.
 	KVmBatch
+
+	// KDemandAdvert carries a site's per-item demand estimate and
+	// current holding to a peer — the gossip feeding demand-driven
+	// rebalancing. Advisory only: losing one costs nothing (the next
+	// interval resends), so it needs no ack or retransmission state.
+	// Appended at the enum tail like KVmBatch.
+	KDemandAdvert
 )
 
 func (k Kind) String() string {
@@ -106,6 +113,8 @@ func (k Kind) String() string {
 		return "quotareply"
 	case KVmBatch:
 		return "vmbatch"
+	case KDemandAdvert:
+		return "demandadvert"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -263,6 +272,65 @@ func decodeVmBatch(r *Reader) *VmBatch {
 		out = append(out, *v)
 	}
 	return &VmBatch{Vms: out}
+}
+
+// DemandEntry is one item's advertised state: the sender's demand
+// estimate (EWMA of consumption plus deficit aborts, in milli-units so
+// fractional decay survives the wire) and its current local quota.
+type DemandEntry struct {
+	Item ident.ItemID
+	// Demand is the sender's demand-rate estimate ×1000.
+	Demand uint64
+	// Have is the sender's current local quota of Item.
+	Have core.Value
+}
+
+// DemandAdvert gossips the sender's per-item demand and holdings to a
+// peer. Receivers fold it into their peer-demand view; advert
+// freshness doubles as the reachability signal (a partitioned peer's
+// adverts stop arriving, so its entries age out of rebalancing
+// decisions).
+type DemandAdvert struct {
+	Entries []DemandEntry
+}
+
+// maxDemandEntries bounds decoded advert length (same rationale as
+// maxVmBatch: frames are already bounded, this stops hostile length
+// prefixes from over-allocating).
+const maxDemandEntries = 1 << 12
+
+// Kind implements Msg.
+func (*DemandAdvert) Kind() Kind { return KDemandAdvert }
+
+// Encode implements Msg.
+func (m *DemandAdvert) Encode(w *Writer) {
+	w.U64(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.String(string(e.Item))
+		w.U64(e.Demand)
+		w.I64(int64(e.Have))
+	}
+}
+
+func decodeDemandAdvert(r *Reader) *DemandAdvert {
+	n := r.U64()
+	if r.Err() != nil || n > maxDemandEntries {
+		r.fail(ErrTooLong)
+		return &DemandAdvert{}
+	}
+	out := make([]DemandEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		e := DemandEntry{
+			Item:   ident.ItemID(r.String()),
+			Demand: r.U64(),
+			Have:   core.Value(r.I64()),
+		}
+		if r.Err() != nil {
+			break
+		}
+		out = append(out, e)
+	}
+	return &DemandAdvert{Entries: out}
 }
 
 // VmAck acknowledges all Vm with Seq ≤ UpTo on the sender→receiver
@@ -726,6 +794,8 @@ func DecodeMsg(kind Kind, r *Reader) (Msg, error) {
 		m = decodeQuotaReply(r)
 	case KVmBatch:
 		m = decodeVmBatch(r)
+	case KDemandAdvert:
+		m = decodeDemandAdvert(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d", kind)
 	}

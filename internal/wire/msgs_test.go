@@ -53,6 +53,10 @@ func TestAllMessagesRoundTrip(t *testing.T) {
 		&ReadReply{Txn: tstamp.Make(8, 2), Item: "q", Value: 19, Version: 3, OK: true},
 		&QuotaQuery{Nonce: 77, Item: "flight/A"},
 		&QuotaReply{Nonce: 77, Item: "flight/A", Value: 25, Known: true},
+		&DemandAdvert{Entries: []DemandEntry{
+			{Item: "flight/A", Demand: 12500, Have: 25},
+			{Item: "acct/x", Demand: 0, Have: 0},
+		}},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -72,7 +76,48 @@ func equivalentEmptySlices(a, b Msg) bool {
 	if ok1 && ok2 {
 		return pa.Txn == pb.Txn && len(pa.Writes) == 0 && len(pb.Writes) == 0
 	}
+	da, ok1 := a.(*DemandAdvert)
+	db, ok2 := b.(*DemandAdvert)
+	if ok1 && ok2 {
+		return len(da.Entries) == 0 && len(db.Entries) == 0
+	}
 	return false
+}
+
+func TestDemandAdvertRoundTripProperty(t *testing.T) {
+	f := func(item string, demand uint64, have int64, item2 string) bool {
+		m := &DemandAdvert{Entries: []DemandEntry{
+			{Item: ident.ItemID(item), Demand: demand, Have: core.Value(have)},
+			{Item: ident.ItemID(item2), Demand: demand / 2, Have: 0},
+		}}
+		env := &Envelope{From: 2, To: 3, Msg: m}
+		buf, err := env.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Msg, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemandAdvertHostileLength(t *testing.T) {
+	var w Writer
+	w.U8(envelopeMagic)
+	w.U16(1)
+	w.U16(2)
+	w.U64(0)
+	w.U64(0)
+	w.U8(uint8(KDemandAdvert))
+	w.U64(1 << 40) // hostile entry count
+	if _, err := Unmarshal(w.Bytes()); err == nil {
+		t.Error("hostile demand-advert length must be rejected")
+	}
 }
 
 func TestRequestRoundTripProperty(t *testing.T) {
@@ -186,7 +231,7 @@ func TestUnmarshalGarbageNeverPanics(t *testing.T) {
 func TestKindStrings(t *testing.T) {
 	kinds := []Kind{KRequest, KVm, KVmAck, KLockReq, KLockReply, KWrite,
 		KPrepare, KVote, KDecision, KDecisionAck, KReadReq, KReadReply,
-		KQuotaQuery, KQuotaReply}
+		KQuotaQuery, KQuotaReply, KVmBatch, KDemandAdvert}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

@@ -2,6 +2,8 @@ package dvp
 
 import (
 	"fmt"
+	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"dvp/internal/core"
@@ -24,11 +26,19 @@ func (c *Cluster) SendValue(item string, from, to int, amount Value) error {
 // poorest sites. This is the §8 "best ways to distribute the data"
 // knob — demand-driven requests still work without it, but rebalancing
 // ahead of demand cuts abort rates under skew (ablation experiment A1).
+// For the decentralized, demand-weighted version that runs over the
+// real network, see Config.Rebalance.
 //
 // Rebalance reads only this process's introspection state and issues
 // ordinary Rds transfers; sites that are down or locked are skipped
 // (their turn comes next round).
 func (c *Cluster) Rebalance(item string) int {
+	return c.rebalanceOnce(item, c.SendValue)
+}
+
+// rebalanceOnce is Rebalance with an injectable transfer function, so
+// tests can fail specific pairings deterministically.
+func (c *Cluster) rebalanceOnce(item string, send func(item string, from, to int, amount Value) error) int {
 	n := len(c.sites)
 	quotas := make([]Value, n)
 	var total Value
@@ -59,35 +69,59 @@ func (c *Cluster) Rebalance(item string) int {
 		if deficit < amt {
 			amt = deficit
 		}
-		if err := c.SendValue(item, rich+1, poor+1, amt); err == nil {
+		if err := send(item, rich+1, poor+1, amt); err == nil {
 			quotas[rich] -= amt
 			quotas[poor] += amt
 			moved++
 		} else {
-			// Locked/down/raced: skip this source for the round.
-			rich++
+			// Only this pairing failed (SendValue errors at the rich
+			// side, and a down destination strands only its own
+			// deficit): skip the poor site for the round and retry
+			// the rich site's remaining surplus against the next one.
+			// Advancing the rich cursor here would abandon surplus
+			// that other poor sites could still receive.
+			poor++
 		}
 	}
 	return moved
 }
 
-// StartRebalancer runs Rebalance for the given items on a fixed
-// interval until the returned stop function is called.
+// rebalSeq distinguishes concurrent StartRebalancer loops so each
+// draws jitter from its own stream.
+var rebalSeq atomic.Int64
+
+// StartRebalancer runs Rebalance for the given items on a jittered
+// interval until the returned stop function is called. Each tick waits
+// uniformly over [interval/2, 3·interval/2): multiple rebalancers (in
+// this or other processes) drift out of phase instead of racing each
+// other's quota reads in lockstep rounds that oscillate value back and
+// forth.
 func (c *Cluster) StartRebalancer(interval time.Duration, items ...string) (stop func()) {
 	done := make(chan struct{})
+	seed := c.cfg.Seed*1000003 + rebalSeq.Add(1)*104729
 	go func() {
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		rng := rand.New(rand.NewSource(seed))
+		timer := time.NewTimer(rebalJitter(rng, interval))
+		defer timer.Stop()
 		for {
 			select {
 			case <-done:
 				return
-			case <-ticker.C:
+			case <-timer.C:
 				for _, item := range items {
 					c.Rebalance(item)
 				}
+				timer.Reset(rebalJitter(rng, interval))
 			}
 		}
 	}()
 	return func() { close(done) }
+}
+
+// rebalJitter draws one tick's wait: uniform over [iv/2, 3·iv/2).
+func rebalJitter(rng *rand.Rand, iv time.Duration) time.Duration {
+	if iv <= 0 {
+		iv = time.Millisecond
+	}
+	return iv/2 + time.Duration(rng.Int63n(int64(iv)))
 }

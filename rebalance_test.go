@@ -1,9 +1,135 @@
 package dvp
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
+
+// TestRebalanceRetriesSurplusAfterFailedTransfer is the regression
+// test for the failed-transfer round logic: a failed pairing must
+// advance the poor cursor and retry the rich site's remaining surplus
+// against other poor sites — the pre-fix code advanced the rich cursor
+// instead, abandoning surplus the rest of the round could have used.
+func TestRebalanceRetriesSurplusAfterFailedTransfer(t *testing.T) {
+	errInjected := errors.New("injected send failure")
+	cases := []struct {
+		name   string
+		shares []Value
+		// fail decides whether the call-th transfer (0-based) from
+		// `from` to `to` is failed instead of executed.
+		fail       func(call, from, to int) bool
+		wantMoved  int
+		wantQuotas []Value
+	}{
+		{
+			// Transfers toward site 2 fail (e.g. its pairing raced a
+			// lock). Site 1's remaining surplus must still reach
+			// site 3 — pre-fix, nothing moved at all.
+			name:       "one poor site unusable",
+			shares:     []Value{30, 0, 0},
+			fail:       func(_, _, to int) bool { return to == 2 },
+			wantMoved:  1,
+			wantQuotas: []Value{20, 0, 10},
+		},
+		{
+			// Only the round's first transfer fails. The rich site
+			// still holds 30 surplus; both remaining poor sites must
+			// get their shares.
+			name:       "first transfer fails",
+			shares:     []Value{40, 0, 0, 0},
+			fail:       func(call, _, _ int) bool { return call == 0 },
+			wantMoved:  2,
+			wantQuotas: []Value{20, 0, 10, 10},
+		},
+		{
+			// Every transfer from the rich site fails (site down /
+			// item locked): the round must terminate having moved
+			// nothing, not spin.
+			name:       "rich site unusable",
+			shares:     []Value{30, 0, 0},
+			fail:       func(_, from, _ int) bool { return from == 1 },
+			wantMoved:  0,
+			wantQuotas: []Value{30, 0, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustCluster(t, Config{Sites: len(tc.shares), Seed: 26})
+			c.CreateItemShares("x", tc.shares)
+			call := 0
+			send := func(item string, from, to int, amount Value) error {
+				defer func() { call++ }()
+				if tc.fail(call, from, to) {
+					return errInjected
+				}
+				return c.SendValue(item, from, to, amount)
+			}
+			moved := c.rebalanceOnce("x", send)
+			if moved != tc.wantMoved {
+				t.Errorf("moved = %d, want %d", moved, tc.wantMoved)
+			}
+			c.Quiesce(time.Second)
+			for i, want := range tc.wantQuotas {
+				if got := c.Quota(i+1, "x"); got != want {
+					t.Errorf("site %d quota = %d, want %d", i+1, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentRebalancersConverge is the regression test for the
+// lockstep-ticking bug. Two unjittered rebalancers fire in the same
+// instant every interval; with the tick interval inside the Vm settle
+// window (source deducts immediately, the credit lands at the
+// destination only after network delay plus its log force-write), the
+// lockstep rounds keep reading mid-flight quota snapshots and shuffle
+// value around near-balance for ever (~10 transfers per 25ms,
+// measured). Jittered ticks drift apart, some gap exceeds the settle
+// time, that round reads a settled state, lands exact balance — and a
+// balanced state produces no sends at all, so the trailing window must
+// be (near) quiet.
+func TestConcurrentRebalancersConverge(t *testing.T) {
+	c := mustCluster(t, Config{Sites: 4, Seed: 27, LogAppendDelay: 2 * time.Millisecond,
+		MinDelay: time.Millisecond, MaxDelay: 3 * time.Millisecond})
+	c.CreateItemShares("x", []Value{100, 0, 0, 0})
+	totalVm := func() uint64 {
+		var sum uint64
+		for i := 1; i <= 4; i++ {
+			sum += c.SiteStats(i).VmCreated
+		}
+		return sum
+	}
+	stop1 := c.StartRebalancer(5*time.Millisecond, "x")
+	stop2 := c.StartRebalancer(5*time.Millisecond, "x")
+	time.Sleep(250 * time.Millisecond) // convergence period (~50 ticks each)
+	before := totalVm()
+	time.Sleep(250 * time.Millisecond) // trailing observation window
+	late := totalVm() - before
+	stop1()
+	stop2()
+	c.Quiesce(2 * time.Second)
+	// Lockstep rebalancers moved ~100 transfers per 250ms window in
+	// measurement; converged ones are quiet (allow a straggler or
+	// two from a late-settling collision).
+	if late > 10 {
+		t.Errorf("rebalancers still moved %d transfers in the trailing window — ping-ponging, not converged", late)
+	}
+	if got := c.GlobalTotal("x"); got != 100 {
+		t.Errorf("N = %d, want 100", got)
+	}
+	var spread Value
+	for i := 1; i <= 4; i++ {
+		q := c.Quota(i, "x")
+		if q > spread {
+			spread = q
+		}
+	}
+	if spread > 30 {
+		t.Errorf("quotas still skewed after convergence: max holding %d (want ≈ 25)", spread)
+	}
+}
 
 func TestSendValueMovesQuota(t *testing.T) {
 	c := mustCluster(t, Config{Sites: 3, Seed: 20})
