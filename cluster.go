@@ -26,6 +26,7 @@ type Cluster struct {
 	peers  []ident.SiteID
 	reg    *obs.Registry
 	traces *obs.Ring
+	flight *obs.Flight
 }
 
 // NewCluster assembles and starts a cluster.
@@ -39,10 +40,23 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.Grant == nil {
 		cfg.Grant = GrantExact
 	}
+	traceBuf := cfg.TraceBuf
+	if traceBuf == 0 {
+		traceBuf = 1024
+	}
+	var traces *obs.Ring
+	if traceBuf > 0 {
+		traces = obs.NewRing(traceBuf)
+	}
+	var flight *obs.Flight
+	if cfg.FlightBuf > 0 {
+		flight = obs.NewFlight(cfg.FlightBuf)
+	}
 	c := &Cluster{
 		cfg:    cfg,
 		reg:    obs.NewRegistry(),
-		traces: obs.NewRing(1024),
+		traces: traces,
+		flight: flight,
 		net: simnet.New(simnet.Config{
 			Seed:            cfg.Seed,
 			MinDelay:        cfg.MinDelay,
@@ -78,6 +92,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				Linger:   cfg.GroupCommitLinger,
 			})
 			gl.Instrument(c.reg, "site", ident.SiteID(i).String())
+			gl.SetFlight(flight, ident.SiteID(i).String())
 			log = gl
 		}
 		db := store.New()
@@ -94,6 +109,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			AdmissionStripes: cfg.AdmissionStripes,
 			Metrics:          c.reg,
 			Trace:            c.traces,
+			Flight:           c.flight,
 			Rebalance:        cfg.Rebalance,
 		}
 		// Each site jitters from its own stream: lockstep rounds are
@@ -365,5 +381,10 @@ func (c *Cluster) GroupLog(i int) *wal.GroupLog {
 func (c *Cluster) Metrics() *obs.Registry { return c.reg }
 
 // Traces returns the cluster-wide transaction trace ring (most
-// recent transactions across all sites, in completion order).
+// recent transactions across all sites, in completion order). Nil
+// when Config.TraceBuf is negative.
 func (c *Cluster) Traces() *obs.Ring { return c.traces }
+
+// Flight returns the cluster-wide flight recorder, or nil when
+// Config.FlightBuf is zero.
+func (c *Cluster) Flight() *obs.Flight { return c.flight }

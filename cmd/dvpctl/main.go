@@ -7,62 +7,88 @@
 //	dvpctl -addr :8101 stats
 //	dvpctl -addr :8101 metrics
 //	dvpctl -addr :8101 trace 20
+//	dvpctl -addr :8101 flight 50
+//
+// Cross-site trace stitching: committed transactions report their
+// timestamp ("OK committed in 1.2ms ts=1234..."), and
+//
+//	dvpctl -addrs :8101,:8102,:8103 trace --ts 1234...
+//
+// fetches that transaction's spans from every listed control port and
+// prints the reassembled causal tree — the origin's protocol steps
+// with each remote rds-create hop, and that hop's vm-accept and
+// vm-ack spans, with per-hop latencies.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
-	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
+
+	"dvp/internal/ctl"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8101", "dvpnode control address")
+	addrs := flag.String("addrs", "", "comma list of every node's control address (for trace --ts)")
 	timeout := flag.Duration("timeout", 5*time.Second, "round-trip timeout")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dvpctl [-addr host:port] <reserve|cancel|transfer|read|quota|stats|metrics|trace|ping> [args...]")
+		fmt.Fprintln(os.Stderr, "usage: dvpctl [-addr host:port] <reserve|cancel|transfer|read|quota|stats|metrics|trace|flight|ping> [args...]")
+		fmt.Fprintln(os.Stderr, "       dvpctl -addrs host:p1,host:p2,... trace --ts <ts>")
 		os.Exit(2)
 	}
 
-	conn, err := net.DialTimeout("tcp", *addr, *timeout)
+	args := flag.Args()
+	if strings.EqualFold(args[0], "trace") && len(args) >= 2 &&
+		(args[1] == "--ts" || args[1] == "-ts" || strings.HasPrefix(args[1], "--ts=")) {
+		stitch(args[1:], *addr, *addrs, *timeout)
+		return
+	}
+
+	lines, err := ctl.Do(*addr, strings.Join(args, " "), *timeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(*timeout))
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+}
 
-	if _, err := fmt.Fprintln(conn, strings.Join(flag.Args(), " ")); err != nil {
+// stitch implements `trace --ts <ts>`: fetch the transaction's spans
+// from every control port and print the causal tree.
+func stitch(args []string, addr, addrList string, timeout time.Duration) {
+	var tsArg string
+	switch {
+	case strings.HasPrefix(args[0], "--ts="):
+		tsArg = strings.TrimPrefix(args[0], "--ts=")
+	case len(args) >= 2:
+		tsArg = args[1]
+	}
+	ts, err := strconv.ParseUint(tsArg, 10, 64)
+	if err != nil || ts == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dvpctl -addrs a,b,c trace --ts <ts>")
+		os.Exit(2)
+	}
+	targets := []string{addr}
+	if addrList != "" {
+		targets = strings.Split(addrList, ",")
+		for i := range targets {
+			targets[i] = strings.TrimSpace(targets[i])
+		}
+	}
+	spans, err := ctl.FetchSpans(targets, ts, timeout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	if !sc.Scan() {
-		fmt.Fprintln(os.Stderr, "no reply")
+	if len(spans) == 0 {
+		fmt.Fprintf(os.Stderr, "no spans for ts=%d on %s (ring rotated, or tracing disabled)\n", ts, strings.Join(targets, ","))
 		os.Exit(1)
 	}
-	reply := sc.Text()
-	fmt.Println(reply)
-	if strings.HasPrefix(reply, "ERR") || strings.HasPrefix(reply, "ABORT") {
-		os.Exit(1)
-	}
-	// METRICS and TRACE replies are multi-line, terminated by a lone
-	// "." line; everything else is a single line.
-	cmd := strings.ToUpper(flag.Arg(0))
-	if (cmd == "METRICS" || cmd == "TRACE") && reply != "." {
-		for sc.Scan() {
-			line := sc.Text()
-			if line == "." {
-				return
-			}
-			fmt.Println(line)
-		}
-		fmt.Fprintln(os.Stderr, "reply truncated (no terminator)")
-		os.Exit(1)
-	}
+	ctl.RenderTree(os.Stdout, ctl.BuildTree(spans))
 }

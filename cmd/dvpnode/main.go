@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +35,7 @@ import (
 
 	"dvp/internal/cc"
 	"dvp/internal/core"
+	"dvp/internal/ctl"
 	"dvp/internal/ident"
 	"dvp/internal/obs"
 	"dvp/internal/site"
@@ -58,8 +60,9 @@ func main() {
 		groupLng = flag.Duration("group-linger", 0, "group-commit linger: wait this long for more committers before flushing")
 		stripes  = flag.Int("stripes", 0, "admission stripes sharding the per-item critical section (0 = default 16; forced to 1 under conc2)")
 		ckptIv   = flag.Duration("checkpoint", 0, "write a checkpoint record on this interval (0 disables)")
-		metricsL = flag.String("metrics", "", "HTTP listen address serving /metrics and /traces (optional)")
+		metricsL = flag.String("metrics", "", "HTTP listen address serving /metrics, /traces, /flight, /healthz and /debug/pprof (optional)")
 		traceCap = flag.Int("trace-buf", 1024, "transaction trace ring capacity")
+		flightCp = flag.Int("flight-buf", 1024, "flight recorder capacity (0 disables)")
 		rebal    = flag.Bool("rebalance", false, "run the demand-driven rebalancer: gossip per-item demand to peers and ship surplus quota toward observed deficits")
 		rebalIv  = flag.Duration("rebalance-interval", 0, "rebalancer tick interval, jittered per tick (0 = default 50ms)")
 		rebalMin = flag.Duration("rebalance-cooldown", 0, "minimum gap between transfers of the same item (0 = default 2×interval)")
@@ -80,9 +83,14 @@ func main() {
 		log.Fatalf("-peers must include this site (%d)", *siteID)
 	}
 
-	// Observability: one registry + trace ring for the whole process.
+	// Observability: one registry + trace ring + flight recorder for
+	// the whole process.
 	reg := obs.NewRegistry()
 	traces := obs.NewRing(*traceCap)
+	var flight *obs.Flight
+	if *flightCp > 0 {
+		flight = obs.NewFlight(*flightCp)
+	}
 
 	logFile, err := wal.OpenFileLog(*walPath, wal.FileLogOptions{Sync: *sync})
 	if err != nil {
@@ -96,6 +104,7 @@ func main() {
 			Linger:   *groupLng,
 		})
 		gl.Instrument(reg, "site", self.String())
+		gl.SetFlight(flight, self.String())
 		siteLog = gl
 	}
 	defer siteLog.Close()
@@ -122,6 +131,7 @@ func main() {
 		AdmissionStripes: *stripes,
 		Metrics:          reg,
 		Trace:            traces,
+		Flight:           flight,
 		Rebalance: site.RebalanceConfig{
 			Enabled:     *rebal,
 			Interval:    *rebalIv,
@@ -178,11 +188,11 @@ func main() {
 		}()
 	}
 
-	ctl := &controlServer{site: s, db: db, metrics: reg, traces: traces}
-	if err := ctl.listen(*ctlAddr); err != nil {
+	ctlSrv := &ctl.Server{Site: s, DB: db, Metrics: reg, Traces: traces, Flight: flight}
+	if err := ctlSrv.Listen(*ctlAddr); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("control port on %s", ctl.addr())
+	log.Printf("control port on %s", ctlSrv.Addr())
 
 	if *metricsL != "" {
 		mux := http.NewServeMux()
@@ -191,15 +201,35 @@ func main() {
 			_ = reg.WritePrometheus(w)
 		})
 		mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
-			n := 100
-			if v := r.URL.Query().Get("n"); v != "" {
-				if p, err := strconv.Atoi(v); err == nil && p > 0 {
-					n = p
-				}
-			}
 			w.Header().Set("Content-Type", "application/x-ndjson")
-			_ = traces.DumpJSON(w, n)
+			_ = traces.DumpJSON(w, queryN(r, 100))
 		})
+		mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+			if flight == nil {
+				http.Error(w, "flight recorder disabled", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = flight.WriteText(w, queryN(r, 200))
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			// Healthy = the site engine is up and serving; a crashed or
+			// shut-down site answers 503 so probes can tell the engine
+			// state apart from a wedged process.
+			if !s.Up() {
+				http.Error(w, "site down", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+		// Runtime profiling, same surface net/http/pprof hangs on the
+		// default mux: CPU/heap/mutex/block profiles plus goroutine and
+		// allocation dumps, but scoped to this explicit mux.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
 			log.Printf("metrics endpoint on %s", *metricsL)
 			if err := http.ListenAndServe(*metricsL, mux); err != nil {
@@ -212,8 +242,18 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
-	ctl.close()
+	ctlSrv.Close()
 	s.Crash()
+}
+
+// queryN reads a positive ?n= query parameter, with a default.
+func queryN(r *http.Request, def int) int {
+	if v := r.URL.Query().Get("n"); v != "" {
+		if p, err := strconv.Atoi(v); err == nil && p > 0 {
+			return p
+		}
+	}
+	return def
 }
 
 // parsePeers parses "1=host:port,2=host:port,...".

@@ -156,6 +156,16 @@ type Config struct {
 	// concurrently (default 16; forced to 1 under Conc2).
 	AdmissionStripes int
 
+	// TraceBuf sizes the cluster-wide causal-trace ring (0 = default
+	// 1024 spans; negative disables tracing entirely — no root spans,
+	// no trace contexts on the wire).
+	TraceBuf int
+	// FlightBuf sizes the cluster-wide flight recorder, a bounded ring
+	// of structured events (lock conflicts, rebalancer decisions,
+	// group-commit flushes, demand adverts, crash/recovery edges) that
+	// fault harnesses dump when an invariant breaks (0 disables).
+	FlightBuf int
+
 	// Rebalance configures the demand-driven rebalancer at every
 	// site: each site tracks per-item demand (EWMA of consumption
 	// plus deficit aborts), gossips it to peers over the wire, and

@@ -48,6 +48,11 @@ type Options struct {
 	// checks while the cluster is still up and quiescent (corpus
 	// capture scans the stable logs here).
 	OnQuiescent func(c *dvp.Cluster)
+	// Sabotage, when set, runs right before the final round's barrier
+	// and may mutate cluster state directly to force an invariant
+	// violation — it exists to test the violation artifacts themselves
+	// (the flight-recorder dump, the replay trace).
+	Sabotage func(c *dvp.Cluster)
 }
 
 // Report summarizes what a run did and checked. A report with a nil
@@ -77,6 +82,15 @@ type Report struct {
 	// Trace is the full event trace, replayable alongside the
 	// schedule.
 	Trace []string
+
+	// FlightDump holds the flight recorder's most recent structured
+	// events, captured at the moment a barrier's invariant check
+	// failed (empty on clean runs). Where Trace records what the
+	// harness did to the cluster, the flight dump records what the
+	// cluster was doing to itself — lock conflicts, rebalancer
+	// decisions, group-commit flushes, Vm deferrals — in the window
+	// leading up to the violation.
+	FlightDump []string
 }
 
 // String is a one-line summary.
@@ -91,6 +105,12 @@ func (r *Report) String() string {
 // TraceString renders the event trace, one line per event.
 func (r *Report) TraceString() string {
 	return strings.Join(r.Trace, "\n")
+}
+
+// FlightString renders the captured flight-recorder dump, one event
+// per line ("" when no violation occurred).
+func (r *Report) FlightString() string {
+	return strings.Join(r.FlightDump, "\n")
 }
 
 // runner carries one run's live state.
@@ -148,6 +168,9 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		// durability invariant audits the acked-commit/durable-LSN
 		// boundary the pipeline introduces.
 		GroupCommit: true,
+		// The flight recorder runs through every chaos run; its dump is
+		// the first artifact a violation produces (Report.FlightDump).
+		FlightBuf: 4096,
 		// The demand rebalancer gossips adverts and ships surplus over
 		// the same faulty network the workload runs on; the barrier's
 		// anti-thrash invariant bounds its transfer volume once faults
@@ -207,7 +230,12 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		r.report.Rounds = round
 		r.tracef("round %d: begin (%d events)", round, len(r.sched.eventsIn(round)))
 		r.runRound(round)
+		if opt.Sabotage != nil && round == sched.Rounds {
+			opt.Sabotage(c)
+			r.tracef("round %d: sabotage injected before final barrier", round)
+		}
 		if err := r.barrier(round); err != nil {
+			r.captureFlight()
 			return r.report, fmt.Errorf("chaos seed %d round %d: %w", sched.Seed, round, err)
 		}
 	}
@@ -216,6 +244,19 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 	}
 	r.tracef("run complete: %s", r.report)
 	return r.report, nil
+}
+
+// captureFlight copies the flight recorder's recent events into the
+// report — called exactly once, when a barrier's invariant check
+// fails, so the dump shows the window leading up to the violation.
+func (r *runner) captureFlight() {
+	f := r.c.Flight()
+	if f == nil {
+		return
+	}
+	for _, ev := range f.Last(2048) {
+		r.report.FlightDump = append(r.report.FlightDump, ev.String())
+	}
 }
 
 // runRound schedules the round's fault events on the network clock and

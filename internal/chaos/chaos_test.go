@@ -3,7 +3,12 @@ package chaos
 import (
 	"flag"
 	"fmt"
+	"regexp"
+	"strings"
 	"testing"
+
+	"dvp"
+	"dvp/internal/wal"
 )
 
 // seedCount widens the corpus for long-running soak sessions:
@@ -30,8 +35,8 @@ func TestChaosSeeds(t *testing.T) {
 			sched := Build(seed)
 			rep, err := Run(sched, Options{})
 			if err != nil {
-				t.Fatalf("%v\n\nreplay: go test ./internal/chaos -run 'TestChaosSeeds/seed=%d$' -count=1\n    or: dvpsim chaos -seed %d -v\n\nschedule:\n%s\ntrace:\n%s",
-					err, seed, seed, sched.EncodeString(), rep.TraceString())
+				t.Fatalf("%v\n\nreplay: go test ./internal/chaos -run 'TestChaosSeeds/seed=%d$' -count=1\n    or: dvpsim chaos -seed %d -v\n\nschedule:\n%s\ntrace:\n%s\nflight recorder:\n%s",
+					err, seed, seed, sched.EncodeString(), rep.TraceString(), rep.FlightString())
 			}
 			// Every run must actually exercise the fault space the
 			// schedule guarantees: at least one crash-recovery cycle
@@ -59,6 +64,61 @@ func TestChaosSeeds(t *testing.T) {
 			t.Logf("%s", rep)
 		})
 	}
+}
+
+// TestSabotageProducesFlightDump forces an invariant violation —
+// conjuring value out of thin air at one site right before the final
+// barrier — and checks the failure artifacts: the run must fail the
+// conservation check, and the report must carry a readable
+// flight-recorder dump of what the cluster was doing beforehand.
+func TestSabotageProducesFlightDump(t *testing.T) {
+	sched := Build(7)
+	rep, err := Run(sched, Options{
+		Sabotage: func(c *dvp.Cluster) {
+			s := c.SiteEngine(1)
+			// Inject 7 phantom units of item/0 directly into site 1's
+			// store, bypassing the WAL: no transaction explains them,
+			// so Γ-conservation must fail at the barrier.
+			if _, err := s.DB().ApplyAll(s.LogLastLSN()+1_000_000, []wal.Action{{Item: "item/0", Delta: 7}}); err != nil {
+				t.Fatalf("sabotage apply: %v", err)
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("sabotaged run passed its barriers — invariant checking is broken")
+	}
+	if !strings.Contains(err.Error(), "conservation") {
+		t.Errorf("expected a conservation violation, got: %v", err)
+	}
+	if len(rep.FlightDump) == 0 {
+		t.Fatal("violation produced no flight-recorder dump")
+	}
+	dump := rep.FlightString()
+	// Readability: every line is "HH:MM:SS.micros site kind detail".
+	for i, line := range rep.FlightDump {
+		if !flightLineRE.MatchString(line) {
+			t.Fatalf("flight line %d unreadable: %q", i, line)
+		}
+	}
+	// The dump must show real cluster activity, not just be non-empty:
+	// group-commit flushes and site lifecycle events are always present
+	// in a chaos run.
+	for _, kind := range []string{"wal-flush", "site-up"} {
+		if !strings.Contains(dump, kind) {
+			t.Errorf("flight dump missing %q events:\n%s", kind, clip(dump, 2000))
+		}
+	}
+	t.Logf("flight dump: %d events captured", len(rep.FlightDump))
+}
+
+var flightLineRE = regexp.MustCompile(`^\d{2}:\d{2}:\d{2}\.\d{6} s\d+\s+[a-z-]+`)
+
+// clip bounds a dump string for test logs.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
 }
 
 // TestRunFromDecodedSchedule closes the replay loop: a schedule that

@@ -1,7 +1,13 @@
-package main
+// Package ctl implements dvpnode's line-oriented control protocol:
+// the server side embedded in each node process, and the client side
+// used by dvpctl — including the cross-site trace stitcher that fetches
+// one transaction's spans from every node's ring and reassembles the
+// causal tree.
+package ctl
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net"
 	"strconv"
@@ -16,7 +22,7 @@ import (
 	"dvp/internal/txn"
 )
 
-// controlServer speaks a tiny line protocol for clients (dvpctl):
+// Server speaks a tiny line protocol for clients (dvpctl):
 //
 //	RESERVE <item> <n>      decrement (bounded at zero)
 //	CANCEL  <item> <n>      increment
@@ -25,24 +31,28 @@ import (
 //	QUOTA   <item>          this site's local share (no txn)
 //	STATS                   site counters
 //	METRICS                 Prometheus text exposition (multi-line)
-//	TRACE [n]               last n transaction traces as JSON lines
+//	TRACE [n]               last n spans as JSON lines
+//	TRACE TS <ts>           every retained span of transaction ts
+//	FLIGHT [n]              last n flight-recorder events
 //	PING                    liveness
 //
 // Replies are single lines — "OK ...", "ABORT <status>", "ERR <msg>" —
-// except METRICS and TRACE, whose replies are the payload lines
-// followed by a lone "." terminator line.
-type controlServer struct {
-	site    *site.Site
-	db      *store.Durable
-	metrics *obs.Registry
-	traces  *obs.Ring
+// except METRICS, TRACE and FLIGHT, whose replies are the payload
+// lines followed by a lone "." terminator line.
+type Server struct {
+	Site    *site.Site
+	DB      *store.Durable
+	Metrics *obs.Registry
+	Traces  *obs.Ring
+	Flight  *obs.Flight
 
 	mu sync.Mutex
 	ln net.Listener
 	wg sync.WaitGroup
 }
 
-func (c *controlServer) listen(addr string) error {
+// Listen starts accepting control connections on addr.
+func (c *Server) Listen(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -65,7 +75,8 @@ func (c *controlServer) listen(addr string) error {
 	return nil
 }
 
-func (c *controlServer) addr() string {
+// Addr returns the bound listen address ("" before Listen).
+func (c *Server) Addr() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.ln == nil {
@@ -74,7 +85,8 @@ func (c *controlServer) addr() string {
 	return c.ln.Addr().String()
 }
 
-func (c *controlServer) close() {
+// Close stops the listener and waits for in-flight handlers.
+func (c *Server) Close() {
 	c.mu.Lock()
 	ln := c.ln
 	c.mu.Unlock()
@@ -84,7 +96,7 @@ func (c *controlServer) close() {
 	c.wg.Wait()
 }
 
-func (c *controlServer) serve(conn net.Conn) {
+func (c *Server) serve(conn net.Conn) {
 	defer c.wg.Done()
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
@@ -96,7 +108,7 @@ func (c *controlServer) serve(conn net.Conn) {
 	}
 }
 
-func (c *controlServer) handle(args []string) string {
+func (c *Server) handle(args []string) string {
 	if len(args) == 0 {
 		return "ERR empty command"
 	}
@@ -107,9 +119,9 @@ func (c *controlServer) handle(args []string) string {
 		if len(args) != 2 {
 			return "ERR usage: QUOTA <item>"
 		}
-		return fmt.Sprintf("OK %d", c.db.Value(ident.ItemID(args[1])))
+		return fmt.Sprintf("OK %d", c.DB.Value(ident.ItemID(args[1])))
 	case "STATS":
-		st := c.site.Stats()
+		st := c.Site.Stats()
 		// Abort reasons reported separately so partition experiments
 		// can tell timeout aborts from CC rejections; aborts= keeps
 		// the total for script compatibility.
@@ -119,27 +131,70 @@ func (c *controlServer) handle(args []string) string {
 			st.AbortLockConflict, st.AbortCCRejected, st.AbortTimeout, st.AbortSiteDown,
 			st.RequestsHonored, st.VmAccepted, st.Retransmissions)
 	case "METRICS":
-		if c.metrics == nil {
+		if c.Metrics == nil {
 			return "ERR metrics disabled"
 		}
-		return strings.TrimRight(c.metrics.Render(), "\n") + "\n."
+		return strings.TrimRight(c.Metrics.Render(), "\n") + "\n."
 	case "TRACE":
-		if c.traces == nil {
+		if c.Traces == nil {
 			return "ERR tracing disabled"
+		}
+		if len(args) == 3 && strings.EqualFold(args[1], "TS") {
+			ts, err := strconv.ParseUint(args[2], 10, 64)
+			if err != nil || ts == 0 {
+				return "ERR usage: TRACE TS <ts>"
+			}
+			spans := c.Traces.ByTS(ts)
+			if len(spans) == 0 {
+				return "."
+			}
+			var sb strings.Builder
+			enc := json.NewEncoder(&sb)
+			for _, t := range spans {
+				if err := enc.Encode(t); err != nil {
+					return "ERR " + err.Error()
+				}
+			}
+			return strings.TrimRight(sb.String(), "\n") + "\n."
 		}
 		n := 10
 		if len(args) == 2 {
 			v, err := strconv.Atoi(args[1])
 			if err != nil || v <= 0 {
-				return "ERR usage: TRACE [n]"
+				return "ERR usage: TRACE [n] | TRACE TS <ts>"
 			}
 			n = v
 		} else if len(args) > 2 {
-			return "ERR usage: TRACE [n]"
+			return "ERR usage: TRACE [n] | TRACE TS <ts>"
 		}
 		var sb strings.Builder
-		if err := c.traces.DumpJSON(&sb, n); err != nil {
+		if err := c.Traces.DumpJSON(&sb, n); err != nil {
 			return "ERR " + err.Error()
+		}
+		if sb.Len() == 0 {
+			return "."
+		}
+		return strings.TrimRight(sb.String(), "\n") + "\n."
+	case "FLIGHT":
+		if c.Flight == nil {
+			return "ERR flight recorder disabled"
+		}
+		n := 100
+		if len(args) == 2 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v <= 0 {
+				return "ERR usage: FLIGHT [n]"
+			}
+			n = v
+		} else if len(args) > 2 {
+			return "ERR usage: FLIGHT [n]"
+		}
+		var sb strings.Builder
+		if err := c.Flight.WriteText(&sb, n); err != nil {
+			return "ERR " + err.Error()
+		}
+		if sb.Len() == 0 {
+			return "."
 		}
 		return strings.TrimRight(sb.String(), "\n") + "\n."
 	case "RESERVE", "CANCEL":
@@ -184,7 +239,7 @@ func (c *controlServer) handle(args []string) string {
 		item := ident.ItemID(args[1])
 		res := c.runRetry(&txn.Txn{Reads: []ident.ItemID{item}, Ask: txn.AskAll, Label: "read"})
 		if res.Committed() {
-			return fmt.Sprintf("OK %d", res.Reads[item])
+			return fmt.Sprintf("OK %d ts=%d", res.Reads[item], uint64(res.TS))
 		}
 		return txnReply(res, "")
 	default:
@@ -196,10 +251,10 @@ func (c *controlServer) handle(args []string) string {
 // (§5): aborted transactions are simply resubmitted; each attempt
 // draws a fresher timestamp, which also heals post-recovery and
 // post-decline conditions.
-func (c *controlServer) runRetry(t *txn.Txn) *txn.Result {
+func (c *Server) runRetry(t *txn.Txn) *txn.Result {
 	var res *txn.Result
 	for i := 0; i < 3; i++ {
-		res = c.site.Run(t)
+		res = c.Site.Run(t)
 		if res.Committed() {
 			return res
 		}
@@ -209,8 +264,8 @@ func (c *controlServer) runRetry(t *txn.Txn) *txn.Result {
 
 func txnReply(res *txn.Result, extra string) string {
 	if res.Committed() {
-		return strings.TrimSpace(fmt.Sprintf("OK committed in %.2fms %s",
-			float64(res.Latency.Microseconds())/1000, extra))
+		return strings.TrimSpace(fmt.Sprintf("OK committed in %.2fms ts=%d %s",
+			float64(res.Latency.Microseconds())/1000, uint64(res.TS), extra))
 	}
 	return "ABORT " + res.Status.String()
 }

@@ -19,13 +19,31 @@ type TraceStep struct {
 	Detail string `json:"detail,omitempty"`
 }
 
-// Trace is the completed record of one transaction's path through the
-// protocol. Immutable once published to a Ring.
+// Trace is the completed record of one span: either a transaction's
+// full path through the protocol at its origin site, or one remote hop
+// (Rds create, Vm accept, ack retirement) of a transaction that
+// originated elsewhere. Immutable once published to a Ring.
 type Trace struct {
-	// TS is the transaction's timestamp/identity.
+	// TS is the originating transaction's timestamp/identity — the
+	// cross-site stitch key: every span of one causal chain shares it.
 	TS uint64 `json:"ts"`
-	// Site is the executing site (transactions run at one site).
+	// Site is the site that recorded this span.
 	Site string `json:"site"`
+	// Origin is the site whose transaction started the causal chain
+	// (equals Site for root spans).
+	Origin string `json:"origin,omitempty"`
+	// Kind classifies the span: "txn" (origin-side protocol run),
+	// "rds-create" (Rds deduct half honoring a Request), "vm-accept"
+	// (Rds credit half applying a Vm), "vm-ack" (cumulative ack
+	// retiring an outstanding Vm), "rds" (rebalancer-initiated
+	// transfer root).
+	Kind string `json:"kind,omitempty"`
+	// Span is this span's id, unique within the recording site; zero
+	// when the span predates span-id allocation (untraced hop).
+	Span uint64 `json:"span,omitempty"`
+	// Parent is the sender-side span id this hop causally follows
+	// (zero for roots).
+	Parent uint64 `json:"parent,omitempty"`
 	// Label is the transaction's observational tag ("transfer", ...).
 	Label string `json:"label,omitempty"`
 	// Outcome is the final status ("committed", "timeout", ...): the
@@ -99,6 +117,21 @@ func (r *Ring) Last(n int) []*Trace {
 	return out
 }
 
+// ByTS returns every retained span belonging to the causal chain of
+// the transaction with timestamp ts, oldest first.
+func (r *Ring) ByTS(ts uint64) []*Trace {
+	if r == nil || ts == 0 {
+		return nil
+	}
+	var out []*Trace
+	for _, t := range r.Last(len(r.slots)) {
+		if t.TS == ts {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
 // DumpJSON writes up to n of the most recent traces as JSON lines,
 // oldest first.
 func (r *Ring) DumpJSON(w io.Writer, n int) error {
@@ -132,7 +165,33 @@ func (r *Ring) Begin(site, label string) *TxnTrace {
 		start: now,
 		t: Trace{
 			Site:          site,
+			Origin:        site,
+			Kind:          "txn",
 			Label:         label,
+			StartUnixNano: now.UnixNano(),
+		},
+	}
+}
+
+// BeginSpan starts a remote-hop span of kind, recorded at site, for
+// the causal chain rooted at origin's transaction ts. parent is the
+// sender-side span id this hop follows. Returns nil (a valid no-op
+// trace) when the ring is nil.
+func (r *Ring) BeginSpan(site, kind, origin string, ts, span, parent uint64) *TxnTrace {
+	if r == nil {
+		return nil
+	}
+	now := time.Now()
+	return &TxnTrace{
+		ring:  r,
+		start: now,
+		t: Trace{
+			TS:            ts,
+			Site:          site,
+			Origin:        origin,
+			Kind:          kind,
+			Span:          span,
+			Parent:        parent,
 			StartUnixNano: now.UnixNano(),
 		},
 	}
@@ -144,6 +203,15 @@ func (tt *TxnTrace) SetTS(ts uint64) {
 		return
 	}
 	tt.t.TS = ts
+}
+
+// SetSpan records the trace's own span id (roots allocate one only
+// when tracing is enabled, after Begin).
+func (tt *TxnTrace) SetSpan(span uint64) {
+	if tt == nil {
+		return
+	}
+	tt.t.Span = span
 }
 
 // Step records one named protocol step at the current instant.

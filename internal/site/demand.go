@@ -313,6 +313,7 @@ func (s *Site) advertiseDemand() {
 		entries = entries[:maxAdvertItems]
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Item < entries[j].Item })
+	s.obsm.flight.Recordf(s.obsm.site, "advert-send", "items=%d peers=%d", len(entries), len(s.cfg.Peers)-1)
 	for _, p := range s.peersExceptSelf() {
 		s.send(p, &wire.DemandAdvert{Entries: entries})
 		s.obsm.advertsSent.Inc()
@@ -370,6 +371,10 @@ func (s *Site) rebalanceTick() {
 		if err := s.SendValue(item, view[best].site, amount); err == nil {
 			s.obsm.rebalTransfers.Inc()
 			s.obsm.rebalMoved.Add(uint64(amount))
+			s.obsm.flight.Recordf(s.obsm.site, "rebal-transfer",
+				"item=%s to=%v amount=%d surplus=%d deficit=%d", item, view[best].site, amount, surplus, bestDeficit)
+		} else {
+			s.obsm.flight.Recordf(s.obsm.site, "rebal-skip", "item=%s to=%v amount=%d err=%v", item, view[best].site, amount, err)
 		}
 	}
 }

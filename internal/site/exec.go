@@ -18,6 +18,20 @@ import (
 func (s *Site) Run(t *txn.Txn) *txn.Result {
 	start := s.cfg.Clock.Now()
 	tr := s.obsm.ring.Begin(s.obsm.site, t.Label)
+	var rootSpan uint64
+	if tr != nil {
+		rootSpan = s.newSpan()
+		tr.SetSpan(rootSpan)
+	}
+	// step records one protocol-step boundary: the trace step plus its
+	// segment duration into dvp_step_seconds{step=...}.
+	segStart := start
+	step := func(name, detail string) {
+		now := s.cfg.Clock.Now()
+		s.obsm.observeStep(name, now.Sub(segStart))
+		segStart = now
+		tr.Step(name, detail)
+	}
 	res := &txn.Result{}
 	finish := func(status txn.Status) *txn.Result {
 		res.Status = status
@@ -39,7 +53,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 	id := ts.Txn()
 	items := t.Items()
 	tr.SetTS(uint64(ts))
-	tr.Step("admit", fmt.Sprintf("items=%d", len(items)))
+	step("admit", fmt.Sprintf("items=%d", len(items)))
 
 	// Step 1 — atomically lock the local values of A(t), with the
 	// scheme's admission check, stamping under Conc1. The stripes
@@ -54,12 +68,13 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 			return finish(txn.StatusCCRejected)
 		}
 	}
-	tr.Step("cc-check", "")
+	step("cc-check", "")
 	if !s.locks.TryLockAll(id, items) {
 		unlock()
+		s.obsm.flight.Recordf(s.obsm.site, "lock-conflict", "txn=%v label=%s items=%d", ts, t.Label, len(items))
 		return finish(txn.StatusLockConflict)
 	}
-	tr.Step("lock", "")
+	step("lock", "")
 	if s.policy.StampOnLock() {
 		for _, item := range items {
 			s.cfg.DB.SetTS(item, ts)
@@ -103,8 +118,12 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 			s.mu.Unlock()
 		}()
 
-		res.RequestsSent = s.sendRequests(ts, shortfall, t.Reads, t.Ask)
-		tr.Step("ask", fmt.Sprintf("requests=%d policy=%v", res.RequestsSent, t.Ask))
+		var tctx wire.TraceCtx
+		if rootSpan != 0 {
+			tctx = wire.TraceCtx{Origin: s.cfg.ID, TS: ts, Span: rootSpan}
+		}
+		res.RequestsSent = s.sendRequests(ts, shortfall, t.Reads, t.Ask, tctx)
+		step("ask", fmt.Sprintf("requests=%d policy=%v", res.RequestsSent, t.Ask))
 
 		// Step 3 — await the requisite Vm or the timeout.
 		timeout := t.Timeout
@@ -130,12 +149,13 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 				// rebalancing signal there is.
 				s.recordDeficit(w.needs)
 				res.VmAccepted = w.accepted
-				tr.Step("vm-accept", fmt.Sprintf("accepted=%d", w.accepted))
+				step("vm-accept", fmt.Sprintf("accepted=%d", w.accepted))
+				s.obsm.flight.Recordf(s.obsm.site, "txn-timeout", "txn=%v label=%s accepted=%d", ts, t.Label, w.accepted)
 				return finish(txn.StatusTimeout)
 			}
 		}
 		res.VmAccepted = w.accepted
-		tr.Step("vm-accept", fmt.Sprintf("accepted=%d", w.accepted))
+		step("vm-accept", fmt.Sprintf("accepted=%d", w.accepted))
 	}
 
 	// Step 4 — perform the computation: apply the operators in order
@@ -198,7 +218,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 		s.lifeMu.RUnlock()
 		return finish(txn.StatusSiteDown)
 	}
-	tr.Step("wal-flush", fmt.Sprintf("lsn=%d actions=%d", lsn, len(actions)))
+	step("wal-flush", fmt.Sprintf("lsn=%d actions=%d", lsn, len(actions)))
 
 	// Step 6 — make the changes and record that fact.
 	if _, err := s.cfg.DB.ApplyAll(lsn, actions); err != nil {
@@ -209,7 +229,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 	s.ckptMu.RUnlock()
 	unlockW()
 	s.lifeMu.RUnlock()
-	tr.Step("apply", "")
+	step("apply", "")
 
 	// Step 7 — locks released by the deferred ReleaseAll. Flow
 	// instrumentation records first, while the locks are still held:
@@ -241,12 +261,12 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 // sendRequests dispatches the §5 step-2 requests: full-read gathers to
 // every peer, shortfall requests per the ask policy. Returns the
 // number of requests sent.
-func (s *Site) sendRequests(ts tstamp.TS, shortfall map[ident.ItemID]core.Value, reads []ident.ItemID, ask txn.AskPolicy) int {
+func (s *Site) sendRequests(ts tstamp.TS, shortfall map[ident.ItemID]core.Value, reads []ident.ItemID, ask txn.AskPolicy, tctx wire.TraceCtx) int {
 	peers := s.peersExceptSelf()
 	sent := 0
 	for _, item := range reads {
 		for _, p := range peers {
-			s.send(p, &wire.Request{Txn: ts, Item: item, FullRead: true})
+			s.send(p, &wire.Request{Txn: ts, Item: item, FullRead: true, Trace: tctx})
 			s.obsm.forPeer(p).asksSent.Inc()
 			sent++
 		}
@@ -267,7 +287,7 @@ func (s *Site) sendRequests(ts tstamp.TS, shortfall map[ident.ItemID]core.Value,
 				// Under AskAll every peer is asked for the full
 				// shortfall; with narrower fanouts likewise — the
 				// exact split is the granting side's business.
-				s.send(p, &wire.Request{Txn: ts, Item: item, Want: want})
+				s.send(p, &wire.Request{Txn: ts, Item: item, Want: want, Trace: tctx})
 				s.obsm.forPeer(p).asksSent.Inc()
 				sent++
 			}

@@ -1,8 +1,11 @@
 package site
 
 import (
+	"fmt"
+
 	"dvp/internal/core"
 	"dvp/internal/ident"
+	"dvp/internal/obs"
 	"dvp/internal/tstamp"
 	"dvp/internal/wal"
 	"dvp/internal/wire"
@@ -55,34 +58,47 @@ func (s *Site) handle(env *wire.Envelope) {
 // whether to honor a request for local quota, and if so create the
 // virtual message that carries it.
 func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
+	hopStart := s.cfg.Clock.Now()
+	// A traced request grows an rds-create span here: the deduct half
+	// of the redistribution, parented on the requester's root span.
+	var hop *obs.TxnTrace
+	var hopSpan uint64
+	if req.Trace.Valid() && s.obsm.ring != nil {
+		hopSpan = s.newSpan()
+		hop = s.obsm.ring.BeginSpan(s.obsm.site, "rds-create",
+			req.Trace.Origin.String(), uint64(req.Trace.TS), hopSpan, req.Trace.Span)
+	}
+
 	stripe := &s.stripes[s.stripeOf(req.Item)]
 	stripe.Lock()
 
-	decline := func() {
+	decline := func(reason string) {
 		stripe.Unlock()
 		s.mu.Lock()
 		s.stats.RequestsDeclined++
 		s.mu.Unlock()
 		s.obsm.forPeer(from).declined.Inc()
+		s.obsm.flight.Recordf(s.obsm.site, "rds-decline", "from=%v item=%s txn=%v reason=%s", from, req.Item, req.Txn, reason)
+		hop.Finish("declined:" + reason)
 	}
 
 	// "If there is currently a lock on d_j, site s_j can simply
 	// decide not to honor the request" (§5).
 	if s.locks.Holder(req.Item) != ident.NoTxn {
-		decline()
+		decline("locked")
 		return
 	}
 	// Concurrency control admission (§6.1): honor only if
 	// TS(t) > TS(d_j) under Conc1.
 	it, _ := s.cfg.DB.Get(req.Item)
 	if !s.policy.AllowLock(req.Txn, it.TS) {
-		decline()
+		decline("cc")
 		return
 	}
 	// Full reads require the complete local share: no outstanding Vm
 	// may still carry this item away from us (§5).
 	if req.FullRead && s.vm.HasOutstanding(req.Item) {
-		decline()
+		decline("outstanding-vm")
 		return
 	}
 	have := s.cfg.DB.Value(req.Item)
@@ -94,7 +110,7 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 		if grant <= 0 {
 			// Nothing useful to give; ignoring the request is
 			// always safe — the requester's timeout bounds it.
-			decline()
+			decline("no-grant")
 			return
 		}
 	}
@@ -104,7 +120,7 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 	// record, apply, unlock — all before the real message leaves.
 	rdsID := req.Txn.Txn()
 	if !s.locks.TryLock(rdsID, req.Item) {
-		decline()
+		decline("lock-race")
 		return
 	}
 	if s.policy.StampOnLock() {
@@ -122,14 +138,20 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 			FlowVec: s.flow.snapshot(req.Item).Entries(),
 		}},
 	}
+	if hopSpan != 0 {
+		// The outgoing Vm carries this hop's span as the parent of
+		// the receiver's vm-accept and our own eventual vm-ack span.
+		rec.Msgs[0].Trace = wire.TraceCtx{Origin: req.Trace.Origin, TS: req.Trace.TS, Span: hopSpan}
+	}
 	s.ckptMu.RLock()
 	lsn, err := s.cfg.Log.Append(wal.RecVmCreate, rec.Encode())
 	if err != nil {
 		s.ckptMu.RUnlock()
 		s.locks.Unlock(rdsID, req.Item)
-		decline()
+		decline("log-error")
 		return
 	}
+	hop.Step("wal-flush", fmt.Sprintf("lsn=%d grant=%d seq=%d", lsn, grant, seq))
 	s.vm.Created(rec.Msgs)
 	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
 		panic("site: vm-create actions failed to apply: " + err.Error())
@@ -137,8 +159,11 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 	s.ckptMu.RUnlock()
 	s.locks.Unlock(rdsID, req.Item)
 	stripe.Unlock()
+	hop.Step("apply", "")
 
 	s.reportRds(stamp, req.Item, -grant)
+	s.obsm.observeStep("rds-create", s.cfg.Clock.Now().Sub(hopStart))
+	s.obsm.flight.Recordf(s.obsm.site, "rds-create", "to=%v item=%s amount=%d seq=%d", from, req.Item, grant, seq)
 	s.mu.Lock()
 	s.stats.RequestsHonored++
 	s.stats.VmCreated++
@@ -148,6 +173,7 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 	po.vmCreated.Inc()
 
 	s.sendVm(rec.Msgs[0])
+	hop.Finish("honored")
 }
 
 // handleVm implements Vm acceptance (§4.2, §5): exactly-once crediting
@@ -181,6 +207,15 @@ func (s *Site) handleVmBatch(from ident.SiteID, b *wire.VmBatch) {
 // locked by a non-waiting transaction) owes none — retransmission
 // will return.
 func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
+	hopStart := s.cfg.Clock.Now()
+	// A traced Vm grows a vm-accept span here: the credit half of the
+	// redistribution, parented on the sender's rds-create span.
+	var hop *obs.TxnTrace
+	if m.Trace.Valid() && s.obsm.ring != nil {
+		hop = s.obsm.ring.BeginSpan(s.obsm.site, "vm-accept",
+			m.Trace.Origin.String(), uint64(m.Trace.TS), s.newSpan(), m.Trace.Span)
+	}
+
 	stripe := &s.stripes[s.stripeOf(m.Item)]
 	stripe.Lock()
 
@@ -190,6 +225,7 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 		s.stats.VmDuplicates++
 		s.mu.Unlock()
 		s.obsm.forPeer(from).vmDups.Inc()
+		hop.Finish("duplicate")
 		// Duplicate: re-ack so the sender can retire it.
 		return true
 	}
@@ -214,6 +250,7 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 			// Vm is parked and redelivered when the lock releases.
 			s.deferVm(from, m)
 			stripe.Unlock()
+			hop.Finish("deferred")
 			return false
 		}
 	}
@@ -250,8 +287,10 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 	if err != nil {
 		s.ckptMu.RUnlock()
 		stripe.Unlock()
+		hop.Finish("log-error")
 		return false
 	}
+	hop.Step("wal-flush", fmt.Sprintf("lsn=%d amount=%d seq=%d", lsn, m.Amount, m.Seq))
 	s.vm.MarkAccepted(from, m.Seq)
 	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
 		panic("site: vm-accept actions failed to apply: " + err.Error())
@@ -259,8 +298,11 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 	s.ckptMu.RUnlock()
 	s.flow.merge(m.Item, flowVecFromEntries(m.FlowVec))
 	stripe.Unlock()
+	hop.Step("apply", "")
 
 	s.reportRds(creditTS, m.Item, m.Amount)
+	s.obsm.observeStep("vm-apply", s.cfg.Clock.Now().Sub(hopStart))
+	s.obsm.flight.Recordf(s.obsm.site, "vm-accept", "from=%v item=%s amount=%d seq=%d", from, m.Item, m.Amount, m.Seq)
 	s.obsm.forPeer(from).vmAccepted.Inc()
 	s.mu.Lock()
 	s.stats.VmAccepted++
@@ -275,6 +317,7 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 	if w != nil {
 		w.wake()
 	}
+	hop.Finish("accepted")
 	return true
 }
 
@@ -303,6 +346,7 @@ func (s *Site) deferVm(from ident.SiteID, m *wire.Vm) {
 		return
 	}
 	s.deferredVm[m.Item] = append(q, deferredVm{from: from, vm: *m})
+	s.obsm.flight.Recordf(s.obsm.site, "vm-defer", "from=%v item=%s seq=%d parked=%d", from, m.Item, m.Seq, len(q)+1)
 }
 
 // redeliverDeferred re-runs the acceptance path for Vm parked on the
@@ -335,6 +379,7 @@ func (s *Site) redeliverDeferred(items []ident.ItemID) {
 	if !up {
 		return
 	}
+	s.obsm.flight.Recordf(s.obsm.site, "vm-redeliver", "count=%d", len(batch))
 	for i := range batch {
 		s.handleVm(batch[i].from, &batch[i].vm)
 	}
@@ -353,7 +398,7 @@ func (s *Site) reportRds(ts tstamp.TS, item ident.ItemID, delta core.Value) {
 func (s *Site) sendVm(v wal.VmOut) {
 	s.send(v.To, &wire.Vm{
 		Seq: v.Seq, Item: v.Item, Amount: v.Amount, ReqTxn: v.ReqTxn,
-		FlowVec: v.FlowVec,
+		FlowVec: v.FlowVec, Trace: v.Trace,
 	})
 }
 
@@ -419,7 +464,7 @@ func (s *Site) retransmitLoop(stop <-chan struct{}, done chan<- struct{}) {
 					for i, v := range vms[:n] {
 						batch.Vms[i] = wire.Vm{
 							Seq: v.Seq, Item: v.Item, Amount: v.Amount,
-							ReqTxn: v.ReqTxn, FlowVec: v.FlowVec,
+							ReqTxn: v.ReqTxn, FlowVec: v.FlowVec, Trace: v.Trace,
 						}
 					}
 					s.send(p, batch)

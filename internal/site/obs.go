@@ -29,14 +29,20 @@ type peerObs struct {
 // configured the handles are orphan (working but unregistered)
 // counters, so recording sites never branch.
 type siteObs struct {
-	reg  *obs.Registry // nil disables dynamic per-label histograms
-	site string
-	ring *obs.Ring
+	reg    *obs.Registry // nil disables dynamic per-label histograms
+	site   string
+	ring   *obs.Ring
+	flight *obs.Flight // nil disables flight recording
 
 	retx     *metrics.Counter
 	outcomes map[txn.Status]*metrics.Counter
 	peers    map[ident.SiteID]*peerObs
 	orphan   *peerObs // fallback for traffic from unconfigured peers
+
+	// steps holds the pre-resolved per-protocol-step latency
+	// histograms (dvp_step_seconds{step=...}): the §5 steps of the
+	// local protocol run plus the remote-hop segments.
+	steps map[string]*metrics.Histogram
 
 	// Demand-driven rebalancing series: advert gossip volume in both
 	// directions, transfers shipped (count and value moved), and
@@ -66,8 +72,20 @@ func (s *Site) initObs() {
 	o := &s.obsm
 	o.reg = s.cfg.Metrics
 	o.ring = s.cfg.Trace
+	o.flight = s.cfg.Flight
 	o.site = s.cfg.ID.String()
 	o.retx = o.reg.Counter("dvp_vmsg_retransmissions_total", "site", o.site)
+	o.steps = make(map[string]*metrics.Histogram, 16)
+	for _, step := range []string{
+		"admit", "cc-check", "lock", "ask", "vm-accept", "wal-flush",
+		"apply", "rds-create", "vm-apply",
+	} {
+		o.steps[step] = o.reg.Histogram("dvp_step_seconds", "site", o.site, "step", step)
+	}
+	// Parked foreign credits (the deferVm/ReqTxn gate): sampled at
+	// exposition time, so crash-clearing needs no gauge bookkeeping.
+	o.reg.GaugeFunc("dvp_rebalance_parked_credits",
+		func() float64 { return float64(s.parkedCredits()) }, "site", o.site)
 	o.outcomes = make(map[txn.Status]*metrics.Counter, 5)
 	for _, st := range []txn.Status{
 		txn.StatusCommitted, txn.StatusLockConflict, txn.StatusCCRejected,
@@ -97,6 +115,19 @@ func (o *siteObs) forPeer(p ident.SiteID) *peerObs {
 		return po
 	}
 	return o.orphan
+}
+
+// observeStep records one protocol-step segment duration into
+// dvp_step_seconds{step=...}. Known steps are pre-resolved; anything
+// else registers lazily (or is dropped with no registry).
+func (o *siteObs) observeStep(step string, d time.Duration) {
+	if h, ok := o.steps[step]; ok {
+		h.Record(d)
+		return
+	}
+	if o.reg != nil {
+		o.reg.Histogram("dvp_step_seconds", "site", o.site, "step", step).Record(d)
+	}
 }
 
 // observeTxn records one transaction decision: the outcome counter and

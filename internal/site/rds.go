@@ -5,7 +5,9 @@ import (
 
 	"dvp/internal/core"
 	"dvp/internal/ident"
+	"dvp/internal/obs"
 	"dvp/internal/wal"
+	"dvp/internal/wire"
 )
 
 // SendValue runs a redistribution-only (Rds) transaction (§5): move
@@ -35,6 +37,19 @@ func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value
 	// take the lock like anyone else (§6 treats them uniformly).
 	ts := s.lamport.Next()
 	id := ts.Txn()
+
+	// A proactive transfer is its own causal root: it gets an "rds"
+	// span stitched by its own TS, and the Vm it creates carries the
+	// context so the receiving site's vm-accept (and our vm-ack)
+	// parent onto it.
+	var hop *obs.TxnTrace
+	var hopSpan uint64
+	if s.obsm.ring != nil {
+		hopSpan = s.newSpan()
+		hop = s.obsm.ring.BeginSpan(s.obsm.site, "rds", s.obsm.site, uint64(ts), hopSpan, 0)
+	}
+	outcome := "aborted"
+	defer func() { hop.Finish(outcome) }()
 
 	// Lock order: lifeMu.RLock ≺ stripe ≺ ckptMu.RLock. The lifeMu
 	// fence keeps the append inside the site's lifetime, like the
@@ -76,6 +91,9 @@ func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value
 			FlowVec: s.flow.snapshot(item).Entries(),
 		}},
 	}
+	if hopSpan != 0 {
+		rec.Msgs[0].Trace = wire.TraceCtx{Origin: s.cfg.ID, TS: ts, Span: hopSpan}
+	}
 	s.ckptMu.RLock()
 	lsn, err := s.cfg.Log.Append(wal.RecVmCreate, rec.Encode())
 	if err != nil {
@@ -83,12 +101,15 @@ func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value
 		stripe.Unlock()
 		return fmt.Errorf("site %v: rds log append: %w", s.cfg.ID, err)
 	}
+	hop.Step("wal-flush", fmt.Sprintf("lsn=%d amount=%d seq=%d", lsn, amount, seq))
 	s.vm.Created(rec.Msgs)
 	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
 		panic("site: rds actions failed to apply: " + err.Error())
 	}
 	s.ckptMu.RUnlock()
 	stripe.Unlock()
+	hop.Step("apply", "")
+	outcome = "sent"
 
 	s.reportRds(stamp, item, -amount)
 	s.mu.Lock()

@@ -85,8 +85,15 @@ type Config struct {
 	Metrics *obs.Registry
 	// Trace, when set, records each transaction's §5 protocol steps
 	// into the ring (admit → cc-check → lock → ask → vm-accept →
-	// wal-flush → apply → outcome).
+	// wal-flush → apply → outcome), tags outgoing Requests and Vm with
+	// a causal trace context, and records origin-tagged spans for every
+	// remote hop (Rds create, Vm accept, ack retirement) so a
+	// cross-site stitcher can rebuild the full span tree by TS.
 	Trace *obs.Ring
+	// Flight, when set, records structured protocol events (lock
+	// conflicts, parked Vm, rebalancer decisions, site lifecycle) into
+	// the bounded flight recorder for post-failure dumps.
+	Flight *obs.Flight
 }
 
 // CommitInfo describes a committed transaction to the OnCommit hook.
@@ -182,6 +189,11 @@ type Site struct {
 	// obsm holds resolved metric handles; initialized once in New,
 	// read-only afterwards (the handles themselves are atomic).
 	obsm siteObs
+
+	// spanCtr feeds newSpan: per-site unique span ids for the causal
+	// tracing layer. Monotonic across crashes (volatile uniqueness is
+	// enough — spans are observability, not protocol state).
+	spanCtr atomic.Uint64
 
 	// demand is the demand-driven rebalancer's state: local EWMA
 	// demand per item plus the freshest advert from each peer. Always
@@ -279,10 +291,43 @@ func New(cfg Config) (*Site, error) {
 	s.demand = newDemandTracker(s.cfg.Rebalance)
 	s.initObs()
 	s.demand.instrument(s.cfg.Metrics, s.obsm.site, s.cfg.Clock)
+	if s.obsm.ring != nil {
+		// Ack retirement completes a Vm's lifespan: record the
+		// piggyback hop as a span parented on the context the Vm
+		// carried out (untraced Vm retire silently).
+		s.vm.SetRetireHook(func(peer ident.SiteID, v wal.VmOut) {
+			if !v.Trace.Valid() {
+				return
+			}
+			hop := s.obsm.ring.BeginSpan(s.obsm.site, "vm-ack",
+				v.Trace.Origin.String(), uint64(v.Trace.TS), s.newSpan(), v.Trace.Span)
+			hop.Step("retire", fmt.Sprintf("peer=%v seq=%d item=%s", peer, v.Seq, v.Item))
+			hop.Finish("acked")
+		})
+	}
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// newSpan allocates a site-unique span id for the tracing layer (the
+// site id in the high bits keeps ids distinct across sites, so a
+// stitched tree never aliases parents).
+func (s *Site) newSpan() uint64 {
+	return uint64(s.cfg.ID)<<40 | s.spanCtr.Add(1)
+}
+
+// parkedCredits counts currently parked inbound Vm (the deferVm gate),
+// exposed as the dvp_rebalance_parked_credits gauge.
+func (s *Site) parkedCredits() int {
+	s.defMu.Lock()
+	defer s.defMu.Unlock()
+	n := 0
+	for _, q := range s.deferredVm {
+		n += len(q)
+	}
+	return n
 }
 
 // recover rebuilds volatile state from the stable log (§7). The
@@ -347,6 +392,7 @@ func (s *Site) Start() {
 	if stopRebal != nil {
 		go s.rebalanceLoop(stopRebal, rebalDone)
 	}
+	s.obsm.flight.Recordf(s.obsm.site, "site-up", "epoch=%d", s.currentEpochValue())
 }
 
 // Crash kills the site: volatile state is lost, in-progress
@@ -392,8 +438,21 @@ func (s *Site) Crash() {
 	// are parked Vm: retransmission re-covers them.
 	s.locks.Clear()
 	s.defMu.Lock()
+	dropped := 0
+	for _, q := range s.deferredVm {
+		dropped += len(q)
+	}
 	s.deferredVm = make(map[ident.ItemID][]deferredVm)
 	s.defMu.Unlock()
+	s.obsm.flight.Recordf(s.obsm.site, "site-down", "waiters=%d parked_dropped=%d", len(ws), dropped)
+}
+
+// currentEpochValue reads the epoch without the up gate (lifecycle
+// flight events fire on both sides of the transition).
+func (s *Site) currentEpochValue() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
 }
 
 // Restart recovers from the stable log and rejoins the network,

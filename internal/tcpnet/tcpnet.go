@@ -135,6 +135,34 @@ func (e *Endpoint) Addr() string {
 	return e.listener.Addr().String()
 }
 
+// SetPeers installs the peer address map after construction, for
+// callers that bind every endpoint on an ephemeral port first and only
+// then know the full mesh (in-process clusters, tests). Must be called
+// before any traffic flows.
+func (e *Endpoint) SetPeers(addrs map[ident.SiteID]string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.Peers = addrs
+	if e.cfg.Metrics == nil {
+		return
+	}
+	self := e.cfg.Site.String()
+	for p := range addrs {
+		if _, ok := e.peerm[p]; ok {
+			continue
+		}
+		pl := p.String()
+		e.peerm[p] = &peerCounters{
+			bytesOut:     e.cfg.Metrics.Counter("dvp_net_bytes_out_total", "site", self, "peer", pl),
+			msgsOut:      e.cfg.Metrics.Counter("dvp_net_msgs_out_total", "site", self, "peer", pl),
+			bytesIn:      e.cfg.Metrics.Counter("dvp_net_bytes_in_total", "site", self, "peer", pl),
+			msgsIn:       e.cfg.Metrics.Counter("dvp_net_msgs_in_total", "site", self, "peer", pl),
+			dialFailures: e.cfg.Metrics.Counter("dvp_net_dial_failures_total", "site", self, "peer", pl),
+			flushes:      e.cfg.Metrics.Counter("dvp_net_flushes_total", "site", self, "peer", pl),
+		}
+	}
+}
+
 // SetHandler implements wire.Endpoint.
 func (e *Endpoint) SetHandler(h wire.Handler) {
 	e.mu.Lock()

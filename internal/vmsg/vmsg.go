@@ -46,6 +46,10 @@ type Manager struct {
 	// Observability (see Instrument): nil when not instrumented.
 	reg  *obs.Registry
 	site string
+
+	// onRetire observes each outbound Vm leaving the retransmission
+	// set under a cumulative ack (see SetRetireHook); nil when unset.
+	onRetire func(peer ident.SiteID, v wal.VmOut)
 }
 
 type outChannel struct {
@@ -187,24 +191,48 @@ func (m *Manager) Created(msgs []wal.VmOut) {
 	}
 }
 
+// SetRetireHook installs fn to observe every outbound Vm retired by a
+// cumulative acknowledgement (the ack-piggyback hop completing the
+// virtual message's lifespan). fn is called outside the manager's lock,
+// in seq order per ack; it must not call back into the Manager's
+// mutating paths for the same peer synchronously.
+func (m *Manager) SetRetireHook(fn func(peer ident.SiteID, v wal.VmOut)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onRetire = fn
+}
+
 // OnAck processes a cumulative acknowledgement from peer: every Vm
 // with seq ≤ upTo is complete and leaves the retransmission set.
 func (m *Manager) OnAck(peer ident.SiteID, upTo uint64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	c := m.outChan(peer)
 	if upTo <= c.cumAck {
+		m.mu.Unlock()
 		return
 	}
 	c.cumAck = upTo
-	for seq := range c.pending {
+	var retired []wal.VmOut
+	for seq, v := range c.pending {
 		if seq <= upTo {
 			delete(c.pending, seq)
+			if m.onRetire != nil {
+				retired = append(retired, v)
+			}
 			if at, ok := c.sentAt[seq]; ok {
 				c.ackRTT.Record(time.Since(at))
 				delete(c.sentAt, seq)
 			}
 		}
+	}
+	fn := m.onRetire
+	m.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	sort.Slice(retired, func(i, j int) bool { return retired[i].Seq < retired[j].Seq })
+	for _, v := range retired {
+		fn(peer, v)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dvp/internal/ident"
 	"dvp/internal/wal"
 )
 
@@ -59,6 +60,43 @@ func TestCreatedBelowAckDropped(t *testing.T) {
 	}
 	if m.OutSeq(2) < 3 {
 		t.Error("Created must advance the seq cursor")
+	}
+}
+
+func TestRetireHookSeqOrderPerAck(t *testing.T) {
+	m := NewManager()
+	var retired []wal.VmOut
+	m.SetRetireHook(func(peer ident.SiteID, v wal.VmOut) {
+		if peer != 2 {
+			t.Errorf("retire hook peer = %v, want 2", peer)
+		}
+		retired = append(retired, v)
+	})
+	m.Created([]wal.VmOut{
+		{To: 2, Seq: 1, Item: "a", Amount: 5},
+		{To: 2, Seq: 2, Item: "a", Amount: 3},
+		{To: 2, Seq: 3, Item: "b", Amount: 1},
+		{To: 3, Seq: 1, Item: "a", Amount: 9},
+	})
+	// One cumulative ack retires seq 1..2, in seq order, only for peer 2.
+	m.OnAck(2, 2)
+	if len(retired) != 2 || retired[0].Seq != 1 || retired[1].Seq != 2 {
+		t.Fatalf("retired after ack(2,2) = %+v", retired)
+	}
+	// A stale ack retires nothing; the next advance retires only seq 3.
+	m.OnAck(2, 2)
+	m.OnAck(2, 3)
+	if len(retired) != 3 || retired[2].Seq != 3 || retired[2].Item != "b" {
+		t.Fatalf("retired after ack(2,3) = %+v", retired)
+	}
+	// Unhooking stops observation without disturbing the channel.
+	m.SetRetireHook(nil)
+	m.OnAck(3, 1)
+	if len(retired) != 3 {
+		t.Errorf("nil hook still observed a retire: %+v", retired)
+	}
+	if m.HasOutstanding("a") || m.HasOutstanding("b") {
+		t.Error("acked Vm still outstanding")
 	}
 }
 

@@ -58,6 +58,10 @@ type GroupLog struct {
 
 	hook func(batch int) // test/chaos observation of each flush
 
+	// Flight recording (see SetFlight); nil when not recording.
+	flight     *obs.Flight
+	flightSite string
+
 	// Instrumentation (see Instrument); nil when not instrumented.
 	flushLat  *metrics.Histogram
 	batchHist *metrics.Histogram
@@ -135,6 +139,7 @@ func (g *GroupLog) flusher() {
 		g.inFlight = n
 		hook := g.hook
 		flushLat := g.flushLat
+		flight, flightSite := g.flight, g.flightSite
 		g.mu.Unlock()
 
 		if hook != nil {
@@ -165,6 +170,12 @@ func (g *GroupLog) flusher() {
 			batchHist.Record(time.Duration(n) * time.Microsecond)
 			flushes.Inc()
 			records.Add(uint64(n))
+		}
+
+		if err == nil {
+			flight.Recordf(flightSite, "wal-flush", "records=%d first_lsn=%d", n, first)
+		} else {
+			flight.Recordf(flightSite, "wal-flush-err", "records=%d err=%v", n, err)
 		}
 
 		g.mu.Lock()
@@ -210,6 +221,15 @@ func (g *GroupLog) SetFlushHook(fn func(batch int)) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.hook = fn
+}
+
+// SetFlight attaches a flight recorder: every flush (and flush error)
+// is recorded as a structured event under the given site label.
+func (g *GroupLog) SetFlight(f *obs.Flight, site string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.flight = f
+	g.flightSite = site
 }
 
 // Instrument registers the group-commit metrics with reg under the

@@ -61,6 +61,13 @@ type VmOut struct {
 	// FlowVec is the sender's value-flow vector at grant time
 	// (serializability instrumentation; see internal/site).
 	FlowVec []wire.FlowEntry
+	// Trace is the causal-tracing context stamped on real messages
+	// carrying this Vm. Deliberately NOT persisted: traces are
+	// best-effort observability, and keeping the record encoding
+	// byte-stable protects the checked-in WAL fuzz corpus. A crash
+	// therefore drops the context — retransmitted Vm of a recovered
+	// site arrive untraced, which the stitcher tolerates.
+	Trace wire.TraceCtx
 }
 
 func encodeVmOuts(w *wire.Writer, vs []VmOut) {

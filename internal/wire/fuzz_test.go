@@ -18,6 +18,14 @@ func FuzzUnmarshal(f *testing.F) {
 		&Prepare{Txn: tstamp.Make(4, 1), Writes: []ItemDelta{{"a", -2}}},
 		&Decision{Txn: tstamp.Make(4, 1), Commit: true},
 		&QuotaReply{Nonce: 7, Item: "x", Value: 9, Known: true},
+		&Request{Txn: tstamp.Make(6, 1), Item: "flight/A", Want: 2,
+			Trace: TraceCtx{Origin: 1, TS: tstamp.Make(6, 1), Span: 1<<40 | 9}},
+		&Vm{Seq: 3, Item: "flight/A", Amount: 4, ReqTxn: tstamp.Make(6, 1),
+			Trace: TraceCtx{Origin: 2, TS: tstamp.Make(6, 1), Span: 2<<40 | 5}},
+		&VmBatch{Vms: []Vm{
+			{Seq: 4, Item: "a", Amount: 1, Trace: TraceCtx{Origin: 3, TS: tstamp.Make(7, 2), Span: 3<<40 | 1}},
+			{Seq: 5, Item: "b", Amount: 2},
+		}},
 	}
 	for _, m := range seedMsgs {
 		env := &Envelope{From: 1, To: 2, Lamport: tstamp.Make(9, 1), AckUpTo: 3, Msg: m}
