@@ -8,6 +8,11 @@ import (
 
 	"dvp"
 	"dvp/internal/harness"
+	"dvp/internal/ident"
+	"dvp/internal/recovery"
+	"dvp/internal/store"
+	"dvp/internal/tstamp"
+	"dvp/internal/vmsg"
 	"dvp/internal/wal"
 	"dvp/internal/wire"
 )
@@ -281,5 +286,98 @@ func BenchmarkFileWalAppend(b *testing.B) {
 		if _, err := l.Append(wal.RecCommit, rec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- recovery benches --------------------------------------------------------
+
+// buildRecoveryLog writes n multi-action commit records across 64
+// items. With ckptSuffix > 0 it embeds a consistent checkpoint record
+// leaving exactly ckptSuffix records after it, so recovery replays a
+// fixed-length suffix however long the total history is.
+func buildRecoveryLog(b *testing.B, n, ckptSuffix int) *wal.MemLog {
+	b.Helper()
+	l := wal.NewMemLog()
+	db := store.New()
+	vm := vmsg.NewManager()
+	clock := tstamp.NewClock(1)
+	const items = 64
+	for i := 0; i < n; i++ {
+		if ckptSuffix > 0 && i == n-ckptSuffix {
+			cp := &wal.CheckpointRec{
+				Items:    db.Snapshot(),
+				Channels: vm.SnapshotChannels(),
+				Clock:    clock.Current(),
+			}
+			if _, err := l.Append(wal.RecCheckpoint, cp.Encode()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ts := tstamp.Make(uint64(i)+1, 1)
+		rec := &wal.CommitRec{Txn: ts, Actions: []wal.Action{
+			{Item: ident.ItemID(fmt.Sprintf("item/%d", i%items)), Delta: 1, SetTS: ts},
+			{Item: ident.ItemID(fmt.Sprintf("item/%d", (i+7)%items)), Delta: 2, SetTS: ts},
+			{Item: ident.ItemID(fmt.Sprintf("item/%d", (i+13)%items)), Delta: 3, SetTS: ts},
+		}}
+		lsn, err := l.Append(wal.RecCommit, rec.Encode())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Maintain writer state only up to the checkpoint cut.
+		if ckptSuffix > 0 && i < n-ckptSuffix {
+			if _, err := db.ApplyAll(lsn, rec.Actions); err != nil {
+				b.Fatal(err)
+			}
+			clock.Observe(ts)
+		}
+	}
+	return l
+}
+
+// BenchmarkRecover measures restart time (the R1 experiment, recorded
+// in BENCH_PR7.json). full/* replays the whole history serially, so
+// restart time grows with the log; checkpointed/* starts from a
+// checkpoint with a fixed 2000-record suffix, so restart time is flat
+// in total history length. parallel/* replays a 100k-record suffix at
+// increasing worker counts — the acceptance number is >=2x at 8
+// workers over 1.
+func BenchmarkRecover(b *testing.B) {
+	recoverOnce := func(b *testing.B, l *wal.MemLog, workers int) {
+		b.Helper()
+		sum, err := recovery.RecoverOpts(l, store.New(), vmsg.NewManager(), tstamp.NewClock(1),
+			recovery.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sum.RecordsScanned == 0 {
+			b.Fatal("recovery scanned nothing")
+		}
+	}
+	for _, n := range []int{20_000, 50_000, 100_000} {
+		n := n
+		b.Run(fmt.Sprintf("full/records=%d", n), func(b *testing.B) {
+			l := buildRecoveryLog(b, n, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recoverOnce(b, l, 1)
+			}
+		})
+		b.Run(fmt.Sprintf("checkpointed/records=%d", n), func(b *testing.B) {
+			l := buildRecoveryLog(b, n, 2000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recoverOnce(b, l, 1)
+			}
+		})
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		b.Run(fmt.Sprintf("parallel/records=100000/workers=%d", w), func(b *testing.B) {
+			l := buildRecoveryLog(b, 100_000, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recoverOnce(b, l, w)
+			}
+		})
 	}
 }

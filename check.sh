@@ -27,17 +27,22 @@ go build ./...
 go test -race ./...
 
 # Bench smoke: one iteration of the perf-bearing benchmarks, so the
-# group-commit, Vm, and tracing-overhead pipelines stay runnable under
-# `go test -bench` without paying full measurement time.
-go test -run='^$' -bench='BenchmarkLocalCommitParallel|BenchmarkVmThroughput' -benchtime=1x .
+# group-commit, Vm, tracing-overhead and recovery pipelines stay
+# runnable under `go test -bench` without paying full measurement time.
+go test -run='^$' -bench='BenchmarkLocalCommitParallel|BenchmarkVmThroughput|BenchmarkRecover' -benchtime=1x .
 
-# Tracing overhead: the full tracing-on vs tracing-off measurement
-# behind BENCH_PR6.json (acceptance: traced/untraced <= 1.05). The
-# smoke line above keeps it compiling on every run; set BENCH_RECORD=1
-# to pay the ~30s measurement and refresh the recorded figures.
+# Recorded measurements: the tracing-overhead figures behind
+# BENCH_PR6.json (acceptance: traced/untraced <= 1.05) and the restart
+# figures behind BENCH_PR7.json (checkpointed restart flat in history
+# length; parallel-replay scaling needs a multi-core host — this
+# measures, the JSON records the host's CPU count alongside). The
+# smoke line above keeps both compiling on every run; set
+# BENCH_RECORD=1 to pay the ~1min measurement and refresh the figures.
 if [ "${BENCH_RECORD:-0}" = "1" ]; then
 	go test -run='^$' -bench='BenchmarkLocalCommitParallelTracing' -benchtime=2s -count=3 . | tee /tmp/bench_pr6.txt
 	echo "bench: update BENCH_PR6.json from /tmp/bench_pr6.txt (median of 3)"
+	go test -run='^$' -bench='BenchmarkRecover' -benchtime=2s . | tee /tmp/bench_pr7.txt
+	echo "bench: update BENCH_PR7.json from /tmp/bench_pr7.txt"
 fi
 
 # Fuzz smoke: a short randomized pass per target on top of the
@@ -49,10 +54,10 @@ go test ./internal/wal -run='^$' -fuzz=FuzzDecodeRecords -fuzztime=10s
 go test ./internal/wal -run='^$' -fuzz=FuzzFileLogRecovery -fuzztime=10s
 
 # Coverage floors. These packages carry the paper's algebra (core),
-# the exactly-once channel (vmsg), the serializability machinery (cc)
-# and the tracing/flight-recorder surface every failure dump depends
-# on (obs); their coverage must not regress below the level at which
-# the floors were recorded.
+# the exactly-once channel (vmsg), the serializability machinery (cc),
+# the tracing/flight-recorder surface every failure dump depends on
+# (obs), and the §7 restart path (recovery); their coverage must not
+# regress below the level at which the floors were recorded.
 check_cover() {
 	pkg=$1
 	floor=$2
@@ -71,3 +76,4 @@ check_cover ./internal/core 97
 check_cover ./internal/vmsg 81
 check_cover ./internal/cc 97
 check_cover ./internal/obs 90
+check_cover ./internal/recovery 90

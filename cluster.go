@@ -97,20 +97,23 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		db := store.New()
 		sc := site.Config{
-			ID:               ident.SiteID(i),
-			Peers:            c.peers,
-			Log:              log,
-			DB:               db,
-			Endpoint:         c.net.Endpoint(ident.SiteID(i)),
-			CC:               cc.New(cfg.CC),
-			Grant:            cfg.Grant,
-			RetransmitEvery:  cfg.RetransmitEvery,
-			DefaultTimeout:   cfg.DefaultTimeout,
-			AdmissionStripes: cfg.AdmissionStripes,
-			Metrics:          c.reg,
-			Trace:            c.traces,
-			Flight:           c.flight,
-			Rebalance:        cfg.Rebalance,
+			ID:                     ident.SiteID(i),
+			Peers:                  c.peers,
+			Log:                    log,
+			DB:                     db,
+			Endpoint:               c.net.Endpoint(ident.SiteID(i)),
+			CC:                     cc.New(cfg.CC),
+			Grant:                  cfg.Grant,
+			RetransmitEvery:        cfg.RetransmitEvery,
+			DefaultTimeout:         cfg.DefaultTimeout,
+			AdmissionStripes:       cfg.AdmissionStripes,
+			CheckpointEveryBytes:   cfg.CheckpointEveryBytes,
+			CheckpointEveryRecords: cfg.CheckpointEveryRecords,
+			RecoveryWorkers:        cfg.RecoveryWorkers,
+			Metrics:                c.reg,
+			Trace:                  c.traces,
+			Flight:                 c.flight,
+			Rebalance:              cfg.Rebalance,
 		}
 		// Each site jitters from its own stream: lockstep rounds are
 		// exactly what the jitter exists to break.
@@ -332,25 +335,41 @@ func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
 // future recovery scans.
 func (c *Cluster) Checkpoint(i int) error { return c.checkSite(i).Checkpoint() }
 
+// SetCheckpointPaused pauses (true) or resumes (false) every site's
+// automatic checkpointer, joining any in-flight checkpoint first.
+// Fault harnesses pause it across barrier audits that compare the log
+// against durable state. No-op when the checkpoint thresholds are off.
+func (c *Cluster) SetCheckpointPaused(p bool) {
+	for _, s := range c.sites {
+		s.SetCheckpointPaused(p)
+	}
+}
+
 // RecoverySummary describes what site i's most recent recovery pass
 // did. NetworkCalls is always zero: recovery is independent (§7).
 type RecoverySummary struct {
-	CheckpointLSN  uint64
-	RecordsScanned int
-	ActionsRedone  int
-	VmRestored     int
-	NetworkCalls   int
+	CheckpointLSN      uint64
+	CheckpointsSkipped int
+	RecordsScanned     int
+	ActionsRedone      int
+	VmRestored         int
+	Workers            int
+	Elapsed            time.Duration
+	NetworkCalls       int
 }
 
 // LastRecovery reports site i's most recent recovery summary.
 func (c *Cluster) LastRecovery(i int) RecoverySummary {
 	r := c.checkSite(i).LastRecovery()
 	return RecoverySummary{
-		CheckpointLSN:  r.CheckpointLSN,
-		RecordsScanned: r.RecordsScanned,
-		ActionsRedone:  r.ActionsRedone,
-		VmRestored:     r.VmRestored,
-		NetworkCalls:   r.NetworkCalls,
+		CheckpointLSN:      r.CheckpointLSN,
+		CheckpointsSkipped: r.CheckpointsSkipped,
+		RecordsScanned:     r.RecordsScanned,
+		ActionsRedone:      r.ActionsRedone,
+		VmRestored:         r.VmRestored,
+		Workers:            r.Workers,
+		Elapsed:            r.Elapsed,
+		NetworkCalls:       r.NetworkCalls,
 	}
 }
 

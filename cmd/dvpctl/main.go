@@ -5,6 +5,7 @@
 //	dvpctl -addr :8101 transfer flight/A flight/B 2
 //	dvpctl -addr :8103 quota flight/A
 //	dvpctl -addr :8101 stats
+//	dvpctl -addr :8101 recovery
 //	dvpctl -addr :8101 metrics
 //	dvpctl -addr :8101 trace 20
 //	dvpctl -addr :8101 flight 50
@@ -37,7 +38,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "round-trip timeout")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: dvpctl [-addr host:port] <reserve|cancel|transfer|read|quota|stats|metrics|trace|flight|ping> [args...]")
+		fmt.Fprintln(os.Stderr, "usage: dvpctl [-addr host:port] <reserve|cancel|transfer|read|quota|stats|recovery|metrics|trace|flight|ping> [args...]")
 		fmt.Fprintln(os.Stderr, "       dvpctl -addrs host:p1,host:p2,... trace --ts <ts>")
 		os.Exit(2)
 	}

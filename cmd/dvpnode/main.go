@@ -60,6 +60,9 @@ func main() {
 		groupLng = flag.Duration("group-linger", 0, "group-commit linger: wait this long for more committers before flushing")
 		stripes  = flag.Int("stripes", 0, "admission stripes sharding the per-item critical section (0 = default 16; forced to 1 under conc2)")
 		ckptIv   = flag.Duration("checkpoint", 0, "write a checkpoint record on this interval (0 disables)")
+		ckptByte = flag.Int64("checkpoint-bytes", 0, "auto-checkpoint once this many WAL payload bytes accumulate since the last checkpoint (0 disables)")
+		ckptRecs = flag.Int("checkpoint-records", 0, "auto-checkpoint once this many WAL records accumulate since the last checkpoint (0 disables)")
+		recWkrs  = flag.Int("recovery-workers", 0, "parallel WAL-replay workers at startup recovery (<=1 replays serially)")
 		metricsL = flag.String("metrics", "", "HTTP listen address serving /metrics, /traces, /flight, /healthz and /debug/pprof (optional)")
 		traceCap = flag.Int("trace-buf", 1024, "transaction trace ring capacity")
 		flightCp = flag.Int("flight-buf", 1024, "flight recorder capacity (0 disables)")
@@ -124,14 +127,17 @@ func main() {
 	s, err := site.New(site.Config{
 		ID: self, Peers: peers,
 		Log: siteLog, DB: db,
-		Endpoint:         ep,
-		CC:               ccPolicy,
-		DefaultTimeout:   *timeout,
-		RetransmitEvery:  25 * time.Millisecond,
-		AdmissionStripes: *stripes,
-		Metrics:          reg,
-		Trace:            traces,
-		Flight:           flight,
+		Endpoint:               ep,
+		CC:                     ccPolicy,
+		DefaultTimeout:         *timeout,
+		RetransmitEvery:        25 * time.Millisecond,
+		AdmissionStripes:       *stripes,
+		CheckpointEveryBytes:   *ckptByte,
+		CheckpointEveryRecords: *ckptRecs,
+		RecoveryWorkers:        *recWkrs,
+		Metrics:                reg,
+		Trace:                  traces,
+		Flight:                 flight,
 		Rebalance: site.RebalanceConfig{
 			Enabled:     *rebal,
 			Interval:    *rebalIv,
@@ -144,8 +150,9 @@ func main() {
 		log.Fatal(err)
 	}
 	rec := s.LastRecovery()
-	log.Printf("site %v recovered: %d records scanned, %d actions redone, %d vm restored",
-		self, rec.RecordsScanned, rec.ActionsRedone, rec.VmRestored)
+	log.Printf("site %v recovered in %s: checkpoint lsn %d (%d skipped), %d records scanned, %d actions redone, %d vm restored, %d workers",
+		self, rec.Elapsed, rec.CheckpointLSN, rec.CheckpointsSkipped,
+		rec.RecordsScanned, rec.ActionsRedone, rec.VmRestored, rec.Workers)
 
 	if *creates != "" {
 		for _, kv := range strings.Split(*creates, ",") {

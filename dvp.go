@@ -156,6 +156,19 @@ type Config struct {
 	// concurrently (default 16; forced to 1 under Conc2).
 	AdmissionStripes int
 
+	// CheckpointEveryBytes / CheckpointEveryRecords arm each site's
+	// automatic checkpointer: once the site's log has grown past
+	// either threshold since its last checkpoint, a background
+	// goroutine snapshots durable state into a checkpoint record and
+	// compacts the log behind it, keeping restart time bounded by the
+	// suffix. A zero threshold disables that trigger; with both zero,
+	// checkpoints happen only via Cluster.Checkpoint.
+	CheckpointEveryBytes   int64
+	CheckpointEveryRecords int
+	// RecoveryWorkers is the parallel WAL-replay width each site uses
+	// when recovering from its log (≤1 replays serially).
+	RecoveryWorkers int
+
 	// TraceBuf sizes the cluster-wide causal-trace ring (0 = default
 	// 1024 spans; negative disables tracing entirely — no root spans,
 	// no trace contexts on the wire).

@@ -64,8 +64,11 @@ type Report struct {
 	// Fault actions actually applied (a scheduled crash of an
 	// already-down site, say, does not count). FlushCrashes counts
 	// crash-in-flush traps that actually fired (armed traps whose site
-	// never flushed again don't); fired traps also count as Crashes.
-	Crashes, Restarts, Partitions, Heals, LinkFlaps, Checkpoints, FlushCrashes int
+	// never flushed again don't); CheckpointCrashes counts
+	// crash-in-checkpoint traps that fired (site killed between the
+	// checkpoint record and the compaction behind it). Fired traps of
+	// either kind also count as Crashes.
+	Crashes, Restarts, Partitions, Heals, LinkFlaps, Checkpoints, FlushCrashes, CheckpointCrashes int
 
 	// Workload outcomes.
 	Committed, Aborted int
@@ -96,9 +99,9 @@ type Report struct {
 // String is a one-line summary.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"seed=%d sites=%d items=%d rounds=%d crashes=%d (in-flush=%d) restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d committed=%d aborted=%d rebal=%d checks=%d",
+		"seed=%d sites=%d items=%d rounds=%d crashes=%d (in-flush=%d in-ckpt=%d) restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d committed=%d aborted=%d rebal=%d checks=%d",
 		r.Seed, r.Sites, r.Items, r.Rounds,
-		r.Crashes, r.FlushCrashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints,
+		r.Crashes, r.FlushCrashes, r.CheckpointCrashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints,
 		r.Committed, r.Aborted, r.RebalanceTransfers, r.InvariantChecks)
 }
 
@@ -171,6 +174,13 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		// The flight recorder runs through every chaos run; its dump is
 		// the first artifact a violation produces (Report.FlightDump).
 		FlightBuf: 4096,
+		// Automatic checkpointing and parallel replay are part of the
+		// system under test: the checkpointer compacts logs behind the
+		// workload's back, and every crash-recovery cycle the schedule
+		// forces replays its suffix with striped workers. The barrier
+		// pauses the checkpointer only across its audits.
+		CheckpointEveryRecords: 256,
+		RecoveryWorkers:        4,
 		// The demand rebalancer gossips adverts and ships surplus over
 		// the same faulty network the workload runs on; the barrier's
 		// anti-thrash invariant bounds its transfer volume once faults
@@ -429,6 +439,60 @@ func (r *runner) apply(round int, e Event) {
 				}()
 			})
 		})
+	case EvCrashInCheckpoint:
+		if !r.c.SiteUp(e.Site) {
+			applied = false
+			break
+		}
+		site := e.Site
+		eng := r.c.SiteEngine(site)
+		var once sync.Once
+		// The hook runs inside Checkpoint — checkpoint record stable,
+		// compaction not yet done — on whichever goroutine triggered it
+		// (here, or the site's own checkpointer loop). The kill must
+		// come from a fresh goroutine: Crash's lifecycle fence can wait
+		// on handlers parked on the admission stripes Checkpoint holds,
+		// so the hook only launches the crash and returns an error,
+		// which makes Checkpoint skip the compaction — exactly the
+		// state a real crash in that window leaves behind.
+		eng.SetCheckpointHook(func(stage string) error {
+			fired := false
+			once.Do(func() {
+				r.mu.Lock()
+				live := r.hooksLive
+				if live {
+					r.crashWG.Add(1)
+				}
+				r.mu.Unlock()
+				if !live {
+					return
+				}
+				fired = true
+				go func() {
+					defer r.crashWG.Done()
+					if !r.c.SiteUp(site) {
+						return
+					}
+					r.c.Crash(site)
+					r.count(func(rep *Report) {
+						rep.Crashes++
+						rep.CheckpointCrashes++
+					})
+					r.tracef("r%d crash-in-checkpoint fired: site %d killed at %s, checkpoint written but not compacted",
+						round, site, stage)
+				}()
+			})
+			if fired {
+				return fmt.Errorf("chaos: crash-in-checkpoint trap fired")
+			}
+			return nil
+		})
+		// Trigger a checkpoint now rather than waiting for the byte
+		// threshold, so the trap fires deterministically mid-round. The
+		// trap's error surfacing here is the expected outcome.
+		if err := r.c.Checkpoint(site); err != nil {
+			r.tracef("r%d %s: checkpoint cut short by trap: %v", round, e, err)
+		}
 	}
 	if applied {
 		r.tracef("r%d +%dms %s", round, e.AtMS, e)
@@ -441,8 +505,9 @@ func (r *runner) apply(round int, e Event) {
 // quiescent state and checks every global invariant. Mid-run checks
 // happen here: once per round, not only at the end of the run.
 func (r *runner) barrier(round int) error {
-	// Disarm flush traps and join any crash they already launched —
-	// after this, no trap can kill a site the barrier just restarted.
+	// Disarm flush and checkpoint traps and join any crash they already
+	// launched — after this, no trap can kill a site the barrier just
+	// restarted.
 	r.mu.Lock()
 	r.hooksLive = false
 	r.mu.Unlock()
@@ -450,6 +515,7 @@ func (r *runner) barrier(round int) error {
 		if gl := r.c.GroupLog(i); gl != nil {
 			gl.SetFlushHook(nil)
 		}
+		r.c.SiteEngine(i).SetCheckpointHook(nil)
 	}
 	r.crashWG.Wait()
 
@@ -491,6 +557,12 @@ func (r *runner) barrier(round int) error {
 	}
 	r.c.SetRebalancePaused(true)
 	defer r.c.SetRebalancePaused(false)
+	// Freeze the automatic checkpointers too (joining any in-flight
+	// run): the audits compare logs against durable state and group-
+	// commit waiter counts, and a background checkpoint appending a
+	// record or compacting a log mid-audit would move both under them.
+	r.c.SetCheckpointPaused(true)
+	defer r.c.SetCheckpointPaused(false)
 
 	// Drain: all in-flight traffic delivered, no Vm awaiting
 	// retransmission anywhere.

@@ -121,6 +121,44 @@ func clip(s string, n int) string {
 	return s[:n] + "…"
 }
 
+// TestCrashInCheckpointFires runs a hand-built schedule whose only
+// mid-round fault is a crash-in-checkpoint trap on an up site: the
+// trap must actually fire (checkpoint written, compaction skipped,
+// site killed), the barrier must recover the site through §7 replay —
+// starting from that very checkpoint with the records it summarizes
+// still in the log — and every invariant must hold.
+func TestCrashInCheckpointFires(t *testing.T) {
+	sched := &Schedule{
+		Seed:    99,
+		Sites:   3,
+		Items:   2,
+		Total:   180,
+		Rounds:  2,
+		RoundMS: 120,
+		Events: []Event{
+			{Round: 1, AtMS: 40, Kind: EvCrashInCheckpoint, Site: 2},
+			{Round: 2, AtMS: 30, Kind: EvPartition, Groups: [][]int{{1}, {2, 3}}},
+			{Round: 2, AtMS: 70, Kind: EvHeal},
+		},
+	}
+	rep, err := Run(sched, Options{})
+	if err != nil {
+		t.Fatalf("%v\ntrace:\n%s\nflight recorder:\n%s",
+			err, rep.TraceString(), rep.FlightString())
+	}
+	if rep.CheckpointCrashes != 1 {
+		t.Fatalf("checkpoint crashes = %d, want 1 (trap on an up site must fire)\ntrace:\n%s",
+			rep.CheckpointCrashes, rep.TraceString())
+	}
+	if rep.Restarts < rep.Crashes {
+		t.Errorf("crashes=%d restarts=%d — the trapped site never recovered",
+			rep.Crashes, rep.Restarts)
+	}
+	if rep.InvariantChecks != sched.Rounds {
+		t.Errorf("invariant checks = %d, want %d", rep.InvariantChecks, sched.Rounds)
+	}
+}
+
 // TestRunFromDecodedSchedule closes the replay loop: a schedule that
 // round-tripped through the text encoding must drive a full run.
 func TestRunFromDecodedSchedule(t *testing.T) {

@@ -59,19 +59,27 @@ const (
 	// encoding names kinds, but keeping the enum stable keeps archived
 	// numeric traces meaningful.
 	EvCrashInFlush
+	// EvCrashInCheckpoint arms a one-shot trap on the site's
+	// checkpointer and then triggers a checkpoint: the site is killed
+	// after the checkpoint record is stable but before the log is
+	// compacted behind it, so recovery sees a fresh checkpoint with the
+	// records it summarizes still present — the window where a restart
+	// must not double-apply (page-LSN idempotence) or lose state.
+	EvCrashInCheckpoint
 )
 
 var kindNames = map[EventKind]string{
-	EvCrash:        "crash",
-	EvRestart:      "restart",
-	EvPartition:    "partition",
-	EvHeal:         "heal",
-	EvLinkDown:     "link-down",
-	EvLinkUp:       "link-up",
-	EvLoss:         "loss",
-	EvDup:          "dup",
-	EvCheckpoint:   "checkpoint",
-	EvCrashInFlush: "crash-in-flush",
+	EvCrash:             "crash",
+	EvRestart:           "restart",
+	EvPartition:         "partition",
+	EvHeal:              "heal",
+	EvLinkDown:          "link-down",
+	EvLinkUp:            "link-up",
+	EvLoss:              "loss",
+	EvDup:               "dup",
+	EvCheckpoint:        "checkpoint",
+	EvCrashInFlush:      "crash-in-flush",
+	EvCrashInCheckpoint: "crash-in-checkpoint",
 }
 
 func (k EventKind) String() string {
@@ -109,7 +117,7 @@ type Event struct {
 // String renders the event the way the trace and Encode print it.
 func (e Event) String() string {
 	switch e.Kind {
-	case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush:
+	case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush, EvCrashInCheckpoint:
 		return fmt.Sprintf("%s site=%d", e.Kind, e.Site)
 	case EvLinkDown, EvLinkUp:
 		return fmt.Sprintf("%s link=%d-%d", e.Kind, e.A, e.B)
@@ -179,7 +187,7 @@ func Build(seed int64) *Schedule {
 		n := 1 + rng.Intn(3) // 1..3 primary faults this round
 		for i := 0; i < n; i++ {
 			at := 10 + rng.Intn(s.RoundMS-30)
-			switch rng.Intn(7) {
+			switch rng.Intn(8) {
 			case 0, 1: // crash, maybe mid-round restart
 				site := 1 + rng.Intn(s.Sites)
 				s.add(Event{Round: r, AtMS: at, Kind: EvCrash, Site: site})
@@ -213,6 +221,8 @@ func Build(seed int64) *Schedule {
 				s.add(Event{Round: r, AtMS: at, Kind: EvCheckpoint, Site: 1 + rng.Intn(s.Sites)})
 			case 6: // crash inside the next group-commit window
 				s.add(Event{Round: r, AtMS: at, Kind: EvCrashInFlush, Site: 1 + rng.Intn(s.Sites)})
+			case 7: // crash between checkpoint write and compaction
+				s.add(Event{Round: r, AtMS: at, Kind: EvCrashInCheckpoint, Site: 1 + rng.Intn(s.Sites)})
 			}
 		}
 	}
@@ -314,7 +324,7 @@ func (s *Schedule) Encode(w io.Writer) error {
 	for _, e := range s.Events {
 		fmt.Fprintf(bw, "event r=%d at=%d kind=%s", e.Round, e.AtMS, e.Kind)
 		switch e.Kind {
-		case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush:
+		case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush, EvCrashInCheckpoint:
 			fmt.Fprintf(bw, " site=%d", e.Site)
 		case EvLinkDown, EvLinkUp:
 			fmt.Fprintf(bw, " a=%d b=%d", e.A, e.B)

@@ -30,6 +30,7 @@ import (
 //	READ    <item>          full read (gathers all shares here)
 //	QUOTA   <item>          this site's local share (no txn)
 //	STATS                   site counters
+//	RECOVERY                what the last recovery pass did
 //	METRICS                 Prometheus text exposition (multi-line)
 //	TRACE [n]               last n spans as JSON lines
 //	TRACE TS <ts>           every retained span of transaction ts
@@ -130,6 +131,12 @@ func (c *Server) handle(args []string) string {
 			st.AbortLockConflict+st.AbortCCRejected+st.AbortTimeout+st.AbortSiteDown,
 			st.AbortLockConflict, st.AbortCCRejected, st.AbortTimeout, st.AbortSiteDown,
 			st.RequestsHonored, st.VmAccepted, st.Retransmissions)
+	case "RECOVERY":
+		r := c.Site.LastRecovery()
+		return fmt.Sprintf("OK checkpoint_lsn=%d checkpoints_skipped=%d records_scanned=%d actions_redone=%d vm_restored=%d workers=%d elapsed_us=%d network_calls=%d",
+			r.CheckpointLSN, r.CheckpointsSkipped, r.RecordsScanned,
+			r.ActionsRedone, r.VmRestored, r.Workers,
+			r.Elapsed.Microseconds(), r.NetworkCalls)
 	case "METRICS":
 		if c.Metrics == nil {
 			return "ERR metrics disabled"

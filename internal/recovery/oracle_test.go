@@ -1,0 +1,375 @@
+package recovery
+
+// The recovery-equivalence oracle: for randomized histories containing
+// checkpoints at arbitrary positions (including between a commit and
+// its applied marker, and between a Vm's creation and its acceptance),
+// recovering from the latest checkpoint plus the log suffix — at any
+// worker count — must produce state byte-identical to a serial scan of
+// the entire log that ignores checkpoints. The comparison is on the
+// encoded checkpoint payload of the final state, which covers every
+// item's value, timestamp and applied-LSN, every Vm channel's cursors,
+// pending set and acceptance set, and the Lamport counter.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/store"
+	"dvp/internal/tstamp"
+	"dvp/internal/vmsg"
+	"dvp/internal/wal"
+)
+
+// snapshotBytes canonically encodes recovered state for comparison.
+// Both Snapshot and SnapshotChannels sort deterministically, so equal
+// states encode to equal bytes.
+func snapshotBytes(db *store.Durable, vm *vmsg.Manager, clock *tstamp.Clock) []byte {
+	return (&wal.CheckpointRec{
+		Items:    db.Snapshot(),
+		Channels: vm.SnapshotChannels(),
+		Clock:    clock.Current(),
+	}).Encode()
+}
+
+// histGen grows one randomized log history while mirroring every data
+// record into a live writer state — exactly the way serial replay
+// would — so the checkpoint records it interleaves are consistent cuts
+// by construction.
+type histGen struct {
+	t     *testing.T
+	rng   *rand.Rand
+	log   *wal.MemLog
+	db    *store.Durable
+	vm    *vmsg.Manager
+	clock *tstamp.Clock
+	items []ident.ItemID
+
+	ctr         uint64                  // writer timestamp counter
+	outSeq      map[ident.SiteID]uint64 // per-peer outbound Vm seq
+	inSeq       map[ident.SiteID]uint64 // per-peer inbound Vm seq
+	lastCommit  uint64                  // LSN of the last commit record
+	checkpoints int
+	sum         Summary // sink for bookkeep counters
+}
+
+func newHistGen(t *testing.T, seed int64) *histGen {
+	g := &histGen{
+		t:      t,
+		rng:    rand.New(rand.NewSource(seed)),
+		log:    wal.NewMemLog(),
+		db:     store.New(),
+		vm:     vmsg.NewManager(),
+		clock:  tstamp.NewClock(1),
+		outSeq: make(map[ident.SiteID]uint64),
+		inSeq:  make(map[ident.SiteID]uint64),
+	}
+	// Enough distinct items that every worker count in the oracle sees
+	// several stripes with real contention on each.
+	n := 6 + g.rng.Intn(10)
+	for i := 0; i < n; i++ {
+		g.items = append(g.items, ident.ItemID(fmt.Sprintf("item/%d", i)))
+	}
+	return g
+}
+
+// appendData appends one data record and applies it to the writer
+// state through the same decode/apply/bookkeep path serial replay uses.
+func (g *histGen) appendData(kind wal.RecordKind, payload []byte) uint64 {
+	lsn, err := g.log.Append(kind, payload)
+	if err != nil {
+		g.t.Fatal(err)
+	}
+	d := decodeRecord(wal.Record{LSN: lsn, Kind: kind, Data: payload})
+	if d.err != nil {
+		g.t.Fatalf("generator produced an undecodable record: %v", d.err)
+	}
+	if _, err := g.db.ApplyAll(d.lsn, d.actions); err != nil {
+		g.t.Fatalf("generator action rejected: %v", err)
+	}
+	bookkeep(&d, g.vm, g.clock, &g.sum)
+	return lsn
+}
+
+// checkpoint writes the writer state as a checkpoint record.
+func (g *histGen) checkpoint() {
+	cp := &wal.CheckpointRec{
+		Items:    g.db.Snapshot(),
+		Channels: g.vm.SnapshotChannels(),
+		Clock:    g.clock.Current(),
+	}
+	if _, err := g.log.Append(wal.RecCheckpoint, cp.Encode()); err != nil {
+		g.t.Fatal(err)
+	}
+	g.checkpoints++
+}
+
+func (g *histGen) stamp() tstamp.TS {
+	g.ctr++
+	return tstamp.Make(g.ctr, 1)
+}
+
+// step appends one random history element.
+func (g *histGen) step() {
+	switch p := g.rng.Float64(); {
+	case p < 0.55: // local commit, sometimes multi-item
+		nacts := 1 + g.rng.Intn(3)
+		ts := g.stamp()
+		var acts []wal.Action
+		seen := map[ident.ItemID]bool{}
+		for i := 0; i < nacts; i++ {
+			item := g.items[g.rng.Intn(len(g.items))]
+			if seen[item] {
+				continue
+			}
+			seen[item] = true
+			delta := core.Value(g.rng.Intn(11)) - 5
+			if bal := g.db.Value(item); delta < -bal {
+				delta = -bal
+			}
+			if delta == 0 {
+				delta = 1
+			}
+			acts = append(acts, wal.Action{Item: item, Delta: delta, SetTS: ts})
+		}
+		g.lastCommit = g.appendData(wal.RecCommit, (&wal.CommitRec{Txn: ts, Actions: acts}).Encode())
+	case p < 0.70: // grant quota away as a Vm
+		item := g.items[g.rng.Intn(len(g.items))]
+		amt := core.Value(1 + g.rng.Intn(4))
+		if bal := g.db.Value(item); bal < amt {
+			return // nothing to grant
+		}
+		to := ident.SiteID(2 + g.rng.Intn(3))
+		g.outSeq[to]++
+		g.appendData(wal.RecVmCreate, (&wal.VmCreateRec{
+			Actions: []wal.Action{{Item: item, Delta: -amt, SetTS: g.stamp()}},
+			Msgs: []wal.VmOut{{
+				To: to, Seq: g.outSeq[to], Item: item,
+				Amount: amt, ReqTxn: tstamp.Make(g.ctr, to),
+			}},
+		}).Encode())
+	case p < 0.85: // accept a Vm from a peer
+		item := g.items[g.rng.Intn(len(g.items))]
+		from := ident.SiteID(2 + g.rng.Intn(3))
+		g.inSeq[from]++
+		g.appendData(wal.RecVmAccept, (&wal.VmAcceptRec{
+			From: from, Seq: g.inSeq[from],
+			Actions: []wal.Action{{Item: item, Delta: core.Value(1 + g.rng.Intn(4))}},
+		}).Encode())
+	case p < 0.93: // applied marker, occasionally split from its commit
+		if g.lastCommit == 0 {
+			return
+		}
+		if g.rng.Float64() < 0.3 {
+			// The "mid-batch" cut: a checkpoint landing between a commit
+			// and its applied marker must not confuse either replay path.
+			g.checkpoint()
+		}
+		g.appendData(wal.RecApplied, (&wal.AppliedRec{CommitLSN: g.lastCommit}).Encode())
+	default:
+		g.checkpoint()
+	}
+}
+
+// build generates the full history: initial quota, a random body, and
+// at least one checkpoint at a random interior position.
+func (g *histGen) build() {
+	for _, item := range g.items {
+		ts := g.stamp()
+		g.appendData(wal.RecCommit, (&wal.CommitRec{
+			Txn:     ts,
+			Actions: []wal.Action{{Item: item, Delta: core.Value(20 + g.rng.Intn(100)), SetTS: ts}},
+		}).Encode())
+	}
+	steps := 80 + g.rng.Intn(160)
+	forced := 1 + g.rng.Intn(steps) // guarantee an interior checkpoint
+	for i := 0; i < steps; i++ {
+		if i == forced {
+			g.checkpoint()
+		}
+		g.step()
+	}
+}
+
+// TestRecoveryEquivalenceOracle holds the checkpoint-plus-suffix replay
+// paths, serial and parallel, to the full-log serial reference across
+// randomized histories.
+func TestRecoveryEquivalenceOracle(t *testing.T) {
+	const histories = 60
+	for seed := int64(1); seed <= histories; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("history=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			g := newHistGen(t, seed*911)
+			g.build()
+
+			// Reference: serial scan of the whole log, checkpoints
+			// ignored (replaySerial treats RecCheckpoint as a no-op).
+			refDB, refVM, refClock := store.New(), vmsg.NewManager(), tstamp.NewClock(1)
+			var refSum Summary
+			if err := replaySerial(g.log, refDB, refVM, refClock, 1, &refSum); err != nil {
+				t.Fatalf("reference replay: %v", err)
+			}
+			ref := snapshotBytes(refDB, refVM, refClock)
+
+			// The generator's writer state must agree with its own
+			// history — a failure here is a bug in the oracle itself.
+			if got := snapshotBytes(g.db, g.vm, g.clock); !bytes.Equal(got, ref) {
+				t.Fatalf("generator state diverges from serial replay of its own log")
+			}
+
+			for _, workers := range []int{1, 4, 8} {
+				db, vm, clock := store.New(), vmsg.NewManager(), tstamp.NewClock(1)
+				sum, err := RecoverOpts(g.log, db, vm, clock, Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got := snapshotBytes(db, vm, clock); !bytes.Equal(got, ref) {
+					t.Errorf("workers=%d: recovered state differs from full-log serial replay\n  checkpoints=%d records=%d summary=%+v",
+						workers, g.checkpoints, g.log.LastLSN(), sum)
+				}
+				if sum.CheckpointLSN == 0 {
+					t.Errorf("workers=%d: checkpoint not used (history has %d)", workers, g.checkpoints)
+				}
+				if sum.NetworkCalls != 0 {
+					t.Errorf("workers=%d: recovery made network calls", workers)
+				}
+				if sum.Workers != workers {
+					t.Errorf("summary workers = %d, want %d", sum.Workers, workers)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverFallsBackToEarlierCheckpoint corrupts the latest
+// checkpoint: recovery must skip it, start from the previous valid one,
+// and still reach the reference state.
+func TestRecoverFallsBackToEarlierCheckpoint(t *testing.T) {
+	g := newHistGen(t, 17)
+	g.build()
+	goodLSN := uint64(0)
+	if err := g.log.Scan(1, func(r wal.Record) error {
+		if r.Kind == wal.RecCheckpoint {
+			goodLSN = r.LSN
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A few more records, then a checkpoint that cannot decode, then a
+	// suffix the fallback path must replay from the earlier cut.
+	g.step()
+	if _, err := g.log.Append(wal.RecCheckpoint, []byte{0xDE, 0xAD, 0xBE}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		g.step()
+	}
+
+	ref := snapshotBytes(g.db, g.vm, g.clock)
+	for _, workers := range []int{1, 8} {
+		db, vm, clock := store.New(), vmsg.NewManager(), tstamp.NewClock(1)
+		sum, err := RecoverOpts(g.log, db, vm, clock, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sum.CheckpointsSkipped != 1 {
+			t.Errorf("workers=%d: skipped = %d, want 1", workers, sum.CheckpointsSkipped)
+		}
+		if sum.CheckpointLSN != goodLSN {
+			t.Errorf("workers=%d: used checkpoint %d, want earlier valid %d",
+				workers, sum.CheckpointLSN, goodLSN)
+		}
+		if got := snapshotBytes(db, vm, clock); !bytes.Equal(got, ref) {
+			t.Errorf("workers=%d: fallback recovery diverged from writer state", workers)
+		}
+	}
+}
+
+// TestRecoverFallsBackToFullScan damages every checkpoint: recovery
+// must degrade to a full-log scan — never error, never lose state.
+func TestRecoverFallsBackToFullScan(t *testing.T) {
+	l := wal.NewMemLog()
+	appendRec := func(kind wal.RecordKind, data []byte) {
+		if _, err := l.Append(kind, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts1 := tstamp.Make(3, 1)
+	appendRec(wal.RecCommit, (&wal.CommitRec{
+		Txn: ts1, Actions: []wal.Action{{Item: "a", Delta: 30, SetTS: ts1}},
+	}).Encode())
+	appendRec(wal.RecCheckpoint, []byte{0xFF})
+	ts2 := tstamp.Make(5, 1)
+	appendRec(wal.RecCommit, (&wal.CommitRec{
+		Txn: ts2, Actions: []wal.Action{{Item: "a", Delta: -4, SetTS: ts2}},
+	}).Encode())
+	appendRec(wal.RecCheckpoint, []byte{})
+
+	db, vm, clock := store.New(), vmsg.NewManager(), tstamp.NewClock(1)
+	sum, err := RecoverOpts(l, db, vm, clock, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.CheckpointLSN != 0 {
+		t.Errorf("checkpoint LSN = %d, want 0 (full scan)", sum.CheckpointLSN)
+	}
+	if sum.CheckpointsSkipped != 2 {
+		t.Errorf("skipped = %d, want 2", sum.CheckpointsSkipped)
+	}
+	if db.Value("a") != 26 {
+		t.Errorf("value = %d, want 26", db.Value("a"))
+	}
+	if clock.Current() != 5 {
+		t.Errorf("clock = %d, want 5", clock.Current())
+	}
+}
+
+// TestRecoverParallelRejectsCorruptRecord mirrors the serial corrupt-
+// record test on the parallel path: a suffix record that fails to
+// decode must surface as an error from every worker count, not a panic
+// or a partial silent replay.
+func TestRecoverParallelRejectsCorruptRecord(t *testing.T) {
+	for _, workers := range []int{2, 8} {
+		l := wal.NewMemLog()
+		ts := tstamp.Make(2, 1)
+		l.Append(wal.RecCommit, (&wal.CommitRec{
+			Txn: ts, Actions: []wal.Action{{Item: "x", Delta: 9, SetTS: ts}},
+		}).Encode())
+		l.Append(wal.RecCommit, []byte{0xFF}) // undecodable
+		_, err := RecoverOpts(l, store.New(), vmsg.NewManager(), tstamp.NewClock(1), Options{Workers: workers})
+		if err == nil {
+			t.Errorf("workers=%d: corrupt record accepted", workers)
+		}
+	}
+}
+
+// TestRecoverParallelMoreWorkersThanRecords exercises the degenerate
+// shapes: empty suffix and fewer records than workers.
+func TestRecoverParallelMoreWorkersThanRecords(t *testing.T) {
+	sum, err := RecoverOpts(wal.NewMemLog(), store.New(), vmsg.NewManager(), tstamp.NewClock(1), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.RecordsScanned != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+
+	l := wal.NewMemLog()
+	ts := tstamp.Make(4, 1)
+	l.Append(wal.RecCommit, (&wal.CommitRec{
+		Txn: ts, Actions: []wal.Action{{Item: "only", Delta: 12, SetTS: ts}},
+	}).Encode())
+	db := store.New()
+	sum, err = RecoverOpts(l, db, vmsg.NewManager(), tstamp.NewClock(1), Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Value("only") != 12 || sum.ActionsRedone != 1 {
+		t.Errorf("value=%d summary=%+v", db.Value("only"), sum)
+	}
+}

@@ -211,7 +211,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 	}
 	unlockW := s.lockStripesFor(written)
 	s.ckptMu.RLock()
-	lsn, err := s.cfg.Log.Append(wal.RecCommit, (&wal.CommitRec{Txn: ts, Actions: actions}).Encode())
+	lsn, err := s.logAppend(wal.RecCommit, (&wal.CommitRec{Txn: ts, Actions: actions}).Encode())
 	if err != nil {
 		s.ckptMu.RUnlock()
 		unlockW()
@@ -225,7 +225,7 @@ func (s *Site) Run(t *txn.Txn) *txn.Result {
 		// Protocol invariant broken; surface loudly in development.
 		panic("site: committed actions failed to apply: " + err.Error())
 	}
-	_, _ = s.cfg.Log.Append(wal.RecApplied, (&wal.AppliedRec{CommitLSN: lsn}).Encode())
+	_, _ = s.logAppend(wal.RecApplied, (&wal.AppliedRec{CommitLSN: lsn}).Encode())
 	s.ckptMu.RUnlock()
 	unlockW()
 	s.lifeMu.RUnlock()

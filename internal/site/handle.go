@@ -144,7 +144,7 @@ func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
 		rec.Msgs[0].Trace = wire.TraceCtx{Origin: req.Trace.Origin, TS: req.Trace.TS, Span: hopSpan}
 	}
 	s.ckptMu.RLock()
-	lsn, err := s.cfg.Log.Append(wal.RecVmCreate, rec.Encode())
+	lsn, err := s.logAppend(wal.RecVmCreate, rec.Encode())
 	if err != nil {
 		s.ckptMu.RUnlock()
 		s.locks.Unlock(rdsID, req.Item)
@@ -283,7 +283,7 @@ func (s *Site) processVm(from ident.SiteID, m *wire.Vm) bool {
 		rec.Actions = nil
 	}
 	s.ckptMu.RLock()
-	lsn, err := s.cfg.Log.Append(wal.RecVmAccept, rec.Encode())
+	lsn, err := s.logAppend(wal.RecVmAccept, rec.Encode())
 	if err != nil {
 		s.ckptMu.RUnlock()
 		stripe.Unlock()

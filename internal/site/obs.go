@@ -53,6 +53,15 @@ type siteObs struct {
 	rebalTransfers *metrics.Counter
 	rebalMoved     *metrics.Counter
 	deficitAborts  *metrics.Counter
+
+	// Fast-restart series: checkpoints taken and their record bytes,
+	// recovery wall time and the records replayed after the chosen
+	// checkpoint — the observable evidence that restart cost is
+	// bounded by the suffix, not the history.
+	ckptTotal      *metrics.Counter
+	ckptBytes      *metrics.Counter
+	recoverLat     *metrics.Histogram
+	recoverRecords *metrics.Counter
 }
 
 func newPeerObs(reg *obs.Registry, site, peer string) *peerObs {
@@ -99,6 +108,10 @@ func (s *Site) initObs() {
 	o.rebalTransfers = o.reg.Counter("dvp_rebalance_transfers_total", "site", o.site)
 	o.rebalMoved = o.reg.Counter("dvp_rebalance_value_moved_total", "site", o.site)
 	o.deficitAborts = o.reg.Counter("dvp_site_deficit_aborts_total", "site", o.site)
+	o.ckptTotal = o.reg.Counter("dvp_checkpoint_total", "site", o.site)
+	o.ckptBytes = o.reg.Counter("dvp_checkpoint_bytes", "site", o.site)
+	o.recoverLat = o.reg.Histogram("dvp_recover_seconds", "site", o.site)
+	o.recoverRecords = o.reg.Counter("dvp_recover_records_replayed", "site", o.site)
 	o.peers = make(map[ident.SiteID]*peerObs, len(s.cfg.Peers))
 	for _, p := range s.peersExceptSelf() {
 		o.peers[p] = newPeerObs(o.reg, o.site, p.String())

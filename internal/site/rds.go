@@ -95,7 +95,7 @@ func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value
 		rec.Msgs[0].Trace = wire.TraceCtx{Origin: s.cfg.ID, TS: ts, Span: hopSpan}
 	}
 	s.ckptMu.RLock()
-	lsn, err := s.cfg.Log.Append(wal.RecVmCreate, rec.Encode())
+	lsn, err := s.logAppend(wal.RecVmCreate, rec.Encode())
 	if err != nil {
 		s.ckptMu.RUnlock()
 		stripe.Unlock()

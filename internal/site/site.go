@@ -62,6 +62,18 @@ type Config struct {
 	// §6.2 correctness argument needs whole-site arrival-order
 	// processing, not merely per-item order.
 	AdmissionStripes int
+	// CheckpointEveryBytes and CheckpointEveryRecords arm the
+	// automatic checkpointer: once the log has grown past either
+	// threshold since the last checkpoint, a background goroutine
+	// takes a checkpoint (consistent cut under all admission stripes)
+	// and compacts the log behind it. A zero threshold disables that
+	// trigger; with both zero, checkpoints are manual-only.
+	CheckpointEveryBytes   int64
+	CheckpointEveryRecords int
+	// RecoveryWorkers is the parallel replay width used when the site
+	// recovers from its log (≤1 replays serially; see
+	// internal/recovery).
+	RecoveryWorkers int
 	// Rebalance configures the demand-driven rebalancer: when
 	// Enabled, the site tracks per-item demand, gossips it to peers
 	// via DemandAdvert messages, and ships surplus quota toward the
@@ -215,6 +227,24 @@ type Site struct {
 	defMu      sync.Mutex
 	deferredVm map[ident.ItemID][]deferredVm
 
+	// Automatic checkpointer state: bytes/records appended since the
+	// last checkpoint (bumped by logAppend), a one-slot kick channel
+	// the thresholds fire into, and a pause gate for harness barriers.
+	// ckptRunMu is held across each background checkpoint run, so
+	// SetCheckpointPaused can join an in-flight run by acquiring it.
+	// The checkpoint loop itself starts and stops with the site (see
+	// Start/Crash), like the retransmission loop. ckptHook, when set,
+	// is invoked at named stages inside Checkpoint — fault harnesses
+	// use it to land crashes between the snapshot write and the
+	// compaction.
+	ckptBytes  atomic.Int64
+	ckptRecs   atomic.Int64
+	ckptKick   chan struct{}
+	ckptPaused atomic.Bool
+	ckptRunMu  sync.Mutex
+	ckptHookMu sync.Mutex
+	ckptHook   func(stage string) error
+
 	mu        sync.Mutex // guards waiters, up, epoch, stats, askCursor
 	lastRec   recovery.Summary
 	waiters   map[ident.TxnID]*waiter
@@ -225,8 +255,16 @@ type Site struct {
 	retxDone  chan struct{}
 	stopRebal chan struct{}
 	rebalDone chan struct{}
+	stopCkpt  chan struct{}
+	ckptDone  chan struct{}
 	askCursor int
 }
+
+// CheckpointStagePreCompact is the hook stage fired after the
+// checkpoint record is durably appended but before the log is
+// compacted behind it — the window where a crash leaves a usable
+// checkpoint atop an uncompacted log.
+const CheckpointStagePreCompact = "pre-compact"
 
 // waiter tracks one transaction blocked in §5 step 3 awaiting Vm.
 type waiter struct {
@@ -287,6 +325,7 @@ func New(cfg Config) (*Site, error) {
 		locks:      lock.NewNoWait(),
 		vm:         vmsg.NewManager(),
 		flow:       newFlowClocks(),
+		ckptKick:   make(chan struct{}, 1),
 	}
 	s.demand = newDemandTracker(s.cfg.Rebalance)
 	s.initObs()
@@ -338,13 +377,20 @@ func (s *Site) recover() error {
 	s.vm.Reset()
 	s.flow.reset()
 	s.demand.reset()
-	sum, err := recovery.Recover(s.cfg.Log, s.cfg.DB, s.vm, s.lamport)
+	sum, err := recovery.RecoverOpts(s.cfg.Log, s.cfg.DB, s.vm, s.lamport,
+		recovery.Options{Workers: s.cfg.RecoveryWorkers})
 	if err != nil {
 		return fmt.Errorf("site %v: %w", s.cfg.ID, err)
 	}
 	if sum.NetworkCalls != 0 {
 		return fmt.Errorf("site %v: recovery made %d network calls", s.cfg.ID, sum.NetworkCalls)
 	}
+	s.obsm.recoverLat.Record(sum.Elapsed)
+	s.obsm.recoverRecords.Add(uint64(sum.RecordsScanned))
+	s.obsm.flight.Recordf(s.obsm.site, "recover",
+		"cp=%d skipped=%d scanned=%d redone=%d workers=%d elapsed=%s",
+		sum.CheckpointLSN, sum.CheckpointsSkipped, sum.RecordsScanned,
+		sum.ActionsRedone, sum.Workers, sum.Elapsed)
 	s.mu.Lock()
 	s.lastRec = sum
 	s.mu.Unlock()
@@ -384,6 +430,13 @@ func (s *Site) Start() {
 		s.stopRebal = stopRebal
 		s.rebalDone = rebalDone
 	}
+	var stopCkpt, ckptDone chan struct{}
+	if s.autoCheckpoint() {
+		stopCkpt = make(chan struct{})
+		ckptDone = make(chan struct{})
+		s.stopCkpt = stopCkpt
+		s.ckptDone = ckptDone
+	}
 	s.mu.Unlock()
 
 	s.cfg.Endpoint.SetHandler(s.handle)
@@ -391,6 +444,9 @@ func (s *Site) Start() {
 	go s.retransmitLoop(stop, done)
 	if stopRebal != nil {
 		go s.rebalanceLoop(stopRebal, rebalDone)
+	}
+	if stopCkpt != nil {
+		go s.checkpointLoop(stopCkpt, ckptDone)
 	}
 	s.obsm.flight.Recordf(s.obsm.site, "site-up", "epoch=%d", s.currentEpochValue())
 }
@@ -415,6 +471,12 @@ func (s *Site) Crash() {
 		s.stopRebal = nil
 		s.rebalDone = nil
 	}
+	ckptDone := s.ckptDone
+	if s.stopCkpt != nil {
+		close(s.stopCkpt)
+		s.stopCkpt = nil
+		s.ckptDone = nil
+	}
 	ws := s.waiters
 	s.waiters = make(map[ident.TxnID]*waiter)
 	s.mu.Unlock()
@@ -424,10 +486,13 @@ func (s *Site) Crash() {
 	// mid-flight, so nothing further reaches the log or store.
 	s.lifeMu.Lock()
 	s.lifeMu.Unlock() // empty critical section is the fence (SA2001, excluded in staticcheck.conf)
-	// Join the retransmission and rebalancer loops.
+	// Join the retransmission, rebalancer and checkpointer loops.
 	<-done
 	if rebalDone != nil {
 		<-rebalDone
+	}
+	if ckptDone != nil {
+		<-ckptDone
 	}
 	// Wake every waiting transaction; they observe the epoch change
 	// and report SiteDown.
@@ -568,11 +633,120 @@ func (s *Site) Checkpoint() error {
 		Channels: s.vm.SnapshotChannels(),
 		Clock:    s.lamport.Current(),
 	}
-	lsn, err := s.cfg.Log.Append(wal.RecCheckpoint, rec.Encode())
+	payload := rec.Encode()
+	lsn, err := s.cfg.Log.Append(wal.RecCheckpoint, payload)
 	if err != nil {
 		return err
 	}
+	// The record is durable: restart the growth counters even if the
+	// compaction below is skipped or fails — recovery can already use
+	// this checkpoint.
+	s.ckptBytes.Store(0)
+	s.ckptRecs.Store(0)
+	s.obsm.ckptTotal.Inc()
+	s.obsm.ckptBytes.Add(uint64(len(payload)))
+	s.obsm.flight.Recordf(s.obsm.site, "checkpoint", "lsn=%d bytes=%d items=%d", lsn, len(payload), len(rec.Items))
+	if h := s.checkpointHook(); h != nil {
+		if err := h(CheckpointStagePreCompact); err != nil {
+			return fmt.Errorf("site %v: checkpoint %s hook: %w", s.cfg.ID, CheckpointStagePreCompact, err)
+		}
+	}
 	return s.cfg.Log.Compact(lsn - 1)
+}
+
+// autoCheckpoint reports whether the automatic checkpointer is armed.
+func (s *Site) autoCheckpoint() bool {
+	return s.cfg.CheckpointEveryBytes > 0 || s.cfg.CheckpointEveryRecords > 0
+}
+
+// logAppend is the site-internal append path: it writes to the stable
+// log and feeds the automatic checkpointer's growth thresholds. All
+// normal-processing appends (commit, Vm create/accept) go through it;
+// Checkpoint itself appends directly so a checkpoint record never
+// re-arms the trigger it just cleared.
+func (s *Site) logAppend(kind wal.RecordKind, data []byte) (uint64, error) {
+	lsn, err := s.cfg.Log.Append(kind, data)
+	if err == nil {
+		s.noteAppend(int64(len(data)))
+	}
+	return lsn, err
+}
+
+// noteAppend bumps the since-last-checkpoint counters and kicks the
+// checkpointer goroutine when a threshold is crossed. The kick channel
+// has one slot and drops when full: the loop coalesces bursts into one
+// checkpoint, and a missed kick re-arms on the next append.
+func (s *Site) noteAppend(n int64) {
+	if !s.autoCheckpoint() {
+		return
+	}
+	b := s.ckptBytes.Add(n)
+	r := s.ckptRecs.Add(1)
+	if (s.cfg.CheckpointEveryBytes > 0 && b >= s.cfg.CheckpointEveryBytes) ||
+		(s.cfg.CheckpointEveryRecords > 0 && r >= int64(s.cfg.CheckpointEveryRecords)) {
+		select {
+		case s.ckptKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// checkpointLoop runs automatic checkpoints. It cannot run inline in
+// the append paths — an appender holds its stripe and ckptMu's read
+// side, exactly the locks Checkpoint needs — so threshold crossings
+// kick this goroutine instead. It starts and stops with the site.
+func (s *Site) checkpointLoop(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-s.ckptKick:
+		}
+		if s.ckptPaused.Load() {
+			continue // a later append past the threshold re-kicks
+		}
+		s.ckptRunMu.Lock()
+		var err error
+		if !s.ckptPaused.Load() {
+			err = s.Checkpoint()
+		}
+		s.ckptRunMu.Unlock()
+		if err != nil {
+			s.obsm.flight.Recordf(s.obsm.site, "checkpoint-failed", "err=%v", err)
+		}
+	}
+}
+
+// SetCheckpointPaused gates the automatic checkpointer. Pausing joins
+// any in-flight checkpoint before returning, so after the call no
+// background compaction is running or will start — fault harnesses
+// pause it across barrier audits that compare log and durable state.
+// Like the rebalance pause, the flag survives crash/restart cycles.
+func (s *Site) SetCheckpointPaused(p bool) {
+	s.ckptPaused.Store(p)
+	if p {
+		s.ckptRunMu.Lock()
+		s.ckptRunMu.Unlock() // empty critical section joins an in-flight run (SA2001, excluded in staticcheck.conf)
+	}
+}
+
+// SetCheckpointHook installs a hook invoked at named stages inside
+// Checkpoint (see CheckpointStagePreCompact). A hook returning an
+// error makes Checkpoint return without compacting. Hooks must not
+// block on site lifecycle transitions: Checkpoint holds every stripe
+// while the hook runs, so a hook that wants to crash the site must do
+// so from a fresh goroutine and return.
+func (s *Site) SetCheckpointHook(h func(stage string) error) {
+	s.ckptHookMu.Lock()
+	s.ckptHook = h
+	s.ckptHookMu.Unlock()
+}
+
+func (s *Site) checkpointHook() func(stage string) error {
+	s.ckptHookMu.Lock()
+	defer s.ckptHookMu.Unlock()
+	return s.ckptHook
 }
 
 // peersExceptSelf returns every other site, in canonical order.

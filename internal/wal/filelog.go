@@ -199,24 +199,33 @@ func (l *FileLog) AppendBatch(entries []BatchEntry) (uint64, error) {
 	return first, nil
 }
 
-// Scan implements Log.
+// Scan implements Log. It reads through a private read-only descriptor
+// opened under the lock, so a Compact racing the scan cannot swap the
+// file out from under it: rename leaves the old inode readable, and the
+// scan sees a consistent pre- or post-compaction image, never a torn
+// mix or a closed descriptor.
 func (l *FileLog) Scan(from uint64, fn func(Record) error) error {
 	l.mu.Lock()
-	size := l.size
-	closed := l.closed
-	l.mu.Unlock()
-	if closed {
+	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
+	size := l.size
+	f, err := os.Open(l.path)
+	l.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: scan %s: %w", l.path, err)
+	}
+	defer f.Close()
 	var off int64
 	hdr := make([]byte, 8)
 	for off < size {
-		if _, err := l.f.ReadAt(hdr, off); err != nil {
+		if _, err := f.ReadAt(hdr, off); err != nil {
 			return fmt.Errorf("wal: scan %s: %w", l.path, err)
 		}
 		length := binary.BigEndian.Uint32(hdr[0:4])
 		body := make([]byte, length)
-		if _, err := l.f.ReadAt(body, off+8); err != nil {
+		if _, err := f.ReadAt(body, off+8); err != nil {
 			return fmt.Errorf("wal: scan %s: %w", l.path, err)
 		}
 		lsn := binary.BigEndian.Uint64(body[0:8])

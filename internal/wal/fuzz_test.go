@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bytes"
 	"os"
 	"testing"
 )
@@ -15,6 +16,26 @@ func FuzzDecodeRecords(f *testing.F) {
 	}).Encode())
 	f.Add((&VmAcceptRec{From: 3, Seq: 9, Actions: []Action{{Item: "x", Delta: 5}}}).Encode())
 	f.Add((&CheckpointRec{Clock: 7}).Encode())
+	// A checkpoint the shape the automatic checkpointer actually
+	// writes: multiple items with stamps and applied-LSNs, and channel
+	// state with a pending retransmission set and a sparse inbound
+	// acceptance tail.
+	f.Add((&CheckpointRec{
+		Items: []CheckpointItem{
+			{Item: "flight/A", Value: 40, TS: 512, AppliedLSN: 97},
+			{Item: "flight/B", Value: 0, TS: 3, AppliedLSN: 12},
+		},
+		Channels: []VmChannelState{
+			{
+				Peer: 2, OutSeq: 9, CumAck: 7,
+				Pending: []VmOut{{To: 2, Seq: 8, Item: "flight/A", Amount: 4, ReqTxn: 99},
+					{To: 2, Seq: 9, Item: "flight/B", Amount: 1, ReqTxn: 101}},
+				InLow: 3, InAbove: []uint64{5, 6},
+			},
+			{Peer: 3, OutSeq: 1, CumAck: 1, InLow: 0},
+		},
+		Clock: 1 << 40,
+	}).Encode())
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if rec, err := DecodeCommit(data); err == nil {
@@ -33,8 +54,17 @@ func FuzzDecodeRecords(f *testing.F) {
 			}
 		}
 		if rec, err := DecodeCheckpoint(data); err == nil {
-			if _, err := DecodeCheckpoint(rec.Encode()); err != nil {
+			// The checkpoint codec must be a fixpoint: decode → encode
+			// → decode → encode reproduces identical bytes, or the
+			// recovery-equivalence oracle's byte comparison would be
+			// meaningless.
+			enc := rec.Encode()
+			rec2, err := DecodeCheckpoint(enc)
+			if err != nil {
 				t.Fatalf("checkpoint re-decode: %v", err)
+			}
+			if !bytes.Equal(rec2.Encode(), enc) {
+				t.Fatalf("checkpoint codec is not a fixpoint")
 			}
 		}
 		_, _ = DecodeApplied(data)

@@ -106,13 +106,16 @@ func (l *MemLog) Compact(upto uint64) error {
 	if l.closed {
 		return ErrClosed
 	}
-	kept := l.recs[:0]
+	// Build the kept set in a fresh slice: Scan iterates a previously
+	// captured slice header without the lock, so compacting in place
+	// (l.recs[:0]) would shift surviving records under a live reader.
+	kept := make([]Record, 0, len(l.recs))
 	for _, r := range l.recs {
 		if r.LSN > upto {
 			kept = append(kept, r)
 		}
 	}
-	l.recs = append([]Record(nil), kept...)
+	l.recs = kept
 	return nil
 }
 
