@@ -126,6 +126,55 @@ func BenchmarkLocalCommitParallel(b *testing.B) {
 	b.Run("grouped", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkLocalCommitFastPath measures the zero-allocation local
+// commit: 8 committers on disjoint items over a memory-backed group-
+// commit log, so the protocol's own CPU and allocation cost — not the
+// disk — dominates. fastpath lets eligible write-only transactions
+// take the pooled, map-free commit route; nofastpath forces the same
+// workload through the full §5 run. The allocs/op gap is the PR's
+// headline number (recorded in BENCH_PR8.json), and check.sh gates on
+// the fastpath figure never regressing past its recorded ceiling.
+func BenchmarkLocalCommitFastPath(b *testing.B) {
+	const committers = 8
+	run := func(b *testing.B, disable bool) {
+		c, err := dvp.NewCluster(dvp.Config{
+			Sites:           1,
+			Seed:            1,
+			GroupCommit:     true,
+			DisableFastPath: disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		items := make([]string, committers)
+		for g := range items {
+			items[g] = fmt.Sprintf("bench/%d", g)
+			if err := c.CreateItem(items[g], dvp.Value(b.N)+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < committers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < b.N; i += committers {
+					if res := c.At(1).Reserve(items[g], 1); !res.Committed() {
+						b.Errorf("parallel reserve aborted: %v", res.Status)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	b.Run("fastpath", func(b *testing.B) { run(b, false) })
+	b.Run("nofastpath", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkLocalCommitParallelTracing measures the observability tax:
 // the same 8-committer grouped-commit workload with causal tracing and
 // the flight recorder fully on versus fully off. The traced/untraced

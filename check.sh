@@ -27,9 +27,27 @@ go build ./...
 go test -race ./...
 
 # Bench smoke: one iteration of the perf-bearing benchmarks, so the
-# group-commit, Vm, tracing-overhead and recovery pipelines stay
-# runnable under `go test -bench` without paying full measurement time.
-go test -run='^$' -bench='BenchmarkLocalCommitParallel|BenchmarkVmThroughput|BenchmarkRecover' -benchtime=1x .
+# group-commit, Vm, fast-path, tracing-overhead and recovery pipelines
+# stay runnable under `go test -bench` without paying full measurement
+# time. -benchmem keeps allocs/op visible wherever these run.
+go test -run='^$' -bench='BenchmarkLocalCommitParallel|BenchmarkLocalCommitFastPath|BenchmarkVmThroughput|BenchmarkRecover' -benchtime=1x -benchmem .
+
+# Allocation-regression gate: the fast-path bench must not allocate
+# more per op than the ceiling recorded with BENCH_PR8.json (measured
+# 19 allocs/op; ceiling leaves headroom for harmless scheduler noise,
+# not for a reintroduced per-txn allocation).
+alloc_ceiling=24
+allocs=$(go test -run='^$' -bench='BenchmarkLocalCommitFastPath/fastpath' -benchtime=1000x -benchmem . |
+	awk '/BenchmarkLocalCommitFastPath\/fastpath/ { print $(NF-1) }')
+if [ -z "$allocs" ]; then
+	echo "alloc gate: could not read allocs/op from fast-path bench" >&2
+	exit 1
+fi
+if [ "$allocs" -gt "$alloc_ceiling" ]; then
+	echo "alloc gate: BenchmarkLocalCommitFastPath/fastpath at ${allocs} allocs/op, ceiling ${alloc_ceiling}" >&2
+	exit 1
+fi
+echo "alloc gate: fast path ${allocs} allocs/op (ceiling ${alloc_ceiling})"
 
 # Recorded measurements: the tracing-overhead figures behind
 # BENCH_PR6.json (acceptance: traced/untraced <= 1.05) and the restart
@@ -43,6 +61,8 @@ if [ "${BENCH_RECORD:-0}" = "1" ]; then
 	echo "bench: update BENCH_PR6.json from /tmp/bench_pr6.txt (median of 3)"
 	go test -run='^$' -bench='BenchmarkRecover' -benchtime=2s . | tee /tmp/bench_pr7.txt
 	echo "bench: update BENCH_PR7.json from /tmp/bench_pr7.txt"
+	go test -run='^$' -bench='BenchmarkLocalCommitFastPath' -benchmem -benchtime=2s -count=3 . | tee /tmp/bench_pr8.txt
+	echo "bench: update BENCH_PR8.json from /tmp/bench_pr8.txt (median of 3)"
 fi
 
 # Fuzz smoke: a short randomized pass per target on top of the
@@ -50,6 +70,7 @@ fi
 # captured from chaos runs — regenerate with `dvpsim chaos -corpus
 # internal`).
 go test ./internal/wire -run='^$' -fuzz=FuzzUnmarshal -fuzztime=10s
+go test ./internal/wire -run='^$' -fuzz=FuzzReusedWriter -fuzztime=10s
 go test ./internal/wal -run='^$' -fuzz=FuzzDecodeRecords -fuzztime=10s
 go test ./internal/wal -run='^$' -fuzz=FuzzFileLogRecovery -fuzztime=10s
 

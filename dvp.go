@@ -156,6 +156,12 @@ type Config struct {
 	// concurrently (default 16; forced to 1 under Conc2).
 	AdmissionStripes int
 
+	// DisableFastPath forces every transaction through the full §5
+	// protocol run, turning off the zero-allocation local-commit fast
+	// path. The fast path is semantically transparent; this knob
+	// exists for benchmarks, ablations and chaos comparison runs.
+	DisableFastPath bool
+
 	// CheckpointEveryBytes / CheckpointEveryRecords arm each site's
 	// automatic checkpointer: once the site's log has grown past
 	// either threshold since its last checkpoint, a background

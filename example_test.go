@@ -26,7 +26,11 @@ func Example() {
 	res = c.At(2).Reserve("flight/A", 40)
 	fmt.Println("big reserve:", res.Status)
 
-	// Exact read: gathers every share first.
+	// Exact read: gathers every share first. Quiesce so no granted
+	// value is still mid-flight between two other sites — a full read
+	// sees every share, but value inside an undelivered Vm is at
+	// neither end yet (serializable, just not what we want to print).
+	c.Quiesce(time.Second)
 	read := c.At(3).RunRetry(dvp.NewTxn().Read("flight/A"), 3)
 	n, _ := dvp.ReadValue(read, "flight/A")
 	fmt.Println("seats left:", n)

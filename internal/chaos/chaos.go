@@ -67,8 +67,10 @@ type Report struct {
 	// never flushed again don't); CheckpointCrashes counts
 	// crash-in-checkpoint traps that fired (site killed between the
 	// checkpoint record and the compaction behind it). Fired traps of
-	// either kind also count as Crashes.
-	Crashes, Restarts, Partitions, Heals, LinkFlaps, Checkpoints, FlushCrashes, CheckpointCrashes int
+	// either kind also count as Crashes. HintSkews counts hint-skew
+	// events applied to up sites (fast-path quota hints deliberately
+	// corrupted by a signed amount).
+	Crashes, Restarts, Partitions, Heals, LinkFlaps, Checkpoints, FlushCrashes, CheckpointCrashes, HintSkews int
 
 	// Workload outcomes.
 	Committed, Aborted int
@@ -99,9 +101,9 @@ type Report struct {
 // String is a one-line summary.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"seed=%d sites=%d items=%d rounds=%d crashes=%d (in-flush=%d in-ckpt=%d) restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d committed=%d aborted=%d rebal=%d checks=%d",
+		"seed=%d sites=%d items=%d rounds=%d crashes=%d (in-flush=%d in-ckpt=%d) restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d hintskews=%d committed=%d aborted=%d rebal=%d checks=%d",
 		r.Seed, r.Sites, r.Items, r.Rounds,
-		r.Crashes, r.FlushCrashes, r.CheckpointCrashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints,
+		r.Crashes, r.FlushCrashes, r.CheckpointCrashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints, r.HintSkews,
 		r.Committed, r.Aborted, r.RebalanceTransfers, r.InvariantChecks)
 }
 
@@ -439,6 +441,18 @@ func (r *runner) apply(round int, e Event) {
 				}()
 			})
 		})
+	case EvHintSkew:
+		// Corrupt the advisory fast-path hints at a live site. The skew
+		// self-heals per item on its next durable apply (the store
+		// refreshes a hint whenever it mutates the item), so the lie is
+		// exactly as transient as a real lost-update race would be —
+		// long enough to steer traffic wrong, never permanent.
+		if r.c.SiteUp(e.Site) {
+			r.c.SkewHints(e.Site, int64(e.A))
+			r.count(func(rep *Report) { rep.HintSkews++ })
+		} else {
+			applied = false
+		}
 	case EvCrashInCheckpoint:
 		if !r.c.SiteUp(e.Site) {
 			applied = false

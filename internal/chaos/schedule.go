@@ -66,6 +66,14 @@ const (
 	// records it summarizes still present — the window where a restart
 	// must not double-apply (page-LSN idempotence) or lose state.
 	EvCrashInCheckpoint
+	// EvHintSkew corrupts a site's advisory quota hints by a signed
+	// amount (A). Hints gate only the local-commit fast path; a hint
+	// lying HIGH steers ineligible transactions onto it and the
+	// authoritative re-check under the stripes must turn every one of
+	// them back, a hint lying LOW just sends eligible traffic down the
+	// full protocol. Either way, every invariant must hold exactly as
+	// if the hints were honest.
+	EvHintSkew
 )
 
 var kindNames = map[EventKind]string{
@@ -80,6 +88,7 @@ var kindNames = map[EventKind]string{
 	EvCheckpoint:        "checkpoint",
 	EvCrashInFlush:      "crash-in-flush",
 	EvCrashInCheckpoint: "crash-in-checkpoint",
+	EvHintSkew:          "hint-skew",
 }
 
 func (k EventKind) String() string {
@@ -105,9 +114,10 @@ type Event struct {
 	Round int
 	AtMS  int
 	Kind  EventKind
-	// Site is the target of crash/restart/checkpoint; A,B the link of
-	// link-down/link-up; P the probability of loss/dup; Groups the
-	// partition groups (1-based site indices).
+	// Site is the target of crash/restart/checkpoint/hint-skew; A,B
+	// the link of link-down/link-up (A alone the signed hint-skew
+	// amount); P the probability of loss/dup; Groups the partition
+	// groups (1-based site indices).
 	Site   int
 	A, B   int
 	P      float64
@@ -119,6 +129,8 @@ func (e Event) String() string {
 	switch e.Kind {
 	case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush, EvCrashInCheckpoint:
 		return fmt.Sprintf("%s site=%d", e.Kind, e.Site)
+	case EvHintSkew:
+		return fmt.Sprintf("%s site=%d skew=%d", e.Kind, e.Site, e.A)
 	case EvLinkDown, EvLinkUp:
 		return fmt.Sprintf("%s link=%d-%d", e.Kind, e.A, e.B)
 	case EvLoss, EvDup:
@@ -162,13 +174,14 @@ func (s *Schedule) eventsIn(round int) []Event {
 // Build derives a schedule from a seed. Every choice — cluster shape,
 // how many faults per round, their kinds, targets and offsets — is
 // sampled from a PRNG seeded with the scenario seed, so the same seed
-// always yields the same schedule. Three guarantees are enforced after
+// always yields the same schedule. Four guarantees are enforced after
 // sampling, because the acceptance conditions require them: every
 // schedule contains at least one crash (hence at least one
 // crash-recovery cycle, since the round barrier restarts through §7
 // recovery), at least one partition (healed mid-round or at the
-// barrier), and at least one crash-in-flush (a site killed inside a
-// group-commit window).
+// barrier), at least one crash-in-flush (a site killed inside a
+// group-commit window), and at least one hint-skew (a site running
+// with deliberately corrupted fast-path quota hints).
 func Build(seed int64) *Schedule {
 	if seed == 0 {
 		seed = 1
@@ -187,7 +200,7 @@ func Build(seed int64) *Schedule {
 		n := 1 + rng.Intn(3) // 1..3 primary faults this round
 		for i := 0; i < n; i++ {
 			at := 10 + rng.Intn(s.RoundMS-30)
-			switch rng.Intn(8) {
+			switch rng.Intn(9) {
 			case 0, 1: // crash, maybe mid-round restart
 				site := 1 + rng.Intn(s.Sites)
 				s.add(Event{Round: r, AtMS: at, Kind: EvCrash, Site: site})
@@ -223,6 +236,12 @@ func Build(seed int64) *Schedule {
 				s.add(Event{Round: r, AtMS: at, Kind: EvCrashInFlush, Site: 1 + rng.Intn(s.Sites)})
 			case 7: // crash between checkpoint write and compaction
 				s.add(Event{Round: r, AtMS: at, Kind: EvCrashInCheckpoint, Site: 1 + rng.Intn(s.Sites)})
+			case 8: // fast-path hint corruption (positive = lies high)
+				amt := 8 + rng.Intn(56)
+				if rng.Intn(3) == 0 {
+					amt = -amt
+				}
+				s.add(Event{Round: r, AtMS: at, Kind: EvHintSkew, Site: 1 + rng.Intn(s.Sites), A: amt})
 			}
 		}
 	}
@@ -241,6 +260,18 @@ func Build(seed int64) *Schedule {
 	if !s.has(EvCrashInFlush) {
 		r := 1 + rng.Intn(s.Rounds)
 		s.add(Event{Round: r, AtMS: 20 + rng.Intn(50), Kind: EvCrashInFlush, Site: 1 + rng.Intn(s.Sites)})
+	}
+	// And the fast-path hint discipline: at least one site runs part of
+	// a round with deliberately skewed quota hints (biased toward lying
+	// high — the dangerous direction, where the authoritative re-check
+	// is all that stands between a stale hint and a lost invariant).
+	if !s.has(EvHintSkew) {
+		r := 1 + rng.Intn(s.Rounds)
+		amt := 8 + rng.Intn(56)
+		if rng.Intn(3) == 0 {
+			amt = -amt
+		}
+		s.add(Event{Round: r, AtMS: 20 + rng.Intn(50), Kind: EvHintSkew, Site: 1 + rng.Intn(s.Sites), A: amt})
 	}
 	sort.SliceStable(s.Events, func(i, j int) bool {
 		if s.Events[i].Round != s.Events[j].Round {
@@ -326,6 +357,8 @@ func (s *Schedule) Encode(w io.Writer) error {
 		switch e.Kind {
 		case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush, EvCrashInCheckpoint:
 			fmt.Fprintf(bw, " site=%d", e.Site)
+		case EvHintSkew:
+			fmt.Fprintf(bw, " site=%d a=%d", e.Site, e.A)
 		case EvLinkDown, EvLinkUp:
 			fmt.Fprintf(bw, " a=%d b=%d", e.A, e.B)
 		case EvLoss, EvDup:

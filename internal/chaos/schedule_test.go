@@ -39,6 +39,9 @@ func TestBuildGuarantees(t *testing.T) {
 		if !s.has(EvCrashInFlush) {
 			t.Errorf("seed %d: schedule has no crash-in-flush", seed)
 		}
+		if !s.has(EvHintSkew) {
+			t.Errorf("seed %d: schedule has no hint-skew", seed)
+		}
 		for k, e := range s.Events {
 			if e.Round < 1 || e.Round > s.Rounds {
 				t.Fatalf("seed %d: event %d round %d out of range", seed, k, e.Round)
@@ -56,6 +59,13 @@ func TestBuildGuarantees(t *testing.T) {
 			case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush:
 				if e.Site < 1 || e.Site > s.Sites {
 					t.Fatalf("seed %d: event %d site %d out of range", seed, k, e.Site)
+				}
+			case EvHintSkew:
+				if e.Site < 1 || e.Site > s.Sites {
+					t.Fatalf("seed %d: event %d site %d out of range", seed, k, e.Site)
+				}
+				if e.A == 0 {
+					t.Fatalf("seed %d: event %d zero hint skew", seed, k)
 				}
 			case EvLinkDown, EvLinkUp:
 				if e.A == e.B || e.A < 1 || e.B < 1 || e.A > s.Sites || e.B > s.Sites {

@@ -71,7 +71,7 @@ func All() []Experiment {
 		expT1(), expT2(), expT3(), expT4(), expT5(),
 		expF1(), expF2(), expF3(), expF4(), expF5(), expF6(),
 		expA1(), expA2(), expA3(),
-		expP1(),
+		expP1(), expP2(),
 		expC1(),
 	}
 }

@@ -108,3 +108,80 @@ func expP1() Experiment {
 		},
 	}
 }
+
+// expP2: performance — the zero-allocation local-commit fast path. §5
+// observes that write-only transactions with adequate local quota need
+// none of the redistribution machinery; the fast path commits them
+// through pooled buffers and lock-free quota hints. P2 sweeps the
+// fraction of an item's value held at the executing site and reports
+// the fast-path hit rate: with everything local the fast path carries
+// the whole workload, and as the local share shrinks, transactions
+// increasingly overrun the local quota and fall back to the full
+// protocol (whose redistribution then feeds later hits).
+func expP2() Experiment {
+	return Experiment{
+		ID:    "P2",
+		Title: "Fast path: local-commit hit rate vs quota distribution",
+		Claim: "§5: 'in case of write-only transactions, the initial steps of data redistribution can be ignored' — when local quota suffices, the entire redistribution apparatus (and its allocations) is skippable.",
+		Run: func(o Options) (*Result, error) {
+			table := metrics.NewTable("P2 — single-unit reserves at site 1, varying site 1's initial share",
+				"local-share", "committed", "fast-commits", "fallbacks", "hit-rate", "tps")
+			shares := []float64{1.0, 0.5, 0.1}
+			if !o.Quick {
+				shares = []float64{1.0, 0.75, 0.5, 0.25, 0.1}
+			}
+			const sites = 4
+			txns := o.scale(150, 800)
+			for _, frac := range shares {
+				c, err := dvp.NewCluster(dvp.Config{
+					Sites:       sites,
+					Seed:        o.seed(),
+					GroupCommit: true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				// Twice the workload's demand in total value, frac of it
+				// at the executing site: the run never exhausts the item
+				// globally, but the local share does run dry when frac is
+				// small — exactly the redistribution pressure being swept.
+				total := core.Value(2 * txns)
+				local := core.Value(float64(total) * frac)
+				sh := make([]dvp.Value, sites)
+				sh[0] = local
+				rest := core.EvenShares(total-local, sites-1)
+				copy(sh[1:], rest)
+				if err := c.CreateItemShares("p2/item", sh); err != nil {
+					c.Close()
+					return nil, err
+				}
+				var committed uint64
+				start := time.Now()
+				for k := 0; k < txns; k++ {
+					if c.At(1).RunRetry(dvp.NewTxn().Sub("p2/item", 1).Label("reserve"), 3).Committed() {
+						committed++
+					}
+				}
+				elapsed := time.Since(start)
+				fast := c.Metrics().SumCounters("dvp_fastpath_commits_total")
+				fb := c.Metrics().SumCounters("dvp_fastpath_fallback_total")
+				hitRate := 0.0
+				if fast+fb > 0 {
+					hitRate = float64(fast) / float64(fast+fb)
+				}
+				c.Close()
+				table.AddRow(fmt.Sprintf("%.0f%%", frac*100), committed, fast, fb,
+					hitRate, float64(committed)/elapsed.Seconds())
+			}
+			return &Result{ID: "P2", Title: "fast-path hit rate", Table: table,
+				Notes: []string{
+					"expected shape: at 100% local share the hit rate is ~1.0 — every reserve",
+					"commits on the fast path, no messages. As the share shrinks the local",
+					"quota runs dry sooner, the hint gate declines, and the slow path pulls",
+					"peer quota; each redistribution refills the local share, so the hit rate",
+					"degrades gracefully rather than cliffing. tps tracks the hit rate: fast",
+					"commits cost no network round trip and no per-txn allocations.",
+				}}, nil
+		},
+	}
+}

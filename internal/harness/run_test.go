@@ -90,6 +90,22 @@ func TestRunP1Quick(t *testing.T) {
 	}
 }
 
+func TestRunP2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	res := runQuick(t, "P2")
+	rows := res.Table.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("P2 rows = %d, want 3 shares", len(rows))
+	}
+	// First row is the 100% local share: the fast path must carry
+	// essentially the whole workload (hit-rate is column 4).
+	if hit := rows[0][4]; !strings.HasPrefix(hit, "1") && !strings.HasPrefix(hit, "0.9") {
+		t.Errorf("P2 all-local hit rate = %s, want ≥ 0.9", hit)
+	}
+}
+
 func TestRunT5Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment run")

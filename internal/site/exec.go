@@ -11,11 +11,23 @@ import (
 	"dvp/internal/wire"
 )
 
-// Run executes one transaction entirely at this site — the paper's §5
-// seven-step protocol. It blocks the calling goroutine for at most the
-// transaction's timeout plus local processing, and always returns a
-// decision: the protocol is non-blocking by construction.
+// Run executes one transaction entirely at this site. Write-only
+// transactions whose items all look locally adequate take the
+// zero-allocation local-commit fast path (exec_fast.go); everything
+// else — full reads, shortfalls, wide transactions, stale quota
+// hints — runs the full §5 protocol via runSlow. Both paths block the
+// calling goroutine for at most the transaction's timeout plus local
+// processing and always return a decision: the protocol is
+// non-blocking by construction.
 func (s *Site) Run(t *txn.Txn) *txn.Result {
+	if res := s.runFast(t); res != nil {
+		return res
+	}
+	return s.runSlow(t)
+}
+
+// runSlow is the paper's §5 seven-step protocol, in full.
+func (s *Site) runSlow(t *txn.Txn) *txn.Result {
 	start := s.cfg.Clock.Now()
 	tr := s.obsm.ring.Begin(s.obsm.site, t.Label)
 	var rootSpan uint64

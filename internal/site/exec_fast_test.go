@@ -1,0 +1,202 @@
+package site
+
+import (
+	"testing"
+	"time"
+
+	"dvp/internal/core"
+	"dvp/internal/obs"
+	"dvp/internal/simnet"
+	"dvp/internal/txn"
+)
+
+// fastCluster builds a cluster whose sites share one metrics registry,
+// so tests can read the fast-path counters.
+func fastCluster(t *testing.T, n int, mutate func(i int, c *Config)) (*testCluster, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tc := newTestCluster(t, n, simnet.Config{Seed: 1}, func(i int, c *Config) {
+		c.Metrics = reg
+		if mutate != nil {
+			mutate(i, c)
+		}
+	})
+	return tc, reg
+}
+
+func fastCommits(reg *obs.Registry) uint64 {
+	return reg.SumCounters("dvp_fastpath_commits_total")
+}
+
+func fastFallbacks(reg *obs.Registry) uint64 {
+	return reg.SumCounters("dvp_fastpath_fallback_total")
+}
+
+// TestFastPathCommit: a write-only transaction with adequate local
+// quota takes the fast path — no messages, durable effects, counter
+// bumped, and the commit visible in Stats.
+func TestFastPathCommit(t *testing.T) {
+	tc, reg := fastCluster(t, 4, nil)
+	tc.createItem("flight/A", 100) // 25 per site
+	res := tc.sites[0].Run(reserve("flight/A", 10))
+	if !res.Committed() {
+		t.Fatalf("local reserve: %v", res.Status)
+	}
+	if res.RequestsSent != 0 {
+		t.Errorf("fast commit sent %d requests", res.RequestsSent)
+	}
+	if got := fastCommits(reg); got != 1 {
+		t.Errorf("fastpath commits = %d, want 1", got)
+	}
+	if v := tc.dbs[0].Value("flight/A"); v != 15 {
+		t.Errorf("local quota = %d, want 15", v)
+	}
+	if st := tc.sites[0].Stats(); st.Committed != 1 {
+		t.Errorf("Stats().Committed = %d, want 1 (fast commits must fold in)", st.Committed)
+	}
+	tc.settle()
+	if got := tc.globalTotal("flight/A"); got != 90 {
+		t.Errorf("global total = %d, want 90", got)
+	}
+}
+
+// TestFastPathMultiOpComposition: several ops on the same and distinct
+// items compose the per-item running requirement exactly like the
+// composite slow path — a (sub 20, add 5) pair on one item needs 20 up
+// front even though the net delta is -15.
+func TestFastPathMultiOpComposition(t *testing.T) {
+	tc, reg := fastCluster(t, 1, nil)
+	tc.createItem("a", 20)
+	tc.createItem("b", 50)
+	tx := &txn.Txn{Ops: []txn.ItemOp{
+		{Item: "a", Op: core.Decr{M: 20}},
+		{Item: "a", Op: core.Incr{M: 5}},
+		{Item: "b", Op: core.Decr{M: 7}},
+	}, Label: "compose"}
+	res := tc.sites[0].Run(tx)
+	if !res.Committed() {
+		t.Fatalf("composed txn: %v", res.Status)
+	}
+	if got := fastCommits(reg); got != 1 {
+		t.Errorf("fastpath commits = %d, want 1", got)
+	}
+	if v := tc.dbs[0].Value("a"); v != 5 {
+		t.Errorf("a = %d, want 5", v)
+	}
+	if v := tc.dbs[0].Value("b"); v != 43 {
+		t.Errorf("b = %d, want 43", v)
+	}
+}
+
+// TestFastPathStaleHighHintFallsBack is the correctness-critical case:
+// a hint lying HIGH lures the fast path in, the authoritative re-check
+// under the stripes turns it back, and the slow path redistributes —
+// the transaction still commits, value is conserved, and the fallback
+// counter records the decline.
+func TestFastPathStaleHighHintFallsBack(t *testing.T) {
+	tc, reg := fastCluster(t, 4, nil)
+	tc.createItem("flight/A", 100) // 25 per site
+	tc.dbs[0].SkewHints(+1000)     // every hint now lies high
+	res := runRetry(tc.sites[0], reserve("flight/A", 40), 5)
+	if !res.Committed() {
+		t.Fatalf("reserve through stale hint: %v", res.Status)
+	}
+	if res.RequestsSent == 0 {
+		t.Error("40 > 25 must have redistributed, but no requests were sent")
+	}
+	if got := fastCommits(reg); got != 0 {
+		t.Errorf("fastpath commits = %d, want 0 (authoritative check must decline)", got)
+	}
+	if got := fastFallbacks(reg); got == 0 {
+		t.Error("fallback counter = 0, want ≥ 1 (the stale hint was exercised)")
+	}
+	tc.waitQuiescent("flight/A", 2*time.Second)
+	if got := tc.globalTotal("flight/A"); got != 60 {
+		t.Errorf("global total = %d, want 60", got)
+	}
+}
+
+// TestFastPathStaleLowHintGoesSlow: a hint lying LOW is the safe lie —
+// eligible traffic routes through the full protocol and commits there.
+func TestFastPathStaleLowHintGoesSlow(t *testing.T) {
+	tc, reg := fastCluster(t, 1, nil)
+	tc.createItem("x", 50)
+	tc.dbs[0].SkewHints(-49)
+	res := tc.sites[0].Run(reserve("x", 10))
+	if !res.Committed() {
+		t.Fatalf("reserve under low hint: %v", res.Status)
+	}
+	if got := fastCommits(reg); got != 0 {
+		t.Errorf("fastpath commits = %d, want 0", got)
+	}
+	if got := fastFallbacks(reg); got != 1 {
+		t.Errorf("fastpath fallbacks = %d, want 1", got)
+	}
+	if v := tc.dbs[0].Value("x"); v != 40 {
+		t.Errorf("x = %d, want 40", v)
+	}
+	// The slow-path commit resynchronized the hint; the next eligible
+	// transaction takes the fast path again.
+	if res := tc.sites[0].Run(reserve("x", 10)); !res.Committed() {
+		t.Fatalf("second reserve: %v", res.Status)
+	}
+	if got := fastCommits(reg); got != 1 {
+		t.Errorf("fastpath commits after self-heal = %d, want 1", got)
+	}
+}
+
+// TestFastPathIneligibleShapes: reads, empty op lists and over-wide
+// transactions never touch the fast path (and never count as
+// fallbacks — they were never eligible).
+func TestFastPathIneligibleShapes(t *testing.T) {
+	tc, reg := fastCluster(t, 2, nil)
+	tc.createItem("x", 100)
+	if res := runRetry(tc.sites[0], readItem("x"), 3); !res.Committed() {
+		t.Fatalf("read: %v", res.Status)
+	}
+	wide := &txn.Txn{Label: "wide"}
+	for i := 0; i < maxFastOps+1; i++ {
+		wide.Ops = append(wide.Ops, txn.ItemOp{Item: "x", Op: core.Incr{M: 1}})
+	}
+	if res := tc.sites[0].Run(wide); !res.Committed() {
+		t.Fatalf("wide txn: %v", res.Status)
+	}
+	if got := fastCommits(reg); got != 0 {
+		t.Errorf("fastpath commits = %d, want 0", got)
+	}
+	if got := fastFallbacks(reg); got != 0 {
+		t.Errorf("fastpath fallbacks = %d, want 0 (ineligible shapes aren't declines)", got)
+	}
+}
+
+// TestFastPathDisableKnob: DisableFastPath forces the full protocol
+// with identical outcomes.
+func TestFastPathDisableKnob(t *testing.T) {
+	tc, reg := fastCluster(t, 1, func(i int, c *Config) { c.DisableFastPath = true })
+	tc.createItem("x", 100)
+	res := tc.sites[0].Run(reserve("x", 10))
+	if !res.Committed() {
+		t.Fatalf("reserve with fast path off: %v", res.Status)
+	}
+	if got := fastCommits(reg); got != 0 {
+		t.Errorf("fastpath commits = %d, want 0 with DisableFastPath", got)
+	}
+	if v := tc.dbs[0].Value("x"); v != 90 {
+		t.Errorf("x = %d, want 90", v)
+	}
+}
+
+// TestFastPathCrashedSiteDeclines: a crashed site's fast path declines
+// (the slow path then reports SiteDown uniformly).
+func TestFastPathCrashedSiteDeclines(t *testing.T) {
+	tc, reg := fastCluster(t, 2, nil)
+	tc.createItem("x", 100)
+	tc.sites[0].Crash()
+	res := tc.sites[0].Run(reserve("x", 1))
+	if res.Status != txn.StatusSiteDown {
+		t.Fatalf("txn at crashed site: %v, want SiteDown", res.Status)
+	}
+	if got := fastCommits(reg); got != 0 {
+		t.Errorf("fastpath commits = %d, want 0 at a crashed site", got)
+	}
+}

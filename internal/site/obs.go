@@ -1,6 +1,8 @@
 package site
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvp/internal/ident"
@@ -62,6 +64,29 @@ type siteObs struct {
 	ckptBytes      *metrics.Counter
 	recoverLat     *metrics.Histogram
 	recoverRecords *metrics.Counter
+
+	// Local-commit fast path: commits that took it, and eligible-shape
+	// transactions it declined (hint miss, stale hint, site down).
+	// commits/(commits+fallbacks) is the hit rate experiment P2 plots
+	// against the quota distribution.
+	fastCommits   *metrics.Counter
+	fastFallbacks *metrics.Counter
+
+	// txnLat caches the per-(label, outcome) latency histograms so the
+	// commit path resolves dvp_site_txn_seconds through two map reads
+	// instead of a registry lookup (whose variadic labels allocate on
+	// every call). Keyed by label under an RWMutex — a sync.Map would
+	// box the string key on every Load, allocating on the hot path.
+	txnLatMu sync.RWMutex
+	txnLat   map[string]*txnLatSet
+}
+
+// txnLatSet holds one label's latency histograms indexed by outcome
+// status. Slots fill lazily with benign racing: the registry
+// deduplicates by name+labels, so concurrent resolvers store the same
+// handle.
+type txnLatSet struct {
+	byStatus [txn.StatusSiteDown + 1]atomic.Pointer[metrics.Histogram]
 }
 
 func newPeerObs(reg *obs.Registry, site, peer string) *peerObs {
@@ -110,6 +135,9 @@ func (s *Site) initObs() {
 	o.deficitAborts = o.reg.Counter("dvp_site_deficit_aborts_total", "site", o.site)
 	o.ckptTotal = o.reg.Counter("dvp_checkpoint_total", "site", o.site)
 	o.ckptBytes = o.reg.Counter("dvp_checkpoint_bytes", "site", o.site)
+	o.fastCommits = o.reg.Counter("dvp_fastpath_commits_total", "site", o.site)
+	o.fastFallbacks = o.reg.Counter("dvp_fastpath_fallback_total", "site", o.site)
+	o.txnLat = make(map[string]*txnLatSet, 8)
 	o.recoverLat = o.reg.Histogram("dvp_recover_seconds", "site", o.site)
 	o.recoverRecords = o.reg.Counter("dvp_recover_records_replayed", "site", o.site)
 	o.peers = make(map[ident.SiteID]*peerObs, len(s.cfg.Peers))
@@ -144,13 +172,38 @@ func (o *siteObs) observeStep(step string, d time.Duration) {
 }
 
 // observeTxn records one transaction decision: the outcome counter and
-// the latency histogram partitioned by label and outcome.
+// the latency histogram partitioned by label and outcome. The
+// histogram handle is cached per (label, outcome) — the registry
+// lookup's variadic labels would otherwise allocate on every commit.
 func (o *siteObs) observeTxn(label string, status txn.Status, lat time.Duration) {
 	if c := o.outcomes[status]; c != nil {
 		c.Inc()
 	}
-	if o.reg != nil {
+	if o.reg == nil {
+		return
+	}
+	o.txnLatMu.RLock()
+	set := o.txnLat[label]
+	o.txnLatMu.RUnlock()
+	if set == nil {
+		o.txnLatMu.Lock()
+		if set = o.txnLat[label]; set == nil {
+			set = &txnLatSet{}
+			o.txnLat[label] = set
+		}
+		o.txnLatMu.Unlock()
+	}
+	idx := int(status)
+	if idx < 0 || idx >= len(set.byStatus) {
 		o.reg.Histogram("dvp_site_txn_seconds",
 			"site", o.site, "label", label, "outcome", status.String()).Record(lat)
+		return
 	}
+	h := set.byStatus[idx].Load()
+	if h == nil {
+		h = o.reg.Histogram("dvp_site_txn_seconds",
+			"site", o.site, "label", label, "outcome", status.String())
+		set.byStatus[idx].Store(h)
+	}
+	h.Record(lat)
 }

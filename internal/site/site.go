@@ -74,6 +74,11 @@ type Config struct {
 	// recovers from its log (≤1 replays serially; see
 	// internal/recovery).
 	RecoveryWorkers int
+	// DisableFastPath turns off the local-commit fast path (see
+	// exec_fast.go), forcing every transaction through the full §5
+	// protocol run. The fast path is semantically transparent — this
+	// knob exists for benchmarks, ablations and chaos comparison runs.
+	DisableFastPath bool
 	// Rebalance configures the demand-driven rebalancer: when
 	// Enabled, the site tracks per-item demand, gossips it to peers
 	// via DemandAdvert messages, and ships surplus quota toward the
@@ -206,6 +211,19 @@ type Site struct {
 	// tracing layer. Monotonic across crashes (volatile uniqueness is
 	// enough — spans are observability, not protocol state).
 	spanCtr atomic.Uint64
+
+	// epochUp mirrors (epoch, up) as epoch<<1|upBit so the fast path
+	// can check liveness without s.mu. Written only under s.mu (Start
+	// and Crash), read lock-free. The fast path reads it under
+	// lifeMu.RLock, which is what makes the check-then-append pair
+	// atomic against Crash's fence — same argument as the slow path's
+	// sameEpoch under lifeMu.
+	epochUp atomic.Uint64
+
+	// fastCommitted counts fast-path commits without touching s.mu
+	// (the whole point of the fast path); Stats folds it into
+	// Committed so observers see one number.
+	fastCommitted atomic.Uint64
 
 	// demand is the demand-driven rebalancer's state: local EWMA
 	// demand per item plus the freshest advert from each peer. Always
@@ -419,6 +437,7 @@ func (s *Site) Start() {
 	}
 	s.up = true
 	s.epoch++
+	s.epochUp.Store(s.epoch<<1 | 1)
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	s.stopRetx = stop
@@ -461,6 +480,7 @@ func (s *Site) Crash() {
 		return
 	}
 	s.up = false
+	s.epochUp.Store(s.epoch << 1)
 	close(s.stopRetx)
 	s.stopRetx = nil
 	done := s.retxDone
@@ -543,11 +563,14 @@ func (s *Site) Up() bool {
 	return s.up
 }
 
-// Stats returns a snapshot of the site's counters.
+// Stats returns a snapshot of the site's counters. Fast-path commits
+// are counted in an atomic off s.mu and folded in here.
 func (s *Site) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.Committed += s.fastCommitted.Load()
+	return st
 }
 
 // DB exposes the durable store (monitors, conservation checks).

@@ -62,9 +62,12 @@ type peerCounters struct {
 // sweep) leaves in one syscall batch, while a lone envelope still
 // flushes immediately.
 type peerWriter struct {
-	site   ident.SiteID
-	addr   string
-	frames chan []byte
+	site ident.SiteID
+	addr string
+	// frames carries pooled writers holding [u32 length][envelope];
+	// ownership passes to the writer goroutine, which returns each to
+	// the wire pool once its bytes are handed to bufio (or dropped).
+	frames chan *wire.Writer
 }
 
 // peerWriterQueue bounds the outbound backlog per peer; overflow is
@@ -236,10 +239,6 @@ func (e *Endpoint) Close() error {
 // message (loss, per the model) and Send never blocks on the network.
 func (e *Endpoint) Send(env *wire.Envelope) error {
 	env.From = e.cfg.Site
-	buf, err := env.Marshal()
-	if err != nil {
-		return err
-	}
 	if env.To == e.cfg.Site {
 		e.mu.Lock()
 		closed := e.closed
@@ -247,26 +246,41 @@ func (e *Endpoint) Send(env *wire.Envelope) error {
 		if closed {
 			return wire.ErrClosed
 		}
-		// Loopback without touching the network.
-		e.deliver(buf)
-		return nil
+		// Loopback without touching the network. deliver decodes the
+		// frame synchronously and Unmarshal copies everything the
+		// handler may retain, so the pooled encode scratch is free for
+		// reuse the moment it returns.
+		w := wire.GetWriter()
+		err := env.MarshalInto(w)
+		if err == nil {
+			e.deliver(w.Bytes())
+		}
+		wire.PutWriter(w)
+		return err
 	}
 	addr, ok := e.cfg.Peers[env.To]
 	if !ok {
 		return fmt.Errorf("%w: %v", wire.ErrUnknownSite, env.To)
 	}
-	frame := make([]byte, 4+len(buf))
-	binary.BigEndian.PutUint32(frame, uint32(len(buf)))
-	copy(frame[4:], buf)
+	// Encode [u32 length][envelope] straight into a pooled writer; on
+	// a successful enqueue its ownership passes to the writer goroutine.
+	frame := wire.GetWriter()
+	frame.U32(0)
+	if err := env.MarshalInto(frame); err != nil {
+		wire.PutWriter(frame)
+		return err
+	}
+	frame.PatchU32(0, uint32(frame.Len()-4))
 
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		wire.PutWriter(frame)
 		return wire.ErrClosed
 	}
 	w, ok := e.writers[env.To]
 	if !ok {
-		w = &peerWriter{site: env.To, addr: addr, frames: make(chan []byte, peerWriterQueue)}
+		w = &peerWriter{site: env.To, addr: addr, frames: make(chan *wire.Writer, peerWriterQueue)}
 		e.writers[env.To] = w
 		stop := e.stop
 		e.wg.Add(1)
@@ -278,6 +292,7 @@ func (e *Endpoint) Send(env *wire.Envelope) error {
 	case w.frames <- frame:
 	default:
 		// Backlogged peer: drop, like a congested link.
+		wire.PutWriter(frame)
 	}
 	return nil
 }
@@ -299,7 +314,7 @@ func (e *Endpoint) writerLoop(w *peerWriter, stop <-chan struct{}) {
 	}
 	defer drop()
 	for {
-		var frame []byte
+		var frame *wire.Writer
 		select {
 		case <-stop:
 			return
@@ -317,21 +332,29 @@ func (e *Endpoint) writerLoop(w *peerWriter, stop <-chan struct{}) {
 					if pc != nil {
 						pc.dialFailures.Inc()
 					}
+					wire.PutWriter(frame)
 					break writeLoop // drop this frame; queued ones retry the dial
 				}
 				if !e.rememberConn(w.site, c) {
 					c.Close()
+					wire.PutWriter(frame)
 					return // endpoint closed under us
 				}
 				conn = c
 				bw = bufio.NewWriterSize(conn, 64<<10)
 			}
-			if _, err := bw.Write(frame); err != nil {
+			// bufio consumes the bytes before Write returns (copied or
+			// written through), so the frame goes back to the pool
+			// either way.
+			n := frame.Len()
+			_, err := bw.Write(frame.Bytes())
+			wire.PutWriter(frame)
+			if err != nil {
 				drop()
 				break writeLoop
 			}
 			batched++
-			batchBytes += uint64(len(frame))
+			batchBytes += uint64(n)
 			select {
 			case frame = <-w.frames:
 			case <-stop:
@@ -404,7 +427,14 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		delete(e.accepted, conn)
 		e.mu.Unlock()
 	}()
+	// Both buffers live on the connection, not per frame: deliver
+	// decodes synchronously and wire.Unmarshal copies everything the
+	// handler retains, so the body buffer is free for the next frame as
+	// soon as deliver returns. It grows to the largest frame seen and
+	// is reallocated small again after an outsized one, so a single
+	// huge frame doesn't pin its memory for the connection's lifetime.
 	hdr := make([]byte, 4)
+	var buf []byte
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
 			return
@@ -413,13 +443,21 @@ func (e *Endpoint) readLoop(conn net.Conn) {
 		if n == 0 || n > e.cfg.MaxFrame {
 			return // corrupt or hostile peer
 		}
-		buf := make([]byte, n)
+		if cap(buf) < int(n) || cap(buf) > readBufRetain && int(n) <= readBufRetain {
+			buf = make([]byte, n)
+		} else {
+			buf = buf[:n]
+		}
 		if _, err := io.ReadFull(conn, buf); err != nil {
 			return
 		}
 		e.deliver(buf)
 	}
 }
+
+// readBufRetain bounds the per-connection read buffer kept across
+// frames; see readLoop.
+const readBufRetain = 64 << 10
 
 func (e *Endpoint) deliver(buf []byte) {
 	e.mu.Lock()

@@ -30,6 +30,7 @@ type FileLog struct {
 	size    int64
 	sync    bool
 	closed  bool
+	encBuf  []byte // reusable batch-encode scratch, guarded by mu
 
 	// Instrumentation (see Instrument); nil when not instrumented.
 	appendLat *metrics.Histogram
@@ -38,6 +39,11 @@ type FileLog struct {
 }
 
 const fileHeaderLen = 4 + 4 + 8 + 1
+
+// maxRetainedEncBuf bounds the batch-encode scratch kept across
+// appends; larger frames (checkpoints) are encoded into a one-shot
+// buffer instead of pinning the memory forever.
+const maxRetainedEncBuf = 1 << 20
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -156,20 +162,30 @@ func (l *FileLog) AppendBatch(entries []BatchEntry) (uint64, error) {
 	first := l.lastLSN + 1
 	total := 0
 	for _, e := range entries {
-		total += 8 + 9 + len(e.Data)
+		total += fileHeaderLen + len(e.Data)
 	}
-	buf := make([]byte, 0, total)
+	// Frame the batch in place into the reusable encode buffer (guarded
+	// by l.mu): header placeholder, then body, then patch length+crc
+	// over the body subslice — no per-record intermediate allocation.
+	if cap(l.encBuf) < total {
+		l.encBuf = make([]byte, 0, total)
+	}
+	buf := l.encBuf[:0]
 	for i, e := range entries {
-		lsn := first + uint64(i)
-		body := make([]byte, 9+len(e.Data))
-		binary.BigEndian.PutUint64(body[0:8], lsn)
-		body[8] = byte(e.Kind)
-		copy(body[9:], e.Data)
-		var hdr [8]byte
-		binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
-		binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, body...)
+		hdrOff := len(buf)
+		buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		bodyOff := len(buf)
+		buf = binary.BigEndian.AppendUint64(buf, first+uint64(i))
+		buf = append(buf, byte(e.Kind))
+		buf = append(buf, e.Data...)
+		body := buf[bodyOff:]
+		binary.BigEndian.PutUint32(buf[hdrOff:hdrOff+4], uint32(len(body)))
+		binary.BigEndian.PutUint32(buf[hdrOff+4:hdrOff+8], crc32.Checksum(body, crcTable))
+	}
+	if cap(buf) <= maxRetainedEncBuf {
+		l.encBuf = buf[:0]
+	} else {
+		l.encBuf = nil // don't pin a giant checkpoint frame
 	}
 	if _, err := l.f.WriteAt(buf, l.size); err != nil {
 		return 0, fmt.Errorf("wal: append to %s: %w", l.path, err)

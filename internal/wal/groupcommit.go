@@ -58,6 +58,10 @@ type GroupLog struct {
 
 	hook func(batch int) // test/chaos observation of each flush
 
+	// entryScratch is the flusher's reusable batch-assembly buffer;
+	// only the flusher goroutine touches it.
+	entryScratch []BatchEntry
+
 	// Flight recording (see SetFlight); nil when not recording.
 	flight     *obs.Flight
 	flightSite string
@@ -94,9 +98,16 @@ func NewGroupLog(inner Log, opts GroupCommitOptions) *GroupLog {
 
 // Append implements Log: enqueue and park until the flusher reports
 // the record stable.
+//
+// data is borrowed, not copied: the caller stays parked until the
+// flusher has handed it to the inner log (which consumes it before
+// AppendBatch returns), so the buffer is pinned for exactly the span
+// the flusher needs it. This lets committers encode records into
+// pooled scratch and return it right after Append — the whole batch is
+// built with zero intermediate copies.
 func (g *GroupLog) Append(kind RecordKind, data []byte) (uint64, error) {
 	w := &groupWaiter{
-		entry: BatchEntry{Kind: kind, Data: append([]byte(nil), data...)},
+		entry: BatchEntry{Kind: kind, Data: data},
 		done:  make(chan struct{}),
 	}
 	g.mu.Lock()
@@ -145,7 +156,13 @@ func (g *GroupLog) flusher() {
 		if hook != nil {
 			hook(n)
 		}
-		entries := make([]BatchEntry, n)
+		// entryScratch is reused across flushes (only the flusher
+		// goroutine touches it); entries are cleared after the write so
+		// the scratch never pins the appenders' pooled data buffers.
+		if cap(g.entryScratch) < n {
+			g.entryScratch = make([]BatchEntry, n)
+		}
+		entries := g.entryScratch[:n]
 		for i, w := range group {
 			entries[i] = w.entry
 		}
@@ -170,6 +187,10 @@ func (g *GroupLog) flusher() {
 			batchHist.Record(time.Duration(n) * time.Microsecond)
 			flushes.Inc()
 			records.Add(uint64(n))
+		}
+
+		for i := range entries {
+			entries[i] = BatchEntry{}
 		}
 
 		if err == nil {

@@ -88,7 +88,10 @@ type Record struct {
 // returns: a crash after Append never loses the record. All methods
 // are safe for concurrent use.
 type Log interface {
-	// Append writes a record and returns its LSN.
+	// Append writes a record and returns its LSN. data is borrowed for
+	// the duration of the call only: implementations must not retain it
+	// after returning, so callers may encode into pooled scratch and
+	// reuse it immediately.
 	Append(kind RecordKind, data []byte) (uint64, error)
 	// Scan calls fn for every record with LSN ≥ from, in LSN order.
 	// fn returning an error stops the scan and propagates the error.

@@ -112,9 +112,15 @@ type VmCreateRec struct {
 // Encode serializes the record payload.
 func (rec *VmCreateRec) Encode() []byte {
 	var w wire.Writer
-	encodeActions(&w, rec.Actions)
-	encodeVmOuts(&w, rec.Msgs)
+	rec.EncodeTo(&w)
 	return w.Bytes()
+}
+
+// EncodeTo appends the record payload to w (byte-identical to Encode),
+// so hot-path callers can reuse a pooled Writer.
+func (rec *VmCreateRec) EncodeTo(w *wire.Writer) {
+	encodeActions(w, rec.Actions)
+	encodeVmOuts(w, rec.Msgs)
 }
 
 // DecodeVmCreate parses a RecVmCreate payload.
@@ -139,10 +145,15 @@ type VmAcceptRec struct {
 // Encode serializes the record payload.
 func (rec *VmAcceptRec) Encode() []byte {
 	var w wire.Writer
+	rec.EncodeTo(&w)
+	return w.Bytes()
+}
+
+// EncodeTo appends the record payload to w (byte-identical to Encode).
+func (rec *VmAcceptRec) EncodeTo(w *wire.Writer) {
 	w.U16(uint16(rec.From))
 	w.U64(rec.Seq)
-	encodeActions(&w, rec.Actions)
-	return w.Bytes()
+	encodeActions(w, rec.Actions)
 }
 
 // DecodeVmAccept parses a RecVmAccept payload.
@@ -169,9 +180,14 @@ type CommitRec struct {
 // Encode serializes the record payload.
 func (rec *CommitRec) Encode() []byte {
 	var w wire.Writer
-	w.U64(uint64(rec.Txn))
-	encodeActions(&w, rec.Actions)
+	rec.EncodeTo(&w)
 	return w.Bytes()
+}
+
+// EncodeTo appends the record payload to w (byte-identical to Encode).
+func (rec *CommitRec) EncodeTo(w *wire.Writer) {
+	w.U64(uint64(rec.Txn))
+	encodeActions(w, rec.Actions)
 }
 
 // DecodeCommit parses a RecCommit payload.
@@ -193,8 +209,13 @@ type AppliedRec struct {
 // Encode serializes the record payload.
 func (rec *AppliedRec) Encode() []byte {
 	var w wire.Writer
-	w.U64(rec.CommitLSN)
+	rec.EncodeTo(&w)
 	return w.Bytes()
+}
+
+// EncodeTo appends the record payload to w (byte-identical to Encode).
+func (rec *AppliedRec) EncodeTo(w *wire.Writer) {
+	w.U64(rec.CommitLSN)
 }
 
 // DecodeApplied parses a RecApplied payload.

@@ -37,6 +37,19 @@ func (w *Writer) Bytes() []byte { return w.buf }
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
+// Reset discards the accumulated encoding but keeps the underlying
+// capacity, so a Writer can be reused across encodes without
+// re-allocating its buffer.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// PatchU32 overwrites the 4 bytes at off with a fixed-width big-endian
+// uint32. The bytes must already have been written (e.g. as a length
+// placeholder via U32(0)); patching past the end panics, like any
+// out-of-range slice write.
+func (w *Writer) PatchU32(off int, v uint32) {
+	binary.BigEndian.PutUint32(w.buf[off:off+4], v)
+}
+
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
 
@@ -219,6 +232,29 @@ func (r *Reader) Bytes2() []byte {
 	}
 	b := make([]byte, n)
 	copy(b, r.buf[r.off:])
+	r.off += int(n)
+	return b
+}
+
+// Bytes2View reads a length-prefixed byte slice without copying: the
+// returned slice aliases the Reader's buffer. Only for consumers that
+// fully process the bytes before the buffer is reused (e.g. a transport
+// read loop that decodes each frame synchronously); anyone retaining
+// the data past that point must use Bytes2 or copy explicitly.
+func (r *Reader) Bytes2View() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxStringLen {
+		r.fail(fmt.Errorf("%w: blob of %d bytes", ErrTooLong, n))
+		return nil
+	}
+	if r.off+int(n) > len(r.buf) {
+		r.fail(ErrShort)
+		return nil
+	}
+	b := r.buf[r.off : r.off+int(n) : r.off+int(n)]
 	r.off += int(n)
 	return b
 }

@@ -27,20 +27,31 @@ type Envelope struct {
 // envelopeMagic guards against framing bugs and foreign traffic.
 const envelopeMagic = 0xD7
 
-// Marshal encodes the envelope to bytes.
+// Marshal encodes the envelope to a fresh byte slice.
 func (e *Envelope) Marshal() ([]byte, error) {
-	if e.Msg == nil {
-		return nil, fmt.Errorf("wire: envelope without message")
-	}
 	var w Writer
+	if err := e.MarshalInto(&w); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// MarshalInto appends the envelope encoding to w, so callers on the
+// hot path can reuse a pooled Writer (and prepend transport framing)
+// instead of allocating per envelope. The bytes appended are identical
+// to Marshal's output.
+func (e *Envelope) MarshalInto(w *Writer) error {
+	if e.Msg == nil {
+		return fmt.Errorf("wire: envelope without message")
+	}
 	w.U8(envelopeMagic)
 	w.U16(uint16(e.From))
 	w.U16(uint16(e.To))
 	w.U64(uint64(e.Lamport))
 	w.U64(e.AckUpTo)
 	w.U8(uint8(e.Msg.Kind()))
-	e.Msg.Encode(&w)
-	return w.Bytes(), nil
+	e.Msg.Encode(w)
+	return nil
 }
 
 // Unmarshal decodes an envelope from bytes.

@@ -1,0 +1,37 @@
+package wire
+
+import "sync"
+
+// Writer pool: the per-envelope and per-WAL-record encode scratch on
+// the hot path. Ownership rules (DESIGN §2.11):
+//
+//   - GetWriter returns a Writer with Len()==0; any capacity may be
+//     carried over from a previous user.
+//   - The caller owns the Writer and every slice obtained from
+//     Bytes() until it calls PutWriter. After PutWriter both the
+//     Writer and its bytes may be concurrently rewritten — callers
+//     that need the encoding past that point must copy first.
+//   - PutWriter drops oversized buffers instead of pooling them, so
+//     one giant checkpoint encode cannot pin megabytes in the pool.
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// maxPooledWriterCap bounds the capacity a Writer may keep when it is
+// returned to the pool. Steady-state envelopes and WAL records are
+// well under this.
+const maxPooledWriterCap = 64 << 10
+
+// GetWriter returns an empty Writer from the pool.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter returns w to the pool. The caller must not use w or any
+// slice obtained from w.Bytes() afterwards.
+func PutWriter(w *Writer) {
+	if w == nil || cap(w.buf) > maxPooledWriterCap {
+		return
+	}
+	writerPool.Put(w)
+}
