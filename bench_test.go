@@ -57,6 +57,7 @@ func BenchmarkA1RebalancerAblation(b *testing.B)    { benchExperiment(b, "A1") }
 func BenchmarkA2DemandRebalancing(b *testing.B)     { benchExperiment(b, "A2") }
 func BenchmarkA3GrantPolicyAblation(b *testing.B)   { benchExperiment(b, "A3") }
 func BenchmarkP1GroupCommit(b *testing.B)           { benchExperiment(b, "P1") }
+func BenchmarkN1PeerOutage(b *testing.B)            { benchExperiment(b, "N1") }
 
 // --- micro benches -----------------------------------------------------------
 

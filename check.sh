@@ -26,6 +26,12 @@ fi
 go build ./...
 go test -race ./...
 
+# Dead-peer regression: the dial-rate bound against a closed port must
+# hold under race. This is the PR-9 storm fix's dedicated gate — the
+# legacy half of the test proves the regression is detectable (≥50
+# dials unthrottled), the hardened half bounds it (≤25).
+go test -race -run 'TestDeadPeerDialRateBounded' -count=1 ./internal/tcpnet
+
 # Bench smoke: one iteration of the perf-bearing benchmarks, so the
 # group-commit, Vm, fast-path, tracing-overhead and recovery pipelines
 # stay runnable under `go test -bench` without paying full measurement
@@ -63,6 +69,8 @@ if [ "${BENCH_RECORD:-0}" = "1" ]; then
 	echo "bench: update BENCH_PR7.json from /tmp/bench_pr7.txt"
 	go test -run='^$' -bench='BenchmarkLocalCommitFastPath' -benchmem -benchtime=2s -count=3 . | tee /tmp/bench_pr8.txt
 	echo "bench: update BENCH_PR8.json from /tmp/bench_pr8.txt (median of 3)"
+	go test -run='^$' -bench='BenchmarkLocalCommitParallel$|BenchmarkLocalCommitFastPath' -benchmem -benchtime=2s -count=3 . | tee /tmp/bench_pr9.txt
+	echo "bench: update BENCH_PR9.json from /tmp/bench_pr9.txt (median of 3; no-regression record for the PR-9 transport changes)"
 fi
 
 # Fuzz smoke: a short randomized pass per target on top of the
@@ -77,8 +85,9 @@ go test ./internal/wal -run='^$' -fuzz=FuzzFileLogRecovery -fuzztime=10s
 # Coverage floors. These packages carry the paper's algebra (core),
 # the exactly-once channel (vmsg), the serializability machinery (cc),
 # the tracing/flight-recorder surface every failure dump depends on
-# (obs), and the §7 restart path (recovery); their coverage must not
-# regress below the level at which the floors were recorded.
+# (obs), the §7 restart path (recovery), and the peer-failure state
+# machine (tcpnet); their coverage must not regress below the level at
+# which the floors were recorded.
 check_cover() {
 	pkg=$1
 	floor=$2
@@ -98,3 +107,4 @@ check_cover ./internal/vmsg 81
 check_cover ./internal/cc 97
 check_cover ./internal/obs 90
 check_cover ./internal/recovery 90
+check_cover ./internal/tcpnet 85

@@ -105,6 +105,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			CC:                     cc.New(cfg.CC),
 			Grant:                  cfg.Grant,
 			RetransmitEvery:        cfg.RetransmitEvery,
+			RetransmitMax:          cfg.RetransmitMax,
 			DefaultTimeout:         cfg.DefaultTimeout,
 			AdmissionStripes:       cfg.AdmissionStripes,
 			CheckpointEveryBytes:   cfg.CheckpointEveryBytes,

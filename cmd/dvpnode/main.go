@@ -70,6 +70,11 @@ func main() {
 		rebalIv  = flag.Duration("rebalance-interval", 0, "rebalancer tick interval, jittered per tick (0 = default 50ms)")
 		rebalMin = flag.Duration("rebalance-cooldown", 0, "minimum gap between transfers of the same item (0 = default 2×interval)")
 		rebalAmt = flag.Int64("rebalance-min", 0, "smallest surplus/deficit worth a transfer (0 = default 4)")
+		retxIv   = flag.Duration("retransmit", 25*time.Millisecond, "Vm retransmission base interval")
+		retxMax  = flag.Duration("retransmit-max", 0, "cap on the adaptive per-peer retransmission backoff (0 = 8× -retransmit)")
+		dialBo   = flag.Duration("dial-backoff", 0, "first redial delay after a failed dial toward a peer, doubling with jitter (0 = default 25ms)")
+		dialBoMx = flag.Duration("dial-backoff-max", 0, "redial backoff cap (0 = default 2s)")
+		downAft  = flag.Int("peer-down-after", 0, "consecutive failures before a peer is marked down and probed half-open (0 = default 3)")
 	)
 	flag.Parse()
 	if *siteID <= 0 || *listen == "" || *ctlAddr == "" || *peersArg == "" || *walPath == "" {
@@ -112,7 +117,14 @@ func main() {
 	}
 	defer siteLog.Close()
 
-	ep, err := tcpnet.New(tcpnet.Config{Site: self, Listen: *listen, Peers: addrs, Metrics: reg})
+	ep, err := tcpnet.New(tcpnet.Config{
+		Site: self, Listen: *listen, Peers: addrs,
+		DialBackoffMin: *dialBo,
+		DialBackoffMax: *dialBoMx,
+		DownAfter:      *downAft,
+		Metrics:        reg,
+		Flight:         flight,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,7 +142,8 @@ func main() {
 		Endpoint:               ep,
 		CC:                     ccPolicy,
 		DefaultTimeout:         *timeout,
-		RetransmitEvery:        25 * time.Millisecond,
+		RetransmitEvery:        *retxIv,
+		RetransmitMax:          *retxMax,
 		AdmissionStripes:       *stripes,
 		CheckpointEveryBytes:   *ckptByte,
 		CheckpointEveryRecords: *ckptRecs,

@@ -116,6 +116,12 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// RetransmitEvery paces Vm retransmission. Default 15ms.
 	RetransmitEvery time.Duration
+	// RetransmitMax caps the adaptive per-peer retransmission backoff:
+	// sweeps toward an unresponsive peer double their gap from
+	// RetransmitEvery up to this cap, and reset on the first
+	// cumulative ack that advances the channel. Default 8× the base
+	// interval.
+	RetransmitMax time.Duration
 
 	// Seed drives network fault sampling (0 means 1).
 	Seed int64

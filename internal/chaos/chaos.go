@@ -22,8 +22,21 @@ const (
 	baseDup         = 0.02
 	maxDelay        = time.Millisecond
 	retransmitEvery = 4 * time.Millisecond
-	txnTimeout      = 25 * time.Millisecond
-	quiesceBound    = 5 * time.Second
+	// retransmitMax caps the adaptive per-peer retransmission backoff;
+	// the peer-down outage bound below is stated in terms of it (one
+	// sweep per cap once backed off, against one per 4ms tick
+	// unthrottled).
+	retransmitMax = 32 * time.Millisecond
+	txnTimeout    = 25 * time.Millisecond
+	quiesceBound  = 5 * time.Second
+
+	// Outage bounds checked at degraded barriers while a peer is held
+	// down (EvPeerDown): each survivor's retransmission set toward the
+	// dead peer must stay under maxOutagePending entries (nothing new
+	// should be created toward a silent peer — its requests stopped and
+	// its adverts go stale), and its sweep count toward the peer must
+	// stay rate-bounded (see checkPeerOutageBounds).
+	maxOutagePending = 128
 
 	// The demand-driven rebalancer runs at every site through the whole
 	// run — it is part of the system under test, not a lab fixture. The
@@ -72,6 +85,13 @@ type Report struct {
 	// corrupted by a signed amount).
 	Crashes, Restarts, Partitions, Heals, LinkFlaps, Checkpoints, FlushCrashes, CheckpointCrashes, HintSkews int
 
+	// PeerOutages counts applied EvPeerDown events (each also counts
+	// as a Crash); DegradedBarriers counts round barriers crossed with
+	// a site still held down — those run the outage bounds instead of
+	// the invariant families, so across a run InvariantChecks +
+	// DegradedBarriers == Rounds.
+	PeerOutages, DegradedBarriers int
+
 	// Workload outcomes.
 	Committed, Aborted int
 
@@ -101,10 +121,10 @@ type Report struct {
 // String is a one-line summary.
 func (r *Report) String() string {
 	return fmt.Sprintf(
-		"seed=%d sites=%d items=%d rounds=%d crashes=%d (in-flush=%d in-ckpt=%d) restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d hintskews=%d committed=%d aborted=%d rebal=%d checks=%d",
+		"seed=%d sites=%d items=%d rounds=%d crashes=%d (in-flush=%d in-ckpt=%d) restarts=%d partitions=%d heals=%d flaps=%d ckpts=%d hintskews=%d outages=%d committed=%d aborted=%d rebal=%d checks=%d degraded=%d",
 		r.Seed, r.Sites, r.Items, r.Rounds,
-		r.Crashes, r.FlushCrashes, r.CheckpointCrashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints, r.HintSkews,
-		r.Committed, r.Aborted, r.RebalanceTransfers, r.InvariantChecks)
+		r.Crashes, r.FlushCrashes, r.CheckpointCrashes, r.Restarts, r.Partitions, r.Heals, r.LinkFlaps, r.Checkpoints, r.HintSkews, r.PeerOutages,
+		r.Committed, r.Aborted, r.RebalanceTransfers, r.InvariantChecks, r.DegradedBarriers)
 }
 
 // TraceString renders the event trace, one line per event.
@@ -135,6 +155,15 @@ type runner struct {
 	downedLinks map[[2]int]bool
 	start       time.Time
 
+	// Long-outage state (EvPeerDown): heldDown maps a dead site to the
+	// barrier round that releases it; outageStart remembers when it
+	// went down and outageBase each survivor's retransmission-sweep
+	// count toward it at that instant, so the degraded barriers can
+	// bound the sweep *rate* over the outage window.
+	heldDown    map[int]int
+	outageStart map[int]time.Time
+	outageBase  map[int]map[int]uint64
+
 	// Crash-in-flush machinery: hooksLive gates armed flush traps (the
 	// barrier clears it before disarming, so a trap firing during the
 	// barrier is a no-op), crashWG tracks in-flight trap crashes so the
@@ -158,6 +187,9 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		},
 		initial:     make(map[string]int64),
 		downedLinks: make(map[[2]int]bool),
+		heldDown:    make(map[int]int),
+		outageStart: make(map[int]time.Time),
+		outageBase:  make(map[int]map[int]uint64),
 		start:       time.Now(),
 	}
 	c, err := dvp.NewCluster(dvp.Config{
@@ -167,6 +199,7 @@ func Run(sched *Schedule, opt Options) (*Report, error) {
 		LossProb:        baseLoss,
 		DupProb:         baseDup,
 		RetransmitEvery: retransmitEvery,
+		RetransmitMax:   retransmitMax,
 		DefaultTimeout:  txnTimeout,
 		// Group commit is always on under chaos: every schedule crashes
 		// a site inside a flush window (EvCrashInFlush) and the
@@ -359,7 +392,9 @@ func (r *runner) apply(round int, e Event) {
 			applied = false
 		}
 	case EvRestart:
-		if !r.c.SiteUp(e.Site) {
+		// A held-down site (EvPeerDown) must stay dead until its
+		// release barrier; only ordinarily crashed sites restart here.
+		if !r.c.SiteUp(e.Site) && !r.held(e.Site) {
 			if err := r.c.Restart(e.Site); err != nil {
 				r.tracef("r%d %s FAILED: %v", round, e, err)
 				return
@@ -507,6 +542,43 @@ func (r *runner) apply(round int, e Event) {
 		if err := r.c.Checkpoint(site); err != nil {
 			r.tracef("r%d %s: checkpoint cut short by trap: %v", round, e, err)
 		}
+	case EvPeerDown:
+		if r.held(e.Site) {
+			applied = false
+			break
+		}
+		until := round + e.A
+		if until > r.sched.Rounds {
+			// The final barrier always runs with everyone up.
+			until = r.sched.Rounds
+		}
+		// A site some earlier fault already killed just stays dead —
+		// the hold extends the corpse's lifetime, the crash was
+		// already counted.
+		wasUp := r.c.SiteUp(e.Site)
+		if wasUp {
+			r.c.Crash(e.Site)
+		}
+		// Baseline each survivor's sweep count toward the dead peer:
+		// the degraded barriers bound the delta over the outage window.
+		base := make(map[int]uint64, r.sched.Sites-1)
+		for i := 1; i <= r.sched.Sites; i++ {
+			if i == e.Site {
+				continue
+			}
+			fired, _ := r.c.SiteEngine(i).VM().RetxStats(ident.SiteID(e.Site))
+			base[i] = fired
+		}
+		r.mu.Lock()
+		r.heldDown[e.Site] = until
+		r.outageStart[e.Site] = time.Now()
+		r.outageBase[e.Site] = base
+		if wasUp {
+			r.report.Crashes++
+		}
+		r.report.PeerOutages++
+		r.mu.Unlock()
+		r.tracef("r%d peer-down: site %d held dead through barrier %d", round, e.Site, until)
 	}
 	if applied {
 		r.tracef("r%d +%dms %s", round, e.AtMS, e)
@@ -550,8 +622,45 @@ func (r *runner) barrier(round int) error {
 	r.c.SetLoss(baseLoss)
 	r.c.SetDup(baseDup)
 
-	// Restart every crashed site through full §7 recovery.
+	// Long outages first: bound-check every held site's survivors
+	// while the outage is still in force, then release the sites whose
+	// hold expires at this barrier (they restart with everyone else
+	// below; the ones still held skip the restart loop).
+	r.mu.Lock()
+	heldNow := make([]int, 0, len(r.heldDown))
+	for s := range r.heldDown {
+		heldNow = append(heldNow, s)
+	}
+	r.mu.Unlock()
+	for _, s := range heldNow {
+		if err := r.checkPeerOutageBounds(round, s); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	stillHeld := 0
+	var released []int
+	for s, until := range r.heldDown {
+		if until <= round {
+			delete(r.heldDown, s)
+			delete(r.outageStart, s)
+			delete(r.outageBase, s)
+			released = append(released, s)
+		} else {
+			stillHeld++
+		}
+	}
+	r.mu.Unlock()
+	for _, s := range released {
+		r.tracef("r%d barrier: outage over, releasing site %d", round, s)
+	}
+
+	// Restart every crashed site through full §7 recovery — except the
+	// ones a live outage still holds down.
 	for i := 1; i <= r.sched.Sites; i++ {
+		if r.held(i) {
+			continue
+		}
 		if !r.c.SiteUp(i) {
 			if err := r.c.Restart(i); err != nil {
 				return fmt.Errorf("barrier restart site %d: %w", i, err)
@@ -559,6 +668,17 @@ func (r *runner) barrier(round int) error {
 			r.count(func(rep *Report) { rep.Restarts++ })
 			r.tracef("r%d barrier: restarted site %d", round, i)
 		}
+	}
+
+	// A barrier crossed mid-outage is degraded: the drain and the
+	// invariant families need the full mesh (global conservation sums
+	// every site's quota; the drain retransmits into a black hole), so
+	// they wait for the release barrier. The outage bounds above are
+	// this barrier's whole check.
+	if stillHeld > 0 {
+		r.count(func(rep *Report) { rep.DegradedBarriers++ })
+		r.tracef("r%d barrier: degraded (%d site(s) held down), outage bounds hold", round, stillHeld)
+		return nil
 	}
 
 	// Anti-thrash invariant: with faults healed and the workload
@@ -590,6 +710,58 @@ func (r *runner) barrier(round int) error {
 	}
 	r.count(func(rep *Report) { rep.InvariantChecks++ })
 	r.tracef("r%d barrier: all invariants hold", round)
+	return nil
+}
+
+// held reports whether site is currently held down by a live
+// EvPeerDown outage.
+func (r *runner) held(site int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.heldDown[site]
+	return ok
+}
+
+// checkPeerOutageBounds enforces the long-outage invariants for one
+// held-down site: every survivor's retransmission set toward it stays
+// bounded (no unbounded growth from talking to a corpse), and the
+// survivor's sweep count over the outage window stays rate-bounded —
+// the adaptive backoff must have stretched sweeps toward the cap
+// (retransmitMax), far below the one-per-tick rate the fixed
+// retransmit interval would produce. The sweep allowance scales with
+// the measured wall-clock window so a slow host can't false-positive:
+// 5 sweeps of doubling headroom plus 2 per retransmitMax elapsed,
+// against elapsed/retransmitEvery (8× more) unthrottled.
+func (r *runner) checkPeerOutageBounds(round, down int) error {
+	r.mu.Lock()
+	start := r.outageStart[down]
+	base := r.outageBase[down]
+	r.mu.Unlock()
+	elapsed := time.Since(start)
+	allowed := uint64(5 + 2*int(elapsed/retransmitMax))
+	for i := 1; i <= r.sched.Sites; i++ {
+		if i == down {
+			continue
+		}
+		vm := r.c.SiteEngine(i).VM()
+		if n := vm.PendingCount(ident.SiteID(down)); n > maxOutagePending {
+			return fmt.Errorf("peer-down bounds: site %d holds %d pending Vm toward dead site %d (bound %d)",
+				i, n, down, maxOutagePending)
+		}
+		fired, _ := vm.RetxStats(ident.SiteID(down))
+		delta := fired - base[i]
+		if fired < base[i] {
+			// The survivor itself crashed and restarted during the
+			// outage: its rebuilt Vm manager counts from zero, so the
+			// whole new count is the window's delta.
+			delta = fired
+		}
+		if delta > allowed {
+			return fmt.Errorf("peer-down bounds: site %d fired %d retransmission sweeps toward dead site %d in %v (bound %d — backoff not engaging)",
+				i, delta, down, elapsed.Round(time.Millisecond), allowed)
+		}
+	}
+	r.tracef("r%d outage bounds hold for dead site %d (%v down)", round, down, elapsed.Round(time.Millisecond))
 	return nil
 }
 

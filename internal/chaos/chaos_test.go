@@ -54,9 +54,15 @@ func TestChaosSeeds(t *testing.T) {
 			if rep.Heals < rep.Partitions {
 				t.Errorf("partitions=%d but heals=%d", rep.Partitions, rep.Heals)
 			}
-			if rep.InvariantChecks != sched.Rounds {
-				t.Errorf("invariant checks = %d, want one per round (%d)",
-					rep.InvariantChecks, sched.Rounds)
+			// Barriers crossed mid-outage (a held-down site) check the
+			// outage bounds instead of the invariant families; every
+			// round still ends in exactly one of the two.
+			if rep.InvariantChecks+rep.DegradedBarriers != sched.Rounds {
+				t.Errorf("invariant checks = %d + degraded barriers = %d, want %d rounds total",
+					rep.InvariantChecks, rep.DegradedBarriers, sched.Rounds)
+			}
+			if sched.has(EvPeerDown) && rep.PeerOutages < 1 {
+				t.Errorf("schedule holds an EvPeerDown but no outage applied")
 			}
 			if rep.Committed == 0 {
 				t.Errorf("workload committed nothing — cluster dead under chaos?")
@@ -156,6 +162,51 @@ func TestCrashInCheckpointFires(t *testing.T) {
 	}
 	if rep.InvariantChecks != sched.Rounds {
 		t.Errorf("invariant checks = %d, want %d", rep.InvariantChecks, sched.Rounds)
+	}
+}
+
+// TestPeerDownLongOutage runs a hand-built schedule whose centerpiece
+// is a long outage: site 2 dies in round 1 and stays dead through the
+// round-1 barrier (degraded — outage bounds only) while the workload
+// keeps running at the survivors, then recovers at the round-2 barrier
+// and the remaining rounds' full barriers prove complete catch-up
+// (drain to zero pending Vm plus every invariant family). The bounds
+// checked at the degraded barrier are the PR's acceptance conditions
+// in miniature: bounded retransmission-set memory and rate-bounded
+// sweeps toward the dead peer.
+func TestPeerDownLongOutage(t *testing.T) {
+	sched := &Schedule{
+		Seed:    123,
+		Sites:   3,
+		Items:   2,
+		Total:   180,
+		Rounds:  3,
+		RoundMS: 120,
+		Events: []Event{
+			{Round: 1, AtMS: 30, Kind: EvPeerDown, Site: 2, A: 1},
+		},
+	}
+	rep, err := Run(sched, Options{})
+	if err != nil {
+		t.Fatalf("%v\ntrace:\n%s\nflight recorder:\n%s",
+			err, rep.TraceString(), rep.FlightString())
+	}
+	if rep.PeerOutages != 1 {
+		t.Fatalf("peer outages = %d, want 1\ntrace:\n%s", rep.PeerOutages, rep.TraceString())
+	}
+	if rep.DegradedBarriers != 1 {
+		t.Errorf("degraded barriers = %d, want 1 (round 1 crossed mid-outage)", rep.DegradedBarriers)
+	}
+	if rep.InvariantChecks != sched.Rounds-1 {
+		t.Errorf("invariant checks = %d, want %d (all but the degraded barrier)",
+			rep.InvariantChecks, sched.Rounds-1)
+	}
+	if rep.Restarts < rep.Crashes {
+		t.Errorf("crashes=%d restarts=%d — the held site never recovered",
+			rep.Crashes, rep.Restarts)
+	}
+	if rep.Committed == 0 {
+		t.Error("survivors committed nothing during the outage")
 	}
 }
 

@@ -74,6 +74,19 @@ const (
 	// full protocol. Either way, every invariant must hold exactly as
 	// if the hints were honest.
 	EvHintSkew
+	// EvPeerDown is the long-outage event: the site is crashed and
+	// HELD down across the next A round barriers (clamped so the final
+	// barrier always runs with everyone up). Barriers crossed while a
+	// site is held are degraded — they heal links and restart other
+	// crashed sites but skip the drain and the invariant families,
+	// which need the full mesh — and instead check the outage bounds:
+	// every survivor's retransmission set toward the dead peer stays
+	// bounded, and its retransmission sweeps stay rate-bounded by the
+	// adaptive backoff (one sweep per RetransmitMax once backed off,
+	// not one per tick). The barrier that releases the site restarts
+	// it through full §7 recovery and the run's remaining barriers
+	// prove full catch-up.
+	EvPeerDown
 )
 
 var kindNames = map[EventKind]string{
@@ -89,6 +102,7 @@ var kindNames = map[EventKind]string{
 	EvCrashInFlush:      "crash-in-flush",
 	EvCrashInCheckpoint: "crash-in-checkpoint",
 	EvHintSkew:          "hint-skew",
+	EvPeerDown:          "peer-down",
 }
 
 func (k EventKind) String() string {
@@ -114,9 +128,10 @@ type Event struct {
 	Round int
 	AtMS  int
 	Kind  EventKind
-	// Site is the target of crash/restart/checkpoint/hint-skew; A,B
-	// the link of link-down/link-up (A alone the signed hint-skew
-	// amount); P the probability of loss/dup; Groups the partition
+	// Site is the target of crash/restart/checkpoint/hint-skew/
+	// peer-down; A,B the link of link-down/link-up (A alone the signed
+	// hint-skew amount, or the number of barriers a peer-down site
+	// stays held); P the probability of loss/dup; Groups the partition
 	// groups (1-based site indices).
 	Site   int
 	A, B   int
@@ -131,6 +146,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s site=%d", e.Kind, e.Site)
 	case EvHintSkew:
 		return fmt.Sprintf("%s site=%d skew=%d", e.Kind, e.Site, e.A)
+	case EvPeerDown:
+		return fmt.Sprintf("%s site=%d rounds=%d", e.Kind, e.Site, e.A)
 	case EvLinkDown, EvLinkUp:
 		return fmt.Sprintf("%s link=%d-%d", e.Kind, e.A, e.B)
 	case EvLoss, EvDup:
@@ -174,14 +191,16 @@ func (s *Schedule) eventsIn(round int) []Event {
 // Build derives a schedule from a seed. Every choice — cluster shape,
 // how many faults per round, their kinds, targets and offsets — is
 // sampled from a PRNG seeded with the scenario seed, so the same seed
-// always yields the same schedule. Four guarantees are enforced after
+// always yields the same schedule. Five guarantees are enforced after
 // sampling, because the acceptance conditions require them: every
 // schedule contains at least one crash (hence at least one
 // crash-recovery cycle, since the round barrier restarts through §7
 // recovery), at least one partition (healed mid-round or at the
 // barrier), at least one crash-in-flush (a site killed inside a
-// group-commit window), and at least one hint-skew (a site running
-// with deliberately corrupted fast-path quota hints).
+// group-commit window), at least one hint-skew (a site running with
+// deliberately corrupted fast-path quota hints), and at least one
+// peer-down long outage (a site held dead across a round barrier
+// while the survivors' retransmission backoff is bounds-checked).
 func Build(seed int64) *Schedule {
 	if seed == 0 {
 		seed = 1
@@ -200,7 +219,7 @@ func Build(seed int64) *Schedule {
 		n := 1 + rng.Intn(3) // 1..3 primary faults this round
 		for i := 0; i < n; i++ {
 			at := 10 + rng.Intn(s.RoundMS-30)
-			switch rng.Intn(9) {
+			switch rng.Intn(10) {
 			case 0, 1: // crash, maybe mid-round restart
 				site := 1 + rng.Intn(s.Sites)
 				s.add(Event{Round: r, AtMS: at, Kind: EvCrash, Site: site})
@@ -242,6 +261,15 @@ func Build(seed int64) *Schedule {
 					amt = -amt
 				}
 				s.add(Event{Round: r, AtMS: at, Kind: EvHintSkew, Site: 1 + rng.Intn(s.Sites), A: amt})
+			case 9: // long outage: site held down across round barriers
+				if r < s.Rounds {
+					held := 1 + rng.Intn(s.Rounds-r)
+					s.add(Event{Round: r, AtMS: at, Kind: EvPeerDown, Site: 1 + rng.Intn(s.Sites), A: held})
+				} else {
+					// Final round: a hold would be clamped to nothing,
+					// so a plain crash carries the fault instead.
+					s.add(Event{Round: r, AtMS: at, Kind: EvCrash, Site: 1 + rng.Intn(s.Sites)})
+				}
 			}
 		}
 	}
@@ -272,6 +300,14 @@ func Build(seed int64) *Schedule {
 			amt = -amt
 		}
 		s.add(Event{Round: r, AtMS: 20 + rng.Intn(50), Kind: EvHintSkew, Site: 1 + rng.Intn(s.Sites), A: amt})
+	}
+	// And the long outage: at least one site spends a full round dead
+	// while the survivors' retransmission backoff and the degraded
+	// barriers' outage bounds get exercised. Scheduled before the final
+	// round so the release barrier and a full-mesh barrier both run.
+	if !s.has(EvPeerDown) && s.Rounds > 1 {
+		r := 1 + rng.Intn(s.Rounds-1)
+		s.add(Event{Round: r, AtMS: 20 + rng.Intn(50), Kind: EvPeerDown, Site: 1 + rng.Intn(s.Sites), A: 1})
 	}
 	sort.SliceStable(s.Events, func(i, j int) bool {
 		if s.Events[i].Round != s.Events[j].Round {
@@ -357,7 +393,7 @@ func (s *Schedule) Encode(w io.Writer) error {
 		switch e.Kind {
 		case EvCrash, EvRestart, EvCheckpoint, EvCrashInFlush, EvCrashInCheckpoint:
 			fmt.Fprintf(bw, " site=%d", e.Site)
-		case EvHintSkew:
+		case EvHintSkew, EvPeerDown:
 			fmt.Fprintf(bw, " site=%d a=%d", e.Site, e.A)
 		case EvLinkDown, EvLinkUp:
 			fmt.Fprintf(bw, " a=%d b=%d", e.A, e.B)

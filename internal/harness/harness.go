@@ -72,6 +72,7 @@ func All() []Experiment {
 		expF1(), expF2(), expF3(), expF4(), expF5(), expF6(),
 		expA1(), expA2(), expA3(),
 		expP1(), expP2(),
+		expN1(),
 		expC1(),
 	}
 }

@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryCompleteAndUnique(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "A1", "A2", "A3", "P1", "P2", "C1"}
+	want := []string{"T1", "T2", "T3", "T4", "T5", "F1", "F2", "F3", "F4", "F5", "F6", "A1", "A2", "A3", "P1", "P2", "N1", "C1"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(all), len(want))

@@ -106,6 +106,26 @@ func TestRunP2Quick(t *testing.T) {
 	}
 }
 
+func TestRunN1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run")
+	}
+	res := runQuick(t, "N1")
+	rows := res.Table.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("N1 rows = %d, want 2 (hardened, legacy)", len(rows))
+	}
+	// Both modes must actually commit through both windows; the mode
+	// label is column 0, throughput columns 1–2.
+	for _, row := range rows {
+		for col := 1; col <= 2; col++ {
+			if row[col] == "0" || row[col] == "0.0" {
+				t.Errorf("N1 %s window tps = %s, want > 0 (row %v)", row[0], row[col], row)
+			}
+		}
+	}
+}
+
 func TestRunT5Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment run")

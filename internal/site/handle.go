@@ -422,7 +422,12 @@ const maxVmPerEnvelope = 64
 // guaranteed-delivery engine behind "a Vm is never lost" (§4.2). All
 // pending Vm toward one peer coalesce into VmBatch envelopes: the
 // retransmission tick fires them together anyway, so one frame (and
-// one piggybacked ack back) carries the lot.
+// one piggybacked ack back) carries the lot. The tick is only an
+// upper bound on the pace: per-peer adaptive backoff (vmsg
+// DueRetransmit, seeded by the ack-RTT EWMA, doubling to
+// RetransmitMax, reset by the first advancing ack) decides whether a
+// given peer's sweep actually fires, so a long-dead peer costs one
+// sweep per RetransmitMax instead of one per tick.
 func (s *Site) retransmitLoop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	for {
@@ -431,9 +436,13 @@ func (s *Site) retransmitLoop(stop <-chan struct{}, done chan<- struct{}) {
 			return
 		case <-s.cfg.Clock.After(s.cfg.RetransmitEvery):
 		}
+		now := s.cfg.Clock.Now()
 		total := 0
 		perPeer := make(map[ident.SiteID][]wal.VmOut)
 		for _, p := range s.peersExceptSelf() {
+			if !s.vm.DueRetransmit(p, now, s.cfg.RetransmitEvery, s.cfg.RetransmitMax) {
+				continue
+			}
 			if vms := s.vm.PendingTo(p); len(vms) > 0 {
 				perPeer[p] = vms
 				total += len(vms)

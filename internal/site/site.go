@@ -51,6 +51,12 @@ type Config struct {
 	// RetransmitEvery is the Vm retransmission interval (default
 	// 15ms — several rounds fit inside a default timeout).
 	RetransmitEvery time.Duration
+	// RetransmitMax caps the adaptive per-peer retransmission backoff:
+	// sweeps toward a peer that never acks stretch from RetransmitEvery
+	// (or 2× the observed ack RTT, if larger) by doubling up to this
+	// cap, and snap back to the base pace on the first cumulative ack
+	// that advances the channel (default 8× RetransmitEvery).
+	RetransmitMax time.Duration
 	// DefaultTimeout bounds transactions that don't set their own
 	// (default 100ms).
 	DefaultTimeout time.Duration
@@ -321,6 +327,9 @@ func New(cfg Config) (*Site, error) {
 	}
 	if cfg.RetransmitEvery <= 0 {
 		cfg.RetransmitEvery = 15 * time.Millisecond
+	}
+	if cfg.RetransmitMax <= 0 {
+		cfg.RetransmitMax = 8 * cfg.RetransmitEvery
 	}
 	if cfg.DefaultTimeout <= 0 {
 		cfg.DefaultTimeout = 100 * time.Millisecond

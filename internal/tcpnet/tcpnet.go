@@ -7,6 +7,18 @@
 // silently dropped (the Vm layer's retransmission owns reliability).
 // Connections are dialed lazily, kept for reuse, and torn down on any
 // error; frames are length-prefixed envelopes.
+//
+// Peer failure is first-class: each peer runs a small connection state
+// machine (healthy → suspect → down) with exponential backoff + jitter
+// between redials, so a dead peer costs one timed probe per backoff
+// window — never one dial per frame. A peer recovering from down is
+// re-admitted through a half-open probe (one frame, flushed alone)
+// before normal batching resumes. When a peer's queue overflows, drops
+// are priority-aware: frames that carry or acknowledge value (Vm,
+// VmBatch, VmAck) evict queued Requests and adverts rather than being
+// lost themselves. Every drop, whatever the path, is counted in
+// dvp_net_dropped_frames_total{reason,kind} and surfaced (sampled) in
+// the flight recorder.
 package tcpnet
 
 import (
@@ -15,8 +27,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvp/internal/ident"
@@ -37,10 +51,55 @@ type Config struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds accepted frame sizes (default 1 MiB).
 	MaxFrame uint32
+	// DialBackoffMin is the delay before the first redial after a
+	// failed dial or write (default 25ms). Consecutive failures double
+	// it up to DialBackoffMax, with ±50% jitter so peers redialing a
+	// recovered site don't arrive in lockstep. Negative disables the
+	// backoff machine entirely — every queued frame retries the dial,
+	// the pre-hardening behavior — and exists for ablation runs (N1).
+	DialBackoffMin time.Duration
+	// DialBackoffMax caps the redial backoff (default 2s).
+	DialBackoffMax time.Duration
+	// DownAfter is how many consecutive failures move a peer from
+	// suspect to down (default 3). A down peer's first successful dial
+	// runs a half-open probe — one frame, flushed alone — and only the
+	// probe's clean flush restores the peer to healthy.
+	DownAfter int
+	// NoShedPriority makes queue overflow drop the incoming frame
+	// regardless of kind (the pre-hardening policy) instead of
+	// preferring to evict a queued Request over an ack or Vm.
+	// Ablation knob for the N1 experiment.
+	NoShedPriority bool
 	// Metrics, when set, registers per-peer traffic counters
-	// (dvp_net_{bytes,msgs}_{in,out}_total, dvp_net_dial_failures_total)
-	// with the registry, labelled site=<self> and peer=<id>.
+	// (dvp_net_{bytes,msgs}_{in,out}_total, dvp_net_dial_failures_total,
+	// dvp_net_flushes_total), the peer state gauge (dvp_net_peer_state:
+	// 0 healthy, 1 suspect, 2 down) and the drop counter
+	// (dvp_net_dropped_frames_total{reason,kind}) with the registry,
+	// labelled site=<self> and peer=<id>.
 	Metrics *obs.Registry
+	// Flight, when set, records peer lifecycle transitions
+	// (net-peer-down, net-peer-up) and sampled frame drops (net-drop)
+	// into the flight recorder.
+	Flight *obs.Flight
+}
+
+// Peer connection states, exposed via the dvp_net_peer_state gauge and
+// PeerState.
+const (
+	peerHealthy int32 = iota
+	peerSuspect
+	peerDown
+)
+
+func stateName(s int32) string {
+	switch s {
+	case peerSuspect:
+		return "suspect"
+	case peerDown:
+		return "down"
+	default:
+		return "healthy"
+	}
 }
 
 // peerCounters holds one remote site's traffic counters. Outbound
@@ -55,29 +114,157 @@ type peerCounters struct {
 	flushes           *metrics.Counter
 }
 
+// outFrame pairs a pooled framed envelope with its message kind — the
+// kind drives priority shedding and labels the drop counter.
+type outFrame struct {
+	w    *wire.Writer
+	kind wire.Kind
+}
+
 // peerWriter owns one peer's outbound connection: Send enqueues a
-// framed envelope; the writer goroutine dials lazily, streams frames
-// through a bufio.Writer, and flushes when the queue goes momentarily
-// idle — so a burst of envelopes (a request fan-out, a retransmission
-// sweep) leaves in one syscall batch, while a lone envelope still
-// flushes immediately.
+// framed envelope; the writer goroutine dials lazily (respecting the
+// backoff state machine), streams frames through a bufio.Writer, and
+// flushes when the queue goes momentarily idle — so a burst of
+// envelopes (a request fan-out, a retransmission sweep) leaves in one
+// syscall batch, while a lone envelope still flushes immediately.
 type peerWriter struct {
 	site ident.SiteID
 	addr string
-	// frames carries pooled writers holding [u32 length][envelope];
-	// ownership passes to the writer goroutine, which returns each to
-	// the wire pool once its bytes are handed to bufio (or dropped).
-	frames chan *wire.Writer
+
+	// q is the bounded outbound queue: frames [head:len) await the
+	// writer goroutine, which owns popping; ownership of each pooled
+	// writer passes to whoever removes it from the queue (pop, evict,
+	// shutdown drain).
+	mu   sync.Mutex
+	q    []outFrame
+	head int
+
+	// wake nudges the writer goroutine after an enqueue (1-buffered:
+	// one pending wakeup is enough, the drain loop empties the queue).
+	wake chan struct{}
+
+	// state is the connection state machine's current state, atomic so
+	// the metrics gauge and PeerState read it without the queue lock.
+	state atomic.Int32
+	// drops counts this writer's dropped frames (flight sampling).
+	drops atomic.Uint64
+
+	// Dial/backoff state, owned exclusively by the writer goroutine.
+	failures int
+	nextDial time.Time
 }
 
-// peerWriterQueue bounds the outbound backlog per peer; overflow is
-// dropped (the model's message loss — retransmission owns reliability).
+func newPeerWriter(site ident.SiteID, addr string) *peerWriter {
+	return &peerWriter{site: site, addr: addr, wake: make(chan struct{}, 1)}
+}
+
+// count is the queued-frame count; callers hold w.mu.
+func (w *peerWriter) count() int { return len(w.q) - w.head }
+
+// push appends under w.mu, compacting the drained prefix instead of
+// letting append grow the backing array past the queue bound.
+func (w *peerWriter) push(f outFrame) {
+	if w.head > 0 && len(w.q) == cap(w.q) {
+		n := copy(w.q, w.q[w.head:])
+		w.q = w.q[:n]
+		w.head = 0
+	}
+	w.q = append(w.q, f)
+}
+
+// evictLowPriority removes and returns the oldest queued low-priority
+// frame, making room for a high-priority one; callers hold w.mu.
+func (w *peerWriter) evictLowPriority() (outFrame, bool) {
+	for i := w.head; i < len(w.q); i++ {
+		if !highPriority(w.q[i].kind) {
+			f := w.q[i]
+			copy(w.q[i:], w.q[i+1:])
+			w.q[len(w.q)-1] = outFrame{}
+			w.q = w.q[:len(w.q)-1]
+			return f, true
+		}
+	}
+	return outFrame{}, false
+}
+
+func (w *peerWriter) signal() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// next blocks until a frame is queued or stop closes.
+func (w *peerWriter) next(stop <-chan struct{}) (outFrame, bool) {
+	for {
+		if f, ok := w.tryNext(); ok {
+			return f, true
+		}
+		select {
+		case <-stop:
+			return outFrame{}, false
+		case <-w.wake:
+		}
+	}
+}
+
+// tryNext pops the oldest queued frame without blocking.
+func (w *peerWriter) tryNext() (outFrame, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.head >= len(w.q) {
+		w.q = w.q[:0]
+		w.head = 0
+		return outFrame{}, false
+	}
+	f := w.q[w.head]
+	w.q[w.head] = outFrame{}
+	w.head++
+	return f, true
+}
+
+// drainInto returns every still-queued frame to the pool at writer
+// shutdown: a Close with frames in flight is loss, and counted as such.
+func (w *peerWriter) drainInto(e *Endpoint) {
+	w.mu.Lock()
+	rest := append([]outFrame(nil), w.q[w.head:]...)
+	w.q = nil
+	w.head = 0
+	w.mu.Unlock()
+	for _, f := range rest {
+		e.dropFrame(w, f.w, f.kind, "closed")
+	}
+}
+
+// highPriority marks the frames retained in preference under overflow:
+// the redistribution traffic itself (Vm, VmBatch) and the cumulative
+// acks that retire it (VmAck) — the messages that unblock remote quota
+// (§5, §8). Requests, demand adverts and everything else can be shed:
+// the protocol regenerates them (requester timeout and re-ask, next
+// gossip interval), while a shed Vm or ack costs a full retransmission
+// backoff round trip on an already congested link.
+func highPriority(k wire.Kind) bool {
+	switch k {
+	case wire.KVm, wire.KVmBatch, wire.KVmAck:
+		return true
+	}
+	return false
+}
+
+// peerWriterQueue bounds the outbound backlog per peer; overflow sheds
+// by priority (the model's message loss — retransmission owns
+// reliability).
 const peerWriterQueue = 1024
+
+// dropSampleEvery paces flight-recorder drop events: the first drop
+// per peer writer is always recorded, then one in every
+// dropSampleEvery (the running total rides along, so nothing is lost).
+const dropSampleEvery = 64
 
 // Endpoint implements wire.Endpoint over TCP.
 type Endpoint struct {
 	cfg   Config
-	peerm map[ident.SiteID]*peerCounters // immutable after New
+	peerm map[ident.SiteID]*peerCounters // mutated only under mu (SetPeers)
 
 	mu       sync.Mutex
 	handler  wire.Handler
@@ -99,6 +286,15 @@ func New(cfg Config) (*Endpoint, error) {
 	if cfg.MaxFrame == 0 {
 		cfg.MaxFrame = 1 << 20
 	}
+	if cfg.DialBackoffMin == 0 {
+		cfg.DialBackoffMin = 25 * time.Millisecond
+	}
+	if cfg.DialBackoffMax <= 0 {
+		cfg.DialBackoffMax = 2 * time.Second
+	}
+	if cfg.DownAfter <= 0 {
+		cfg.DownAfter = 3
+	}
 	e := &Endpoint{
 		cfg:      cfg,
 		peerm:    make(map[ident.SiteID]*peerCounters, len(cfg.Peers)),
@@ -106,23 +302,34 @@ func New(cfg Config) (*Endpoint, error) {
 		accepted: make(map[net.Conn]bool),
 	}
 	if cfg.Metrics != nil {
-		self := cfg.Site.String()
 		for p := range cfg.Peers {
-			pl := p.String()
-			e.peerm[p] = &peerCounters{
-				bytesOut:     cfg.Metrics.Counter("dvp_net_bytes_out_total", "site", self, "peer", pl),
-				msgsOut:      cfg.Metrics.Counter("dvp_net_msgs_out_total", "site", self, "peer", pl),
-				bytesIn:      cfg.Metrics.Counter("dvp_net_bytes_in_total", "site", self, "peer", pl),
-				msgsIn:       cfg.Metrics.Counter("dvp_net_msgs_in_total", "site", self, "peer", pl),
-				dialFailures: cfg.Metrics.Counter("dvp_net_dial_failures_total", "site", self, "peer", pl),
-				flushes:      cfg.Metrics.Counter("dvp_net_flushes_total", "site", self, "peer", pl),
-			}
+			e.registerPeer(p)
 		}
 	}
 	if err := e.Open(); err != nil {
 		return nil, err
 	}
 	return e, nil
+}
+
+// registerPeer installs one peer's counters and state gauge. Callers
+// hold e.mu (or run before the endpoint is shared) and have checked
+// that cfg.Metrics is set and the peer is not yet registered.
+func (e *Endpoint) registerPeer(p ident.SiteID) {
+	self := e.cfg.Site.String()
+	pl := p.String()
+	e.peerm[p] = &peerCounters{
+		bytesOut:     e.cfg.Metrics.Counter("dvp_net_bytes_out_total", "site", self, "peer", pl),
+		msgsOut:      e.cfg.Metrics.Counter("dvp_net_msgs_out_total", "site", self, "peer", pl),
+		bytesIn:      e.cfg.Metrics.Counter("dvp_net_bytes_in_total", "site", self, "peer", pl),
+		msgsIn:       e.cfg.Metrics.Counter("dvp_net_msgs_in_total", "site", self, "peer", pl),
+		dialFailures: e.cfg.Metrics.Counter("dvp_net_dial_failures_total", "site", self, "peer", pl),
+		flushes:      e.cfg.Metrics.Counter("dvp_net_flushes_total", "site", self, "peer", pl),
+	}
+	peer := p
+	e.cfg.Metrics.GaugeFunc("dvp_net_peer_state",
+		func() float64 { return float64(e.peerStateValue(peer)) },
+		"site", self, "peer", pl)
 }
 
 // Site implements wire.Endpoint.
@@ -149,21 +356,30 @@ func (e *Endpoint) SetPeers(addrs map[ident.SiteID]string) {
 	if e.cfg.Metrics == nil {
 		return
 	}
-	self := e.cfg.Site.String()
 	for p := range addrs {
 		if _, ok := e.peerm[p]; ok {
 			continue
 		}
-		pl := p.String()
-		e.peerm[p] = &peerCounters{
-			bytesOut:     e.cfg.Metrics.Counter("dvp_net_bytes_out_total", "site", self, "peer", pl),
-			msgsOut:      e.cfg.Metrics.Counter("dvp_net_msgs_out_total", "site", self, "peer", pl),
-			bytesIn:      e.cfg.Metrics.Counter("dvp_net_bytes_in_total", "site", self, "peer", pl),
-			msgsIn:       e.cfg.Metrics.Counter("dvp_net_msgs_in_total", "site", self, "peer", pl),
-			dialFailures: e.cfg.Metrics.Counter("dvp_net_dial_failures_total", "site", self, "peer", pl),
-			flushes:      e.cfg.Metrics.Counter("dvp_net_flushes_total", "site", self, "peer", pl),
-		}
+		e.registerPeer(p)
 	}
+}
+
+// peerStateValue reads peer's connection state for the gauge: a peer
+// with no writer yet has never failed, i.e. healthy.
+func (e *Endpoint) peerStateValue(peer ident.SiteID) int32 {
+	e.mu.Lock()
+	w := e.writers[peer]
+	e.mu.Unlock()
+	if w == nil {
+		return peerHealthy
+	}
+	return w.state.Load()
+}
+
+// PeerState reports the connection state machine's view of peer:
+// "healthy", "suspect" or "down".
+func (e *Endpoint) PeerState(peer ident.SiteID) string {
+	return stateName(e.peerStateValue(peer))
 }
 
 // SetHandler implements wire.Endpoint.
@@ -235,8 +451,8 @@ func (e *Endpoint) Close() error {
 
 // Send implements wire.Endpoint: best-effort framed write; the frame
 // is handed to the peer's writer goroutine, which coalesces queued
-// frames into one buffered write + flush. A full queue drops the
-// message (loss, per the model) and Send never blocks on the network.
+// frames into one buffered write + flush. A full queue sheds by
+// priority (loss, per the model) and Send never blocks on the network.
 func (e *Endpoint) Send(env *wire.Envelope) error {
 	env.From = e.cfg.Site
 	if env.To == e.cfg.Site {
@@ -280,7 +496,7 @@ func (e *Endpoint) Send(env *wire.Envelope) error {
 	}
 	w, ok := e.writers[env.To]
 	if !ok {
-		w = &peerWriter{site: env.To, addr: addr, frames: make(chan *wire.Writer, peerWriterQueue)}
+		w = newPeerWriter(env.To, addr)
 		e.writers[env.To] = w
 		stop := e.stop
 		e.wg.Add(1)
@@ -288,20 +504,109 @@ func (e *Endpoint) Send(env *wire.Envelope) error {
 	}
 	e.mu.Unlock()
 
-	select {
-	case w.frames <- frame:
-	default:
-		// Backlogged peer: drop, like a congested link.
-		wire.PutWriter(frame)
-	}
+	e.enqueue(w, frame, env.Msg.Kind())
 	return nil
 }
 
-// writerLoop streams one peer's frames: lazy dial, buffered writes,
-// flush when the queue goes idle. Any error drops the connection and
-// the in-flight frames (loss); the next frame redials.
+// enqueue hands a framed envelope to the peer's writer, shedding by
+// priority on overflow: a high-priority frame (see highPriority)
+// evicts the oldest queued low-priority frame rather than being
+// dropped itself; a low-priority arrival at a full queue is dropped
+// outright. Every drop is counted by reason and kind.
+func (e *Endpoint) enqueue(w *peerWriter, frame *wire.Writer, kind wire.Kind) {
+	w.mu.Lock()
+	if w.count() < peerWriterQueue {
+		w.push(outFrame{frame, kind})
+		w.mu.Unlock()
+		w.signal()
+		return
+	}
+	if e.cfg.NoShedPriority || !highPriority(kind) {
+		w.mu.Unlock()
+		e.dropFrame(w, frame, kind, "backlog")
+		return
+	}
+	victim, ok := w.evictLowPriority()
+	if !ok {
+		// Queue full of equally important frames: the newest loses.
+		w.mu.Unlock()
+		e.dropFrame(w, frame, kind, "backlog")
+		return
+	}
+	w.push(outFrame{frame, kind})
+	w.mu.Unlock()
+	w.signal()
+	e.dropFrame(w, victim.w, victim.kind, "backlog")
+}
+
+// dropFrame returns a frame to the pool and accounts for the loss:
+// the drop counter always, the flight recorder on a sample (first drop
+// per writer, then one in dropSampleEvery, running total attached).
+func (e *Endpoint) dropFrame(w *peerWriter, frame *wire.Writer, kind wire.Kind, reason string) {
+	wire.PutWriter(frame)
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.Counter("dvp_net_dropped_frames_total",
+			"site", e.cfg.Site.String(), "peer", w.site.String(),
+			"reason", reason, "kind", kind.String()).Inc()
+	}
+	n := w.drops.Add(1)
+	if n == 1 || n%dropSampleEvery == 0 {
+		e.cfg.Flight.Recordf(e.cfg.Site.String(), "net-drop",
+			"peer=%v reason=%s kind=%v dropped=%d", w.site, reason, kind, n)
+	}
+}
+
+// noteFailure advances the peer state machine after a failed dial or a
+// write/flush error: consecutive failures escalate healthy → suspect →
+// down (at DownAfter) and stretch the redial backoff exponentially
+// with ±50% jitter, up to DialBackoffMax. Writer goroutine only.
+func (e *Endpoint) noteFailure(w *peerWriter) {
+	w.failures++
+	prev := w.state.Load()
+	next := peerSuspect
+	if w.failures >= e.cfg.DownAfter {
+		next = peerDown
+	}
+	w.state.Store(next)
+	if e.cfg.DialBackoffMin >= 0 {
+		backoff := e.cfg.DialBackoffMax
+		if shift := w.failures - 1; shift < 20 {
+			if b := e.cfg.DialBackoffMin << shift; b < backoff {
+				backoff = b
+			}
+		}
+		backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		w.nextDial = time.Now().Add(backoff)
+	}
+	if next == peerDown && prev != peerDown {
+		e.cfg.Flight.Recordf(e.cfg.Site.String(), "net-peer-down",
+			"peer=%v failures=%d", w.site, w.failures)
+	}
+}
+
+// noteHealthy resets the peer state machine after a clean flush.
+// Writer goroutine only.
+func (e *Endpoint) noteHealthy(w *peerWriter) {
+	if w.state.Load() == peerHealthy {
+		return
+	}
+	w.state.Store(peerHealthy)
+	w.failures = 0
+	w.nextDial = time.Time{}
+	e.cfg.Flight.Recordf(e.cfg.Site.String(), "net-peer-up", "peer=%v", w.site)
+}
+
+// writerLoop streams one peer's frames: lazy dial behind the backoff
+// state machine, buffered writes, flush when the queue goes idle. A
+// dial failure holds the frame and waits out the backoff window (at
+// most one dial in flight per peer, one timed probe per window); a
+// write error drops the connection and the in-flight frames (loss).
+// With backoff disabled (DialBackoffMin < 0, ablations only) a dial
+// failure drops the frame and the next frame redials — the
+// pre-hardening dial-per-frame behavior.
 func (e *Endpoint) writerLoop(w *peerWriter, stop <-chan struct{}) {
 	defer e.wg.Done()
+	defer w.drainInto(e)
 	var conn net.Conn
 	var bw *bufio.Writer
 	pc := e.peerm[w.site]
@@ -314,65 +619,98 @@ func (e *Endpoint) writerLoop(w *peerWriter, stop <-chan struct{}) {
 	}
 	defer drop()
 	for {
-		var frame *wire.Writer
-		select {
-		case <-stop:
+		f, ok := w.next(stop)
+		if !ok {
 			return
-		case frame = <-w.frames:
+		}
+		probe := false
+		for conn == nil {
+			// Honor the backoff window before redialing; frames keep
+			// queueing (and shedding) behind the held one meanwhile.
+			if wait := time.Until(w.nextDial); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-stop:
+					t.Stop()
+					e.dropFrame(w, f.w, f.kind, "closed")
+					return
+				case <-t.C:
+				}
+			}
+			c, err := net.DialTimeout("tcp", w.addr, e.cfg.DialTimeout)
+			if err != nil {
+				if pc != nil {
+					pc.dialFailures.Inc()
+				}
+				e.noteFailure(w)
+				if e.cfg.DialBackoffMin < 0 {
+					e.dropFrame(w, f.w, f.kind, "dial-fail")
+					f = outFrame{}
+					break
+				}
+				continue
+			}
+			if !e.rememberConn(w.site, c) {
+				c.Close()
+				e.dropFrame(w, f.w, f.kind, "closed")
+				return // endpoint closed under us
+			}
+			// Coming back from down runs half-open: the held frame goes
+			// out alone, and only its clean flush restores healthy.
+			probe = w.state.Load() == peerDown
+			conn = c
+			bw = bufio.NewWriterSize(conn, 64<<10)
+		}
+		if f.w == nil {
+			continue // backoff-disabled dial failure dropped it
 		}
 		// Write the frame plus everything already queued behind it,
 		// then flush the batch with one syscall (well, one Flush).
 		batched := 0
 		var batchBytes uint64
-	writeLoop:
-		for frame != nil {
-			if conn == nil {
-				c, err := net.DialTimeout("tcp", w.addr, e.cfg.DialTimeout)
-				if err != nil {
-					if pc != nil {
-						pc.dialFailures.Inc()
-					}
-					wire.PutWriter(frame)
-					break writeLoop // drop this frame; queued ones retry the dial
-				}
-				if !e.rememberConn(w.site, c) {
-					c.Close()
-					wire.PutWriter(frame)
-					return // endpoint closed under us
-				}
-				conn = c
-				bw = bufio.NewWriterSize(conn, 64<<10)
-			}
+		failed := false
+		for {
 			// bufio consumes the bytes before Write returns (copied or
 			// written through), so the frame goes back to the pool
 			// either way.
-			n := frame.Len()
-			_, err := bw.Write(frame.Bytes())
-			wire.PutWriter(frame)
+			n := f.w.Len()
+			_, err := bw.Write(f.w.Bytes())
 			if err != nil {
+				e.dropFrame(w, f.w, f.kind, "write-error")
 				drop()
-				break writeLoop
+				e.noteFailure(w)
+				failed = true
+				break
 			}
+			wire.PutWriter(f.w)
 			batched++
 			batchBytes += uint64(n)
-			select {
-			case frame = <-w.frames:
-			case <-stop:
-				return
-			default:
-				frame = nil
+			if probe {
+				break
+			}
+			var more bool
+			if f, more = w.tryNext(); !more {
+				break
 			}
 		}
-		if bw != nil && bw.Buffered() > 0 {
+		if !failed && bw != nil && bw.Buffered() > 0 {
 			if err := bw.Flush(); err != nil {
 				drop()
-				continue
+				e.noteFailure(w)
+				failed = true
 			}
 		}
+		// The batch counters must agree with what was handed to bufio
+		// even when the flush fails: bytes it already wrote through hit
+		// the socket, and the failure itself is visible in the drop
+		// counter and the peer state — not as vanished accounting.
 		if pc != nil && batched > 0 {
 			pc.msgsOut.Add(uint64(batched))
 			pc.bytesOut.Add(batchBytes)
 			pc.flushes.Inc()
+		}
+		if !failed && batched > 0 {
+			e.noteHealthy(w)
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package tcpnet
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -175,7 +176,7 @@ func TestWriterCoalescesBurst(t *testing.T) {
 	})
 
 	const burst = 10
-	w := &peerWriter{site: 2, addr: e2.Addr(), frames: make(chan *wire.Writer, burst)}
+	w := newPeerWriter(2, e2.Addr())
 	for i := 0; i < burst; i++ {
 		env := &wire.Envelope{From: 1, To: 2, Msg: &wire.VmAck{UpTo: uint64(i)}}
 		frame := wire.GetWriter()
@@ -184,8 +185,11 @@ func TestWriterCoalescesBurst(t *testing.T) {
 			t.Fatal(err)
 		}
 		frame.PatchU32(0, uint32(frame.Len()-4))
-		w.frames <- frame
+		w.mu.Lock()
+		w.push(outFrame{frame, wire.KVmAck})
+		w.mu.Unlock()
 	}
+	w.signal()
 	e1.mu.Lock()
 	e1.writers[2] = w
 	stop := e1.stop
@@ -416,5 +420,261 @@ func TestDemandRebalanceOverTCP(t *testing.T) {
 			t.Fatalf("rebalancer never shipped surplus: site2 holds %d", s2.DB().Value("flight/A"))
 		}
 		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDeadPeerDialRateBounded is the dial-storm regression test: a
+// steady stream of sends toward a closed port must cost one timed
+// probe per backoff window, not one dial per frame. The same window
+// with backoff disabled (the pre-hardening behavior, kept as an
+// ablation knob) shows the storm the state machine prevents.
+func TestDeadPeerDialRateBounded(t *testing.T) {
+	// Reserve an address with nothing listening on it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	run := func(backoffMin time.Duration) uint64 {
+		reg := obs.NewRegistry()
+		e, err := New(Config{
+			Site: 1, Listen: "127.0.0.1:0",
+			Peers:          map[ident.SiteID]string{2: deadAddr},
+			Metrics:        reg,
+			DialBackoffMin: backoffMin,
+			DialBackoffMax: 80 * time.Millisecond,
+			DialTimeout:    100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		deadline := time.Now().Add(500 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			e.Send(&wire.Envelope{To: 2, Msg: &wire.VmAck{UpTo: 1}})
+			time.Sleep(time.Millisecond)
+		}
+		return reg.CounterValue("dvp_net_dial_failures_total", "site", "s1", "peer", "s2")
+	}
+
+	dials := run(10 * time.Millisecond)
+	// Jittered doubling from 10ms capped at 80ms: worst case ~16
+	// attempts in 500ms; 25 leaves room for scheduler noise.
+	if dials < 1 || dials > 25 {
+		t.Errorf("backoff: %d dial attempts in 500ms toward a dead peer, want 1..25", dials)
+	}
+
+	legacy := run(-1)
+	if legacy < 50 {
+		t.Errorf("ablation (backoff disabled) made only %d dials — the regression test would not catch a storm", legacy)
+	}
+}
+
+// TestDeadPeerGoesDownAndSheds drives the peer state machine to
+// "down" against a closed port and then checks the overflow policy
+// frame by frame: the writer parks holding one frame for the backoff
+// window, the queue fills, low-priority adverts are dropped (and
+// counted) on overflow, and a high-priority ack evicts the oldest
+// queued advert instead of being lost itself. Every drop must show up
+// in dvp_net_dropped_frames_total and (sampled) the flight recorder.
+func TestDeadPeerGoesDownAndSheds(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	reg := obs.NewRegistry()
+	flight := obs.NewFlight(128)
+	e, err := New(Config{
+		Site: 1, Listen: "127.0.0.1:0",
+		Peers:          map[ident.SiteID]string{2: deadAddr},
+		Metrics:        reg,
+		Flight:         flight,
+		DialBackoffMin: 5 * time.Second, // park the writer after one failed dial
+		DialTimeout:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	advert := func() *wire.Envelope {
+		return &wire.Envelope{To: 2, Msg: &wire.DemandAdvert{
+			Entries: []wire.DemandEntry{{Item: "flight/A", Demand: 1, Have: 1}},
+		}}
+	}
+
+	// First frame: the writer pops it, fails the dial, and parks for
+	// the 5s backoff window still holding it.
+	if err := e.Send(advert()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.CounterValue("dvp_net_dial_failures_total", "site", "s1", "peer", "s2") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dial failure never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := e.PeerState(2); st != "suspect" {
+		t.Errorf("after one failure peer state = %q, want suspect", st)
+	}
+
+	// Fill the queue exactly, then overflow it with 5 more adverts.
+	for i := 0; i < peerWriterQueue+5; i++ {
+		if err := e.Send(advert()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three acks arrive at the full queue: each must evict an advert.
+	for i := 0; i < 3; i++ {
+		if err := e.Send(&wire.Envelope{To: 2, Msg: &wire.VmAck{UpTo: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dropped := func(kind string) uint64 {
+		return reg.CounterValue("dvp_net_dropped_frames_total",
+			"site", "s1", "peer", "s2", "reason", "backlog", "kind", kind)
+	}
+	if n := dropped("demandadvert"); n != 8 {
+		t.Errorf("advert backlog drops = %d, want 8 (5 overflow + 3 evicted by acks)", n)
+	}
+	if n := dropped("vmack"); n != 0 {
+		t.Errorf("ack backlog drops = %d, want 0 (acks must displace adverts, not vanish)", n)
+	}
+	if flight.Recorded() == 0 {
+		t.Error("drops left no flight-recorder events")
+	}
+	var sawDrop bool
+	for _, ev := range flight.Last(16) {
+		if ev.Kind == "net-drop" {
+			sawDrop = true
+		}
+	}
+	if !sawDrop {
+		t.Error("flight recorder has no net-drop event")
+	}
+}
+
+// TestNoShedPriorityDropsAcks checks the ablation knob: with priority
+// shedding disabled, an ack arriving at a full queue is dropped like
+// anything else.
+func TestNoShedPriorityDropsAcks(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	reg := obs.NewRegistry()
+	e, err := New(Config{
+		Site: 1, Listen: "127.0.0.1:0",
+		Peers:          map[ident.SiteID]string{2: deadAddr},
+		Metrics:        reg,
+		NoShedPriority: true,
+		DialBackoffMin: 5 * time.Second,
+		DialTimeout:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	e.Send(&wire.Envelope{To: 2, Msg: &wire.VmAck{UpTo: 0}})
+	deadline := time.Now().Add(2 * time.Second)
+	for reg.CounterValue("dvp_net_dial_failures_total", "site", "s1", "peer", "s2") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dial failure never counted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < peerWriterQueue+2; i++ {
+		e.Send(&wire.Envelope{To: 2, Msg: &wire.VmAck{UpTo: uint64(i)}})
+	}
+	n := reg.CounterValue("dvp_net_dropped_frames_total",
+		"site", "s1", "peer", "s2", "reason", "backlog", "kind", "vmack")
+	if n != 2 {
+		t.Errorf("ack backlog drops = %d, want 2 with NoShedPriority", n)
+	}
+}
+
+// TestDeadPeerRecoversThroughProbe is the heal path: the peer dies
+// (nothing bound on its port), the sender's state machine marks it
+// down, and when an endpoint binds the port again the half-open probe
+// re-admits it — traffic resumes and the state returns to healthy.
+func TestDeadPeerRecoversThroughProbe(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	reg := obs.NewRegistry()
+	e1, err := New(Config{
+		Site: 1, Listen: "127.0.0.1:0",
+		Peers:          map[ident.SiteID]string{2: addr},
+		Metrics:        reg,
+		DialBackoffMin: 5 * time.Millisecond,
+		DialBackoffMax: 40 * time.Millisecond,
+		DialTimeout:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+
+	// Drive the peer down.
+	deadline := time.Now().Add(3 * time.Second)
+	for e1.PeerState(2) != "down" {
+		e1.Send(&wire.Envelope{To: 2, Msg: &wire.VmAck{UpTo: 1}})
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never marked down (state %q)", e1.PeerState(2))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Heal: bind the reserved address for real.
+	e2, err := New(Config{Site: 2, Listen: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	var mu sync.Mutex
+	var got int
+	e2.SetHandler(func(*wire.Envelope) {
+		mu.Lock()
+		got++
+		mu.Unlock()
+	})
+
+	// Keep sending; the probe must re-admit the peer and deliver.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		e1.Send(&wire.Envelope{To: 2, Msg: &wire.VmAck{UpTo: 2}})
+		mu.Lock()
+		c := got
+		mu.Unlock()
+		if c > 0 && e1.PeerState(2) == "healthy" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer never recovered: state %q, delivered %d", e1.PeerState(2), c)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Accounting sanity after the failure/heal cycle: every flush
+	// carried at least one message.
+	msgs := reg.CounterValue("dvp_net_msgs_out_total", "site", "s1", "peer", "s2")
+	flushes := reg.CounterValue("dvp_net_flushes_total", "site", "s1", "peer", "s2")
+	if msgs == 0 || flushes == 0 || msgs < flushes {
+		t.Errorf("inconsistent counters after heal: msgsOut=%d flushes=%d", msgs, flushes)
 	}
 }

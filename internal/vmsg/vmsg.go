@@ -57,12 +57,24 @@ type outChannel struct {
 	cumAck  uint64 // highest cumulative ack received
 	pending map[uint64]wal.VmOut
 
-	// Instrumentation (nil when the manager is not instrumented):
-	// ackRTT observes each Vm's lifespan — creation to cumulative
-	// ack, i.e. the full guaranteed-delivery round trip including any
-	// retransmissions; sentAt remembers creation instants.
+	// sentAt remembers each pending Vm's creation instant; ackRTT
+	// (nil when the manager is not instrumented) additionally exports
+	// each Vm's lifespan — creation to cumulative ack, i.e. the full
+	// guaranteed-delivery round trip including retransmissions — as a
+	// histogram.
 	ackRTT *metrics.Histogram
 	sentAt map[uint64]time.Time
+
+	// Adaptive retransmission pacing (see DueRetransmit): rttEWMA is
+	// the smoothed observed ack round trip; retxAt is when the next
+	// sweep toward this peer may fire, retxGap the current backoff
+	// between sweeps (0 = fresh channel or just-acked, fire at base
+	// pace). retxFired/retxSkipped count sweep decisions.
+	rttEWMA     time.Duration
+	retxAt      time.Time
+	retxGap     time.Duration
+	retxFired   uint64
+	retxSkipped uint64
 }
 
 type inChannel struct {
@@ -121,9 +133,6 @@ func (m *Manager) instrumentOutLocked(peer ident.SiteID, c *outChannel) {
 		return
 	}
 	c.ackRTT = m.reg.Histogram("dvp_vmsg_ack_seconds", "site", m.site, "peer", peer.String())
-	if c.sentAt == nil {
-		c.sentAt = make(map[uint64]time.Time)
-	}
 	m.reg.GaugeFunc("dvp_vmsg_pending",
 		func() float64 { return float64(m.PendingCount(peer)) },
 		"site", m.site, "peer", peer.String())
@@ -143,7 +152,10 @@ func (m *Manager) PendingCount(peer ident.SiteID) int {
 func (m *Manager) outChan(peer ident.SiteID) *outChannel {
 	c, ok := m.out[peer]
 	if !ok {
-		c = &outChannel{pending: make(map[uint64]wal.VmOut)}
+		c = &outChannel{
+			pending: make(map[uint64]wal.VmOut),
+			sentAt:  make(map[uint64]time.Time),
+		}
 		m.out[peer] = c
 		m.instrumentOutLocked(peer, c)
 	}
@@ -184,9 +196,7 @@ func (m *Manager) Created(msgs []wal.VmOut) {
 		}
 		if v.Seq > c.cumAck {
 			c.pending[v.Seq] = v
-			if c.sentAt != nil {
-				c.sentAt[v.Seq] = time.Now()
-			}
+			c.sentAt[v.Seq] = time.Now()
 		}
 	}
 }
@@ -212,6 +222,11 @@ func (m *Manager) OnAck(peer ident.SiteID, upTo uint64) {
 		return
 	}
 	c.cumAck = upTo
+	// A cumulative ack that advances the channel is proof the peer is
+	// back (or never left): snap retransmission pacing to the base
+	// interval instead of waiting out the backoff cap.
+	c.retxGap = 0
+	c.retxAt = time.Time{}
 	var retired []wal.VmOut
 	for seq, v := range c.pending {
 		if seq <= upTo {
@@ -220,7 +235,18 @@ func (m *Manager) OnAck(peer ident.SiteID, upTo uint64) {
 				retired = append(retired, v)
 			}
 			if at, ok := c.sentAt[seq]; ok {
-				c.ackRTT.Record(time.Since(at))
+				rtt := time.Since(at)
+				// EWMA with α = 0.2: smooth enough to ride out one
+				// retransmitted straggler, fresh enough to track a
+				// congested link within a few acks.
+				if c.rttEWMA == 0 {
+					c.rttEWMA = rtt
+				} else {
+					c.rttEWMA = (4*c.rttEWMA + rtt) / 5
+				}
+				if c.ackRTT != nil {
+					c.ackRTT.Record(rtt)
+				}
 				delete(c.sentAt, seq)
 			}
 		}
@@ -301,6 +327,67 @@ func (m *Manager) CumAck(peer ident.SiteID) uint64 {
 	defer m.mu.Unlock()
 	if c, ok := m.out[peer]; ok {
 		return c.cumAck
+	}
+	return 0
+}
+
+// DueRetransmit reports whether a retransmission sweep toward peer
+// should fire at now, and advances the per-peer pacing state when it
+// does. The first sweep after a channel gains pending Vm — or after
+// any cumulative ack advanced it (a heal) — fires immediately; each
+// fired sweep then doubles the gap to the next, seeded at
+// max(base, 2×ack-RTT EWMA) and capped at max. A peer that never acks
+// therefore costs one sweep per cap interval instead of one per tick,
+// while a healthy channel keeps the base pace: its acks reset the gap
+// before the next tick. Ticks suppressed inside a gap are counted
+// (see RetxStats) but change no state.
+func (m *Manager) DueRetransmit(peer ident.SiteID, now time.Time, base, max time.Duration) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.out[peer]
+	if !ok || len(c.pending) == 0 {
+		return false
+	}
+	if !c.retxAt.IsZero() && now.Before(c.retxAt) {
+		c.retxSkipped++
+		return false
+	}
+	gap := c.retxGap
+	if gap == 0 {
+		gap = base
+		if r := 2 * c.rttEWMA; r > gap {
+			gap = r
+		}
+	} else {
+		gap *= 2
+	}
+	if max > 0 && gap > max {
+		gap = max
+	}
+	c.retxGap = gap
+	c.retxAt = now.Add(gap)
+	c.retxFired++
+	return true
+}
+
+// RetxStats returns how many retransmission sweeps fired toward peer
+// and how many tick opportunities the adaptive backoff suppressed.
+func (m *Manager) RetxStats(peer ident.SiteID) (fired, suppressed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.out[peer]; ok {
+		return c.retxFired, c.retxSkipped
+	}
+	return 0, 0
+}
+
+// AckRTT returns the smoothed ack round trip toward peer (0 until the
+// first cumulative ack retires a timed Vm).
+func (m *Manager) AckRTT(peer ident.SiteID) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.out[peer]; ok {
+		return c.rttEWMA
 	}
 	return 0
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"dvp/internal/ident"
 	"dvp/internal/wal"
@@ -306,4 +307,144 @@ func TestConcurrentChannelUse(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+}
+
+// --- adaptive retransmission pacing -----------------------------------------
+
+// TestDueRetransmitBacksOffAndCaps walks the pacing state machine with
+// a fabricated clock: the first sweep fires immediately, each fired
+// sweep doubles the gap, the gap caps at max, and ticks that land
+// inside a gap are suppressed (and counted).
+func TestDueRetransmitBacksOffAndCaps(t *testing.T) {
+	m := NewManager()
+	m.Created([]wal.VmOut{{To: 2, Seq: m.AllocSeq(2), Item: "a", Amount: 1}})
+	t0 := time.Now()
+	const base = 10 * time.Millisecond
+	const cap = 80 * time.Millisecond
+	at := func(d time.Duration) bool { return m.DueRetransmit(2, t0.Add(d), base, cap) }
+
+	steps := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{0, true}, // first sweep: immediate, gap -> 10ms
+		{5 * time.Millisecond, false},
+		{10 * time.Millisecond, true}, // gap -> 20ms
+		{25 * time.Millisecond, false},
+		{30 * time.Millisecond, true}, // gap -> 40ms
+		{69 * time.Millisecond, false},
+		{70 * time.Millisecond, true}, // gap -> 80ms (cap)
+		{149 * time.Millisecond, false},
+		{150 * time.Millisecond, true}, // gap stays 80ms
+		{229 * time.Millisecond, false},
+		{230 * time.Millisecond, true},
+	}
+	for i, s := range steps {
+		if got := at(s.at); got != s.want {
+			t.Fatalf("step %d (t+%v): due = %v, want %v", i, s.at, got, s.want)
+		}
+	}
+	fired, skipped := m.RetxStats(2)
+	if fired != 6 || skipped != 5 {
+		t.Errorf("RetxStats = (%d fired, %d skipped), want (6, 5)", fired, skipped)
+	}
+}
+
+// TestDueRetransmitNoPending: an empty retransmission set never fires
+// a sweep, and costs no pacing state.
+func TestDueRetransmitNoPending(t *testing.T) {
+	m := NewManager()
+	if m.DueRetransmit(2, time.Now(), time.Millisecond, time.Second) {
+		t.Error("sweep fired with nothing pending")
+	}
+	s := m.AllocSeq(2)
+	m.Created([]wal.VmOut{{To: 2, Seq: s, Item: "a", Amount: 1}})
+	m.OnAck(2, s)
+	if m.DueRetransmit(2, time.Now(), time.Millisecond, time.Second) {
+		t.Error("sweep fired after everything was acked")
+	}
+}
+
+// TestAckResetsRetransmitBackoff: a peer deep in backoff snaps back to
+// immediate retransmission the moment a cumulative ack advances the
+// channel — a heal must not wait out the cap.
+func TestAckResetsRetransmitBackoff(t *testing.T) {
+	m := NewManager()
+	s1 := m.AllocSeq(2)
+	s2 := m.AllocSeq(2)
+	m.Created([]wal.VmOut{
+		{To: 2, Seq: s1, Item: "a", Amount: 1},
+		{To: 2, Seq: s2, Item: "a", Amount: 2},
+	})
+	t0 := time.Now()
+	const base = 10 * time.Millisecond
+	const cap = 80 * time.Millisecond
+	// Drive the gap to the cap.
+	for _, d := range []time.Duration{0, 10, 30, 70} {
+		if !m.DueRetransmit(2, t0.Add(d*time.Millisecond), base, cap) {
+			t.Fatalf("sweep at t+%v should fire", d)
+		}
+	}
+	// Next sweep would be 80ms out; the ack arrives first.
+	m.OnAck(2, s1)
+	if !m.DueRetransmit(2, t0.Add(71*time.Millisecond), base, cap) {
+		t.Error("sweep after an advancing ack must fire immediately")
+	}
+	// Stale ack (no advance) must NOT reset.
+	for _, d := range []time.Duration{81, 101} { // gap is re-seeded at base
+		m.DueRetransmit(2, t0.Add(d*time.Millisecond), base, cap)
+	}
+	m.OnAck(2, s1) // duplicate, upTo == cumAck
+	if m.DueRetransmit(2, t0.Add(102*time.Millisecond), base, cap) {
+		t.Error("duplicate ack reset the backoff")
+	}
+}
+
+// TestAckRTTEWMA: the smoothed round trip tracks observed acks without
+// requiring instrumentation (no registry attached).
+func TestAckRTTEWMA(t *testing.T) {
+	m := NewManager()
+	s1 := m.AllocSeq(2)
+	m.Created([]wal.VmOut{{To: 2, Seq: s1, Item: "a", Amount: 1}})
+	if m.AckRTT(2) != 0 {
+		t.Error("EWMA must be 0 before the first ack")
+	}
+	time.Sleep(2 * time.Millisecond)
+	m.OnAck(2, s1)
+	rtt := m.AckRTT(2)
+	if rtt < time.Millisecond {
+		t.Errorf("EWMA after a ~2ms round trip = %v, want >= 1ms", rtt)
+	}
+	// The first gap after an RTT observation is seeded at 2×EWMA when
+	// that exceeds base.
+	s2 := m.AllocSeq(2)
+	m.Created([]wal.VmOut{{To: 2, Seq: s2, Item: "a", Amount: 1}})
+	t0 := time.Now()
+	if !m.DueRetransmit(2, t0, time.Nanosecond, time.Hour) {
+		t.Fatal("first sweep must fire")
+	}
+	if m.DueRetransmit(2, t0.Add(rtt), time.Nanosecond, time.Hour) {
+		t.Error("sweep inside the 2×RTT seed gap must be suppressed")
+	}
+	if !m.DueRetransmit(2, t0.Add(2*rtt+time.Millisecond), time.Nanosecond, time.Hour) {
+		t.Error("sweep past the seed gap must fire")
+	}
+}
+
+// TestResetClearsRetxState: crash recovery rebuilds channels from the
+// log; pacing state must not survive the crash.
+func TestResetClearsRetxState(t *testing.T) {
+	m := NewManager()
+	s1 := m.AllocSeq(2)
+	m.Created([]wal.VmOut{{To: 2, Seq: s1, Item: "a", Amount: 1}})
+	t0 := time.Now()
+	m.DueRetransmit(2, t0, 10*time.Millisecond, 80*time.Millisecond)
+	m.Reset()
+	m.Created([]wal.VmOut{{To: 2, Seq: s1, Item: "a", Amount: 1}})
+	if !m.DueRetransmit(2, t0.Add(time.Millisecond), 10*time.Millisecond, 80*time.Millisecond) {
+		t.Error("restored channel must retransmit immediately")
+	}
+	if fired, skipped := m.RetxStats(2); fired != 1 || skipped != 0 {
+		t.Errorf("RetxStats after Reset = (%d, %d), want (1, 0)", fired, skipped)
+	}
 }
