@@ -176,6 +176,112 @@ func BenchmarkLocalCommitFastPath(b *testing.B) {
 	b.Run("nofastpath", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkMixedCommitParallel measures the whole-site concurrency the
+// layered commit engine exists for: committers at site 1 run a mix of
+// local fast-path writes, shortfall writes that must pull quota from
+// site 2 (waiter table + inbound Vm + request handling), and full
+// reads that gather from the peer — while a background pump streams
+// unsolicited Vm transfers into site 1, so the message router runs
+// concurrently with every commit. Before the mutex-free layering, all
+// of that serialized on one site mutex for stats, waiter lookups and
+// liveness checks; the committers=8 row against the pre-refactor
+// baseline is the PR's headline number (recorded in BENCH_PR10.json).
+func BenchmarkMixedCommitParallel(b *testing.B) {
+	run := func(b *testing.B, committers int) {
+		c, err := dvp.NewCluster(dvp.Config{
+			Sites:           2,
+			Seed:            1,
+			GroupCommit:     true,
+			RetransmitEvery: 2 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		items := make([]string, committers)
+		pulls := make([]string, committers)
+		for g := 0; g < committers; g++ {
+			items[g] = fmt.Sprintf("mix/local/%d", g)
+			pulls[g] = fmt.Sprintf("mix/pull/%d", g)
+			// Local items live wholly at site 1, so the plain writes are
+			// always fast-path eligible and never convert to pulls.
+			if err := c.CreateItemShares(items[g], []dvp.Value{dvp.Value(b.N) + 1, 0}); err != nil {
+				b.Fatal(err)
+			}
+			// Pull items live almost entirely at site 2: every 16th op is
+			// a shortfall write that must ask, wait and accept a Vm.
+			if err := c.CreateItemShares(pulls[g], []dvp.Value{1, dvp.Value(b.N) + 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := c.CreateItemShares("mix/pump", []dvp.Value{0, dvp.Value(b.N) + 1_000_000}); err != nil {
+			b.Fatal(err)
+		}
+		// Background Vm pump: site 2 ships single-unit transfers at
+		// site 1 for the bench's whole life, so inbound Vm acceptance
+		// contends with the committers.
+		stopPump := make(chan struct{})
+		pumpDone := make(chan struct{})
+		go func() {
+			defer close(pumpDone)
+			for {
+				select {
+				case <-stopPump:
+					return
+				default:
+				}
+				_ = c.SendValue("mix/pump", 2, 1, 1)
+				time.Sleep(100 * time.Microsecond)
+			}
+		}()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < committers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := g; i < b.N; i += committers {
+					var res *dvp.Result
+					kind := "local"
+					switch {
+					case i%16 == 15:
+						// Shortfall write: §5 steps 2–3 in full. Retried
+						// like any real client (§5): a declined request
+						// (granting side briefly locked) has no reply, so
+						// only the timeout ends the attempt.
+						kind = "pull"
+						res = c.At(1).RunRetry(dvp.NewTxn().
+							Sub(pulls[g], 1).Timeout(500*time.Millisecond), 10)
+					case i%16 == 7:
+						// Full read: gather from every peer. Retried for
+						// the same reason — the previous read's reply Vm
+						// may still be outstanding at the peer, which
+						// declines the gather until it is acked.
+						kind = "read"
+						res = c.At(1).RunRetry(dvp.NewTxn().
+							Read(items[g]).Timeout(500*time.Millisecond), 10)
+					default:
+						// Local write: fast-path eligible.
+						res = c.At(1).Reserve(items[g], 1)
+					}
+					if !res.Committed() {
+						b.Errorf("mixed %s txn aborted: %v", kind, res.Status)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		b.StopTimer()
+		close(stopPump)
+		<-pumpDone
+	}
+	for _, n := range []int{1, 4, 8} {
+		n := n
+		b.Run(fmt.Sprintf("committers=%d", n), func(b *testing.B) { run(b, n) })
+	}
+}
+
 // BenchmarkLocalCommitParallelTracing measures the observability tax:
 // the same 8-committer grouped-commit workload with causal tracing and
 // the flight recorder fully on versus fully off. The traced/untraced

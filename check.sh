@@ -23,8 +23,23 @@ else
 	echo "staticcheck: not on PATH, skipping (CI runs it pinned)" >&2
 fi
 
+# Site-mutex gate: the lifecycle core (internal/site/lifecycle.go) is
+# the only file allowed to acquire s.mu — the per-txn commit path and
+# the per-message handler path run on stripes, waiter shards and
+# atomics alone. Any new acquisition elsewhere reintroduces the
+# site-wide convoy the PR-10 layering removed.
+mu_violations=$(grep -n 's\.mu\.\(Lock\|Unlock\)' internal/site/*.go | grep -v '^internal/site/lifecycle\.go:' || true)
+if [ -n "$mu_violations" ]; then
+	echo "site-mutex gate: s.mu acquired outside lifecycle.go:" >&2
+	echo "$mu_violations" >&2
+	exit 1
+fi
+echo "site-mutex gate: s.mu confined to lifecycle.go"
+
 go build ./...
-go test -race ./...
+# -shuffle randomizes test order within each package: the layered site
+# must not depend on test-ordering accidents to pass.
+go test -race -shuffle=on ./...
 
 # Dead-peer regression: the dial-rate bound against a closed port must
 # hold under race. This is the PR-9 storm fix's dedicated gate — the
@@ -36,7 +51,7 @@ go test -race -run 'TestDeadPeerDialRateBounded' -count=1 ./internal/tcpnet
 # group-commit, Vm, fast-path, tracing-overhead and recovery pipelines
 # stay runnable under `go test -bench` without paying full measurement
 # time. -benchmem keeps allocs/op visible wherever these run.
-go test -run='^$' -bench='BenchmarkLocalCommitParallel|BenchmarkLocalCommitFastPath|BenchmarkVmThroughput|BenchmarkRecover' -benchtime=1x -benchmem .
+go test -run='^$' -bench='BenchmarkLocalCommitParallel|BenchmarkLocalCommitFastPath|BenchmarkMixedCommitParallel|BenchmarkVmThroughput|BenchmarkRecover' -benchtime=1x -benchmem .
 
 # Allocation-regression gate: the fast-path bench must not allocate
 # more per op than the ceiling recorded with BENCH_PR8.json (measured
@@ -71,6 +86,8 @@ if [ "${BENCH_RECORD:-0}" = "1" ]; then
 	echo "bench: update BENCH_PR8.json from /tmp/bench_pr8.txt (median of 3)"
 	go test -run='^$' -bench='BenchmarkLocalCommitParallel$|BenchmarkLocalCommitFastPath' -benchmem -benchtime=2s -count=3 . | tee /tmp/bench_pr9.txt
 	echo "bench: update BENCH_PR9.json from /tmp/bench_pr9.txt (median of 3; no-regression record for the PR-9 transport changes)"
+	go test -run='^$' -bench='BenchmarkMixedCommitParallel' -benchmem -count=3 . | tee /tmp/bench_pr10.txt
+	echo "bench: update BENCH_PR10.json from /tmp/bench_pr10.txt (median of 3; mixed read/shortfall/inbound-Vm scaling record for the PR-10 site layering)"
 fi
 
 # Fuzz smoke: a short randomized pass per target on top of the
@@ -83,6 +100,8 @@ go test ./internal/wal -run='^$' -fuzz=FuzzDecodeRecords -fuzztime=10s
 go test ./internal/wal -run='^$' -fuzz=FuzzFileLogRecovery -fuzztime=10s
 
 # Coverage floors. These packages carry the paper's algebra (core),
+# the layered commit engine itself (site: admission, durability,
+# waiters, router, lifecycle),
 # the exactly-once channel (vmsg), the serializability machinery (cc),
 # the tracing/flight-recorder surface every failure dump depends on
 # (obs), the §7 restart path (recovery), and the peer-failure state
@@ -103,6 +122,7 @@ check_cover() {
 	echo "coverage: $pkg ${pct}% (floor ${floor}%)"
 }
 check_cover ./internal/core 97
+check_cover ./internal/site 85
 check_cover ./internal/vmsg 81
 check_cover ./internal/cc 97
 check_cover ./internal/obs 90

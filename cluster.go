@@ -108,6 +108,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			RetransmitMax:          cfg.RetransmitMax,
 			DefaultTimeout:         cfg.DefaultTimeout,
 			AdmissionStripes:       cfg.AdmissionStripes,
+			WaiterShards:           cfg.WaiterShards,
 			CheckpointEveryBytes:   cfg.CheckpointEveryBytes,
 			CheckpointEveryRecords: cfg.CheckpointEveryRecords,
 			RecoveryWorkers:        cfg.RecoveryWorkers,

@@ -162,6 +162,12 @@ type Config struct {
 	// concurrently (default 16; forced to 1 under Conc2).
 	AdmissionStripes int
 
+	// WaiterShards shards each site's waiter table (transactions
+	// parked awaiting Vm) by transaction id, so registering, waking
+	// and crash-failing waiters contend per shard instead of
+	// site-wide (default 16).
+	WaiterShards int
+
 	// DisableFastPath forces every transaction through the full §5
 	// protocol run, turning off the zero-allocation local-commit fast
 	// path. The fast path is semantically transparent; this knob

@@ -1,0 +1,138 @@
+package site
+
+import (
+	"fmt"
+
+	"dvp/internal/wal"
+)
+
+// This file is the checkpoint/compaction half of the durability layer:
+// the quiescent-cut Checkpoint, the growth-threshold trigger fed by
+// logAppend (admission.go), and the background loop that runs it.
+
+// CheckpointStagePreCompact is the hook stage fired after the
+// checkpoint record is durably appended but before the log is
+// compacted behind it — the window where a crash leaves a usable
+// checkpoint atop an uncompacted log.
+const CheckpointStagePreCompact = "pre-compact"
+
+// Checkpoint writes a checkpoint record capturing store and Vm state,
+// bounding future recovery scans (§7), then compacts the log: records
+// before the checkpoint are no longer needed (the checkpoint carries
+// the store snapshot, channel cursors, pending Vm and clock).
+//
+// All stripes plus ckptMu's write side make the cut exact even
+// against the commit path (which runs outside the stripes): every
+// record below the compaction horizon is applied, every unapplied
+// record survives compaction.
+func (s *Site) Checkpoint() error {
+	defer s.lockAllStripes()()
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	rec := &wal.CheckpointRec{
+		Items:    s.cfg.DB.Snapshot(),
+		Channels: s.vm.SnapshotChannels(),
+		Clock:    s.lamport.Current(),
+	}
+	payload := rec.Encode()
+	lsn, err := s.cfg.Log.Append(wal.RecCheckpoint, payload)
+	if err != nil {
+		return err
+	}
+	// The record is durable: restart the growth counters even if the
+	// compaction below is skipped or fails — recovery can already use
+	// this checkpoint.
+	s.ckptBytes.Store(0)
+	s.ckptRecs.Store(0)
+	s.obsm.ckptTotal.Inc()
+	s.obsm.ckptBytes.Add(uint64(len(payload)))
+	s.obsm.flight.Recordf(s.obsm.site, "checkpoint", "lsn=%d bytes=%d items=%d", lsn, len(payload), len(rec.Items))
+	if h := s.checkpointHook(); h != nil {
+		if err := h(CheckpointStagePreCompact); err != nil {
+			return fmt.Errorf("site %v: checkpoint %s hook: %w", s.cfg.ID, CheckpointStagePreCompact, err)
+		}
+	}
+	return s.cfg.Log.Compact(lsn - 1)
+}
+
+// autoCheckpoint reports whether the automatic checkpointer is armed.
+func (s *Site) autoCheckpoint() bool {
+	return s.cfg.CheckpointEveryBytes > 0 || s.cfg.CheckpointEveryRecords > 0
+}
+
+// noteAppend bumps the since-last-checkpoint counters and kicks the
+// checkpointer goroutine when a threshold is crossed. The kick channel
+// has one slot and drops when full: the loop coalesces bursts into one
+// checkpoint, and a missed kick re-arms on the next append.
+func (s *Site) noteAppend(n int64) {
+	if !s.autoCheckpoint() {
+		return
+	}
+	b := s.ckptBytes.Add(n)
+	r := s.ckptRecs.Add(1)
+	if (s.cfg.CheckpointEveryBytes > 0 && b >= s.cfg.CheckpointEveryBytes) ||
+		(s.cfg.CheckpointEveryRecords > 0 && r >= int64(s.cfg.CheckpointEveryRecords)) {
+		select {
+		case s.ckptKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// checkpointLoop runs automatic checkpoints. It cannot run inline in
+// the append paths — an appender holds its stripe and ckptMu's read
+// side, exactly the locks Checkpoint needs — so threshold crossings
+// kick this goroutine instead. It starts and stops with the site.
+func (s *Site) checkpointLoop(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-s.ckptKick:
+		}
+		if s.ckptPaused.Load() {
+			continue // a later append past the threshold re-kicks
+		}
+		s.ckptRunMu.Lock()
+		var err error
+		if !s.ckptPaused.Load() {
+			err = s.Checkpoint()
+		}
+		s.ckptRunMu.Unlock()
+		if err != nil {
+			s.obsm.flight.Recordf(s.obsm.site, "checkpoint-failed", "err=%v", err)
+		}
+	}
+}
+
+// SetCheckpointPaused gates the automatic checkpointer. Pausing joins
+// any in-flight checkpoint before returning, so after the call no
+// background compaction is running or will start — fault harnesses
+// pause it across barrier audits that compare log and durable state.
+// Like the rebalance pause, the flag survives crash/restart cycles.
+func (s *Site) SetCheckpointPaused(p bool) {
+	s.ckptPaused.Store(p)
+	if p {
+		s.ckptRunMu.Lock()
+		s.ckptRunMu.Unlock() // empty critical section joins an in-flight run (SA2001, excluded in staticcheck.conf)
+	}
+}
+
+// SetCheckpointHook installs a hook invoked at named stages inside
+// Checkpoint (see CheckpointStagePreCompact). A hook returning an
+// error makes Checkpoint return without compacting. Hooks must not
+// block on site lifecycle transitions: Checkpoint holds every stripe
+// while the hook runs, so a hook that wants to crash the site must do
+// so from a fresh goroutine and return.
+func (s *Site) SetCheckpointHook(h func(stage string) error) {
+	s.ckptHookMu.Lock()
+	s.ckptHook = h
+	s.ckptHookMu.Unlock()
+}
+
+func (s *Site) checkpointHook() func(stage string) error {
+	s.ckptHookMu.Lock()
+	defer s.ckptHookMu.Unlock()
+	return s.ckptHook
+}

@@ -71,27 +71,20 @@ func (s *Site) runSlow(t *txn.Txn) *txn.Result {
 	// scheme's admission check, stamping under Conc1. The stripes
 	// covering A(t) make check+lock+stamp one atomic step against
 	// message handling on those items; transactions on disjoint
-	// stripes admit concurrently.
+	// stripes admit concurrently. No quota check here — a shortfall
+	// redistributes in step 2 instead of aborting, so needs is nil.
 	unlock := s.lockStripesFor(items)
-	for _, item := range items {
-		it, _ := s.cfg.DB.Get(item)
-		if !s.policy.AllowLock(ts, it.TS) {
-			unlock()
-			return finish(txn.StatusCCRejected)
-		}
+	if s.admitLocked(ts, items, nil) != admitOK {
+		unlock()
+		return finish(txn.StatusCCRejected)
 	}
 	step("cc-check", "")
-	if !s.locks.TryLockAll(id, items) {
+	if !s.lockAndStamp(ts, id, items) {
 		unlock()
 		s.obsm.flight.Recordf(s.obsm.site, "lock-conflict", "txn=%v label=%s items=%d", ts, t.Label, len(items))
 		return finish(txn.StatusLockConflict)
 	}
 	step("lock", "")
-	if s.policy.StampOnLock() {
-		for _, item := range items {
-			s.cfg.DB.SetTS(item, ts)
-		}
-	}
 	unlock()
 
 	// LIFO: locks release first, then parked inbound Vm on these items
@@ -108,27 +101,12 @@ func (s *Site) runSlow(t *txn.Txn) *txn.Result {
 		}
 	}
 	if len(shortfall) > 0 || len(t.Reads) > 0 {
-		w := &waiter{
-			id:        id,
-			ts:        ts,
-			epoch:     epoch,
-			needs:     needs,
-			reads:     make(map[ident.ItemID]bool, len(t.Reads)),
-			responded: make(map[ident.ItemID]map[ident.SiteID]bool),
-			notify:    make(chan struct{}, 1),
-		}
-		for _, item := range t.Reads {
-			w.reads[item] = true
-			w.responded[item] = make(map[ident.SiteID]bool)
-		}
-		s.mu.Lock()
-		s.waiters[id] = w
-		s.mu.Unlock()
-		defer func() {
-			s.mu.Lock()
-			delete(s.waiters, id)
-			s.mu.Unlock()
-		}()
+		// Park in the waiter table: the transaction's shard is the only
+		// lock registration touches, and the epoch tag lets Crash fail
+		// exactly the waiters of the epoch it ends (waiters.go).
+		w := newWaiter(id, ts, epoch, needs, t.Reads)
+		s.waiterTab.add(w)
+		defer s.waiterTab.remove(id)
 
 		var tctx wire.TraceCtx
 		if rootSpan != 0 {
@@ -160,14 +138,14 @@ func (s *Site) runSlow(t *txn.Txn) *txn.Result {
 				// the demand tracker: unmet need is the strongest
 				// rebalancing signal there is.
 				s.recordDeficit(w.needs)
-				res.VmAccepted = w.accepted
-				step("vm-accept", fmt.Sprintf("accepted=%d", w.accepted))
-				s.obsm.flight.Recordf(s.obsm.site, "txn-timeout", "txn=%v label=%s accepted=%d", ts, t.Label, w.accepted)
+				res.VmAccepted = w.acceptedCount()
+				step("vm-accept", fmt.Sprintf("accepted=%d", res.VmAccepted))
+				s.obsm.flight.Recordf(s.obsm.site, "txn-timeout", "txn=%v label=%s accepted=%d", ts, t.Label, res.VmAccepted)
 				return finish(txn.StatusTimeout)
 			}
 		}
-		res.VmAccepted = w.accepted
-		step("vm-accept", fmt.Sprintf("accepted=%d", w.accepted))
+		res.VmAccepted = w.acceptedCount()
+		step("vm-accept", fmt.Sprintf("accepted=%d", res.VmAccepted))
 	}
 
 	// Step 4 — perform the computation: apply the operators in order
@@ -204,14 +182,12 @@ func (s *Site) runSlow(t *txn.Txn) *txn.Result {
 	// The epoch check and the append must be one unit against Crash:
 	// lifeMu's fence guarantees that once Crash returns, no stale-epoch
 	// commit record can still reach the log — recovery's scan would
-	// miss it and could reissue its timestamp. ckptMu's read side keeps
-	// the append+apply pair atomic against Checkpoint's cut. The
-	// written items' stripes keep append+apply atomic per item against
-	// the message handlers too: the store's page-LSN idempotence needs
-	// same-item records applied in LSN order, and group commit wakes a
-	// whole batch of appenders at once — without the stripes a lower-LSN
-	// commit could apply after a higher-LSN Vm record on the same item
-	// and be silently skipped.
+	// miss it and could reissue its timestamp. commitDurably holds
+	// ckptMu's read side across the append+apply pair (atomic against
+	// Checkpoint's cut); the written items' stripes, re-acquired here,
+	// keep append+apply atomic per item against the message handlers
+	// (the store's page-LSN idempotence and group commit's batched
+	// wakeups demand same-item records applied in LSN order).
 	written := make([]ident.ItemID, 0, len(actions))
 	for _, a := range actions {
 		written = append(written, a.Item)
@@ -222,25 +198,17 @@ func (s *Site) runSlow(t *txn.Txn) *txn.Result {
 		return finish(txn.StatusSiteDown)
 	}
 	unlockW := s.lockStripesFor(written)
-	s.ckptMu.RLock()
-	lsn, err := s.logAppend(wal.RecCommit, (&wal.CommitRec{Txn: ts, Actions: actions}).Encode())
+	lsn, err := s.commitDurably(ts, actions)
 	if err != nil {
-		s.ckptMu.RUnlock()
 		unlockW()
 		s.lifeMu.RUnlock()
 		return finish(txn.StatusSiteDown)
 	}
 	step("wal-flush", fmt.Sprintf("lsn=%d actions=%d", lsn, len(actions)))
-
-	// Step 6 — make the changes and record that fact.
-	if _, err := s.cfg.DB.ApplyAll(lsn, actions); err != nil {
-		// Protocol invariant broken; surface loudly in development.
-		panic("site: committed actions failed to apply: " + err.Error())
-	}
-	_, _ = s.logAppend(wal.RecApplied, (&wal.AppliedRec{CommitLSN: lsn}).Encode())
-	s.ckptMu.RUnlock()
 	unlockW()
 	s.lifeMu.RUnlock()
+	// Step 6 happened inside commitDurably: apply, then the applied
+	// record — the shared durability core both paths funnel through.
 	step("apply", "")
 
 	// Step 7 — locks released by the deferred ReleaseAll. Flow
@@ -289,10 +257,7 @@ func (s *Site) sendRequests(ts tstamp.TS, shortfall map[ident.ItemID]core.Value,
 			fan = len(peers)
 		}
 		// Rotate the starting peer so AskOne/AskTwo spread load.
-		s.mu.Lock()
-		startAt := s.askCursor
-		s.askCursor++
-		s.mu.Unlock()
+		startAt := int(s.askCursor.Add(1) - 1)
 		for item, want := range shortfall {
 			for k := 0; k < fan && k < len(peers); k++ {
 				p := peers[(startAt+k)%len(peers)]
@@ -305,9 +270,7 @@ func (s *Site) sendRequests(ts tstamp.TS, shortfall map[ident.ItemID]core.Value,
 			}
 		}
 	}
-	s.mu.Lock()
-	s.stats.RequestsSent += uint64(sent)
-	s.mu.Unlock()
+	s.stats.requestsSent.Add(uint64(sent))
 	return sent
 }
 
@@ -323,21 +286,12 @@ func (s *Site) satisfied(w *waiter) bool {
 	if len(w.reads) == 0 {
 		return true
 	}
-	peers := s.peersExceptSelf()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for item := range w.reads {
 		if s.vm.HasOutstanding(item) {
 			return false
 		}
-		resp := w.responded[item]
-		for _, p := range peers {
-			if !resp[p] {
-				return false
-			}
-		}
 	}
-	return true
+	return w.allResponded(s.peersExceptSelf())
 }
 
 func hasRead(reads map[ident.ItemID]core.Value, item ident.ItemID) bool {
@@ -346,18 +300,16 @@ func hasRead(reads map[ident.ItemID]core.Value, item ident.ItemID) bool {
 }
 
 func (s *Site) countOutcome(status txn.Status) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch status {
 	case txn.StatusCommitted:
-		s.stats.Committed++
+		s.stats.committed.Add(1)
 	case txn.StatusLockConflict:
-		s.stats.AbortLockConflict++
+		s.stats.abortLockConflict.Add(1)
 	case txn.StatusCCRejected:
-		s.stats.AbortCCRejected++
+		s.stats.abortCCRejected.Add(1)
 	case txn.StatusTimeout:
-		s.stats.AbortTimeout++
+		s.stats.abortTimeout.Add(1)
 	case txn.StatusSiteDown:
-		s.stats.AbortSiteDown++
+		s.stats.abortSiteDown.Add(1)
 	}
 }

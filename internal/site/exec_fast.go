@@ -1,7 +1,6 @@
 package site
 
 import (
-	"math/bits"
 	"time"
 
 	"dvp/internal/core"
@@ -10,7 +9,6 @@ import (
 	"dvp/internal/tstamp"
 	"dvp/internal/txn"
 	"dvp/internal/wal"
-	"dvp/internal/wire"
 )
 
 // maxFastOps bounds the fixed-size scratch of the local-commit fast
@@ -111,39 +109,32 @@ func (s *Site) runFast(t *txn.Txn) *txn.Result {
 	}
 	s.lockStripeMask(mask)
 
-	// Admission under the stripes, as in runSlow step 1 — one Get per
-	// item serves both the concurrency-control check and the
-	// authoritative quota re-check (the stripes exclude every mutator
-	// of these items, so the values cannot move under us).
-	for i := 0; i < n; i++ {
-		it, _ := s.cfg.DB.Get(items[i])
-		if !s.policy.AllowLock(ts, it.TS) {
-			s.unlockStripeMask(mask)
-			s.lifeMu.RUnlock()
-			return s.fastAbort(t, tr, start, ts, txn.StatusCCRejected)
-		}
-		if it.Val < needs[i] {
-			// The hint lied high. Release everything untouched and
-			// let the slow path redistribute.
-			s.unlockStripeMask(mask)
-			s.lifeMu.RUnlock()
-			s.obsm.fastFallbacks.Inc()
-			tr.Finish("fast-fallback")
-			return nil
-		}
+	// Admission under the stripes — the same admitLocked the slow path
+	// runs, here with needs: one Get per item serves both the
+	// concurrency-control check and the authoritative quota re-check
+	// (the stripes exclude every mutator of these items, so the values
+	// cannot move under us).
+	switch s.admitLocked(ts, items[:n], needs[:n]) {
+	case admitCCRejected:
+		s.unlockStripeMask(mask)
+		s.lifeMu.RUnlock()
+		return s.fastAbort(t, tr, start, ts, txn.StatusCCRejected)
+	case admitShort:
+		// The hint lied high. Release everything untouched and
+		// let the slow path redistribute.
+		s.unlockStripeMask(mask)
+		s.lifeMu.RUnlock()
+		s.obsm.fastFallbacks.Inc()
+		tr.Finish("fast-fallback")
+		return nil
 	}
 	segStart = s.fastStep(tr, "cc-check", segStart)
 
-	if !s.locks.TryLockAll(id, items[:n]) {
+	if !s.lockAndStamp(ts, id, items[:n]) {
 		s.unlockStripeMask(mask)
 		s.lifeMu.RUnlock()
 		s.obsm.flight.Recordf(s.obsm.site, "lock-conflict", "txn=%v label=%s items=%d", ts, t.Label, n)
 		return s.fastAbort(t, tr, start, ts, txn.StatusLockConflict)
-	}
-	if s.policy.StampOnLock() {
-		for i := 0; i < n; i++ {
-			s.cfg.DB.SetTS(items[i], ts)
-		}
 	}
 	segStart = s.fastStep(tr, "lock", segStart)
 
@@ -158,19 +149,14 @@ func (s *Site) runFast(t *txn.Txn) *txn.Result {
 		}
 	}
 
-	// Append + apply under ckptMu's read side with the stripes still
-	// held — the items' stripes cover the written items, so this is the
-	// same atomic unit as runSlow's step 5/6. The records encode into
-	// pooled wire buffers; the Log contract (data borrowed, never
-	// retained) lets each buffer return to the pool immediately.
-	s.ckptMu.RLock()
-	w := wire.GetWriter()
-	rec := wal.CommitRec{Txn: ts, Actions: actions[:m]}
-	rec.EncodeTo(w)
-	lsn, err := s.logAppend(wal.RecCommit, w.Bytes())
-	wire.PutWriter(w)
+	// commitDurably with the stripes still held — the items' stripes
+	// cover the written items, so this is the same atomic unit as
+	// runSlow's step 5/6, through the same shared durability core
+	// (pooled wire buffers, append + apply + applied record under
+	// ckptMu's read side). actions is stack scratch; commitDurably
+	// only borrows it.
+	lsn, err := s.commitDurably(ts, actions[:m])
 	if err != nil {
-		s.ckptMu.RUnlock()
 		s.unlockStripeMask(mask)
 		s.lifeMu.RUnlock()
 		s.locks.ReleaseAll(id)
@@ -178,17 +164,6 @@ func (s *Site) runFast(t *txn.Txn) *txn.Result {
 		return s.fastAbort(t, tr, start, ts, txn.StatusSiteDown)
 	}
 	segStart = s.fastStep(tr, "wal-flush", segStart)
-
-	if _, err := s.cfg.DB.ApplyAll(lsn, actions[:m]); err != nil {
-		// Protocol invariant broken; surface loudly in development.
-		panic("site: committed actions failed to apply: " + err.Error())
-	}
-	w = wire.GetWriter()
-	applied := wal.AppliedRec{CommitLSN: lsn}
-	applied.EncodeTo(w)
-	_, _ = s.logAppend(wal.RecApplied, w.Bytes())
-	wire.PutWriter(w)
-	s.ckptMu.RUnlock()
 	s.unlockStripeMask(mask)
 	s.lifeMu.RUnlock()
 	s.fastStep(tr, "apply", segStart)
@@ -231,7 +206,7 @@ func (s *Site) runFast(t *txn.Txn) *txn.Result {
 		})
 	}
 
-	s.fastCommitted.Add(1)
+	s.countOutcome(txn.StatusCommitted)
 	s.obsm.fastCommits.Inc()
 	res := &txn.Result{Status: txn.StatusCommitted, TS: ts}
 	res.Latency = s.cfg.Clock.Now().Sub(start)
@@ -262,19 +237,4 @@ func (s *Site) fastAbort(t *txn.Txn, tr *obs.TxnTrace, start time.Time, ts tstam
 	s.obsm.observeTxn(t.Label, status, res.Latency)
 	tr.Finish(status.String())
 	return res
-}
-
-// lockStripeMask / unlockStripeMask acquire and release the stripes in
-// a ≤64-stripe bitmask in ascending index order — the same deadlock-
-// free total order lockStripesFor uses, without its slice bookkeeping.
-func (s *Site) lockStripeMask(mask uint64) {
-	for m := mask; m != 0; m &= m - 1 {
-		s.stripes[bits.TrailingZeros64(m)].Lock()
-	}
-}
-
-func (s *Site) unlockStripeMask(mask uint64) {
-	for m := mask; m != 0; m &= m - 1 {
-		s.stripes[bits.TrailingZeros64(m)].Unlock()
-	}
 }

@@ -1,0 +1,124 @@
+package site
+
+import (
+	"fmt"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/obs"
+	"dvp/internal/wal"
+	"dvp/internal/wire"
+)
+
+// handleRequest implements the remote site's side of §5: decide
+// whether to honor a request for local quota, and if so create the
+// virtual message that carries it. It runs under the router's
+// lifeMu read side and serializes on the item's stripe; the stats it
+// bumps are atomics — no site-wide lock anywhere on this path.
+func (s *Site) handleRequest(from ident.SiteID, req *wire.Request) {
+	hopStart := s.cfg.Clock.Now()
+	// A traced request grows an rds-create span here: the deduct half
+	// of the redistribution, parented on the requester's root span.
+	var hop *obs.TxnTrace
+	var hopSpan uint64
+	if req.Trace.Valid() && s.obsm.ring != nil {
+		hopSpan = s.newSpan()
+		hop = s.obsm.ring.BeginSpan(s.obsm.site, "rds-create",
+			req.Trace.Origin.String(), uint64(req.Trace.TS), hopSpan, req.Trace.Span)
+	}
+
+	stripe := &s.stripes[s.stripeOf(req.Item)]
+	stripe.Lock()
+
+	decline := func(reason string) {
+		stripe.Unlock()
+		s.stats.requestsDeclined.Add(1)
+		s.obsm.forPeer(from).declined.Inc()
+		s.obsm.flight.Recordf(s.obsm.site, "rds-decline", "from=%v item=%s txn=%v reason=%s", from, req.Item, req.Txn, reason)
+		hop.Finish("declined:" + reason)
+	}
+
+	// "If there is currently a lock on d_j, site s_j can simply
+	// decide not to honor the request" (§5).
+	if s.locks.Holder(req.Item) != ident.NoTxn {
+		decline("locked")
+		return
+	}
+	// Concurrency control admission (§6.1): honor only if
+	// TS(t) > TS(d_j) under Conc1.
+	it, _ := s.cfg.DB.Get(req.Item)
+	if !s.policy.AllowLock(req.Txn, it.TS) {
+		decline("cc")
+		return
+	}
+	// Full reads require the complete local share: no outstanding Vm
+	// may still carry this item away from us (§5).
+	if req.FullRead && s.vm.HasOutstanding(req.Item) {
+		decline("outstanding-vm")
+		return
+	}
+	have := s.cfg.DB.Value(req.Item)
+	var grant core.Value
+	if req.FullRead {
+		grant = have // the entire holding, even zero
+	} else {
+		grant = s.grant.Grant(have, req.Want)
+		if grant <= 0 {
+			// Nothing useful to give; ignoring the request is
+			// always safe — the requester's timeout bounds it.
+			decline("no-grant")
+			return
+		}
+	}
+
+	// Honor: this is an Rds transaction acting at this site (§6).
+	// Lock, stamp, log the [database-actions, message-sequence]
+	// record, apply, unlock — all before the real message leaves.
+	rdsID := req.Txn.Txn()
+	if !s.locks.TryLock(rdsID, req.Item) {
+		decline("lock-race")
+		return
+	}
+	if s.policy.StampOnLock() {
+		s.cfg.DB.SetTS(req.Item, req.Txn)
+	}
+	seq := s.vm.AllocSeq(from)
+	var stamp = it.TS
+	if s.policy.StampOnLock() {
+		stamp = req.Txn
+	}
+	rec := &wal.VmCreateRec{
+		Actions: []wal.Action{{Item: req.Item, Delta: -grant, SetTS: stamp}},
+		Msgs: []wal.VmOut{{
+			To: from, Seq: seq, Item: req.Item, Amount: grant, ReqTxn: req.Txn,
+			FlowVec: s.flow.snapshot(req.Item).Entries(),
+		}},
+	}
+	if hopSpan != 0 {
+		// The outgoing Vm carries this hop's span as the parent of
+		// the receiver's vm-accept and our own eventual vm-ack span.
+		rec.Msgs[0].Trace = wire.TraceCtx{Origin: req.Trace.Origin, TS: req.Trace.TS, Span: hopSpan}
+	}
+	lsn, err := s.vmCreateDurably(rec)
+	if err != nil {
+		s.locks.Unlock(rdsID, req.Item)
+		decline("log-error")
+		return
+	}
+	hop.Step("wal-flush", fmt.Sprintf("lsn=%d grant=%d seq=%d", lsn, grant, seq))
+	s.locks.Unlock(rdsID, req.Item)
+	stripe.Unlock()
+	hop.Step("apply", "")
+
+	s.reportRds(stamp, req.Item, -grant)
+	s.obsm.observeStep("rds-create", s.cfg.Clock.Now().Sub(hopStart))
+	s.obsm.flight.Recordf(s.obsm.site, "rds-create", "to=%v item=%s amount=%d seq=%d", from, req.Item, grant, seq)
+	s.stats.requestsHonored.Add(1)
+	s.stats.vmCreated.Add(1)
+	po := s.obsm.forPeer(from)
+	po.honored.Inc()
+	po.vmCreated.Inc()
+
+	s.sendVm(rec.Msgs[0])
+	hop.Finish("honored")
+}

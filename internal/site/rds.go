@@ -94,27 +94,18 @@ func (s *Site) SendValue(item ident.ItemID, peer ident.SiteID, amount core.Value
 	if hopSpan != 0 {
 		rec.Msgs[0].Trace = wire.TraceCtx{Origin: s.cfg.ID, TS: ts, Span: hopSpan}
 	}
-	s.ckptMu.RLock()
-	lsn, err := s.logAppend(wal.RecVmCreate, rec.Encode())
+	lsn, err := s.vmCreateDurably(rec)
 	if err != nil {
-		s.ckptMu.RUnlock()
 		stripe.Unlock()
 		return fmt.Errorf("site %v: rds log append: %w", s.cfg.ID, err)
 	}
 	hop.Step("wal-flush", fmt.Sprintf("lsn=%d amount=%d seq=%d", lsn, amount, seq))
-	s.vm.Created(rec.Msgs)
-	if _, err := s.cfg.DB.ApplyAll(lsn, rec.Actions); err != nil {
-		panic("site: rds actions failed to apply: " + err.Error())
-	}
-	s.ckptMu.RUnlock()
 	stripe.Unlock()
 	hop.Step("apply", "")
 	outcome = "sent"
 
 	s.reportRds(stamp, item, -amount)
-	s.mu.Lock()
-	s.stats.VmCreated++
-	s.mu.Unlock()
+	s.stats.vmCreated.Add(1)
 	s.obsm.forPeer(peer).vmCreated.Inc()
 	if s.sameEpoch(epoch) {
 		s.sendVm(rec.Msgs[0])

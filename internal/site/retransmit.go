@@ -1,0 +1,74 @@
+package site
+
+import (
+	"dvp/internal/ident"
+	"dvp/internal/wal"
+	"dvp/internal/wire"
+)
+
+// maxVmPerEnvelope bounds how many Vm one retransmission envelope
+// carries (stays well inside the wire frame limit).
+const maxVmPerEnvelope = 64
+
+// retransmitLoop periodically resends every unacknowledged Vm — the
+// guaranteed-delivery engine behind "a Vm is never lost" (§4.2). All
+// pending Vm toward one peer coalesce into VmBatch envelopes: the
+// retransmission tick fires them together anyway, so one frame (and
+// one piggybacked ack back) carries the lot. The tick is only an
+// upper bound on the pace: per-peer adaptive backoff (vmsg
+// DueRetransmit, seeded by the ack-RTT EWMA, doubling to
+// RetransmitMax, reset by the first advancing ack) decides whether a
+// given peer's sweep actually fires, so a long-dead peer costs one
+// sweep per RetransmitMax instead of one per tick.
+func (s *Site) retransmitLoop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-s.cfg.Clock.After(s.cfg.RetransmitEvery):
+		}
+		now := s.cfg.Clock.Now()
+		total := 0
+		perPeer := make(map[ident.SiteID][]wal.VmOut)
+		for _, p := range s.peersExceptSelf() {
+			if !s.vm.DueRetransmit(p, now, s.cfg.RetransmitEvery, s.cfg.RetransmitMax) {
+				continue
+			}
+			if vms := s.vm.PendingTo(p); len(vms) > 0 {
+				perPeer[p] = vms
+				total += len(vms)
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		if !s.Up() {
+			return
+		}
+		s.stats.retransmissions.Add(uint64(total))
+		s.obsm.retx.Add(uint64(total))
+		for _, p := range s.peersExceptSelf() {
+			vms := perPeer[p]
+			for len(vms) > 0 {
+				n := len(vms)
+				if n > maxVmPerEnvelope {
+					n = maxVmPerEnvelope
+				}
+				if n == 1 {
+					s.sendVm(vms[0])
+				} else {
+					batch := &wire.VmBatch{Vms: make([]wire.Vm, n)}
+					for i, v := range vms[:n] {
+						batch.Vms[i] = wire.Vm{
+							Seq: v.Seq, Item: v.Item, Amount: v.Amount,
+							ReqTxn: v.ReqTxn, FlowVec: v.FlowVec, Trace: v.Trace,
+						}
+					}
+					s.send(p, batch)
+				}
+				vms = vms[n:]
+			}
+		}
+	}
+}

@@ -7,6 +7,27 @@
 // not (locks, waiters, Vm manager, Lamport clock). Crash discards the
 // volatile state; Restart rebuilds it from the log via
 // internal/recovery and resumes — with no communication, per §7.
+//
+// The implementation is layered, with one rule per layer about what
+// may serialize on what:
+//
+//   - admission (admission.go): the per-item stripes are the only lock
+//     for state mutation — check+lock+stamp and every append+apply
+//     pair serialize per data item, nothing serializes site-wide.
+//   - durability (admission.go): commitDurably / vmCreateDurably /
+//     vmAcceptDurably are the only places normal processing reaches
+//     the stable log; both execution paths and every handler share
+//     them.
+//   - waiters (waiters.go): a sharded-by-TxnID table with per-shard
+//     locks; registering, waking and failing waiters never meets a
+//     site-wide lock.
+//   - router (router.go, inbound_*.go, retransmit.go): per-kind
+//     message handlers touching only stripes, waiter shards and
+//     atomics.
+//   - lifecycle (lifecycle.go): s.mu is demoted to Start / Crash /
+//     Restart / epoch transitions — the per-txn commit path and the
+//     per-message handler path never acquire it (check.sh greps for
+//     exactly this).
 package site
 
 import (
@@ -68,6 +89,10 @@ type Config struct {
 	// §6.2 correctness argument needs whole-site arrival-order
 	// processing, not merely per-item order.
 	AdmissionStripes int
+	// WaiterShards shards the waiter table (transactions parked in §5
+	// step 3) by TxnID, so registering, waking and crash-failing
+	// waiters contend per shard instead of site-wide (default 16).
+	WaiterShards int
 	// CheckpointEveryBytes and CheckpointEveryRecords arm the
 	// automatic checkpointer: once the log has grown past either
 	// threshold since the last checkpoint, a background goroutine
@@ -169,6 +194,26 @@ type Stats struct {
 	Retransmissions   uint64
 }
 
+// statCounters is the hot-path form of Stats: one atomic per counter,
+// bumped by the commit paths and message handlers without any
+// site-wide lock. Stats() folds them into the exported snapshot. At a
+// quiescent point (no handler or commit mid-flight) the snapshot is
+// exact, which is all the harness audits need.
+type statCounters struct {
+	committed         atomic.Uint64
+	abortLockConflict atomic.Uint64
+	abortCCRejected   atomic.Uint64
+	abortTimeout      atomic.Uint64
+	abortSiteDown     atomic.Uint64
+	requestsSent      atomic.Uint64
+	requestsHonored   atomic.Uint64
+	requestsDeclined  atomic.Uint64
+	vmCreated         atomic.Uint64
+	vmAccepted        atomic.Uint64
+	vmDuplicates      atomic.Uint64
+	retransmissions   atomic.Uint64
+}
+
 // Site is one DvP site. Run executes transactions; the network
 // handler processes peer traffic; Crash/Restart drive the failure
 // model.
@@ -196,6 +241,10 @@ type Site struct {
 	vm      *vmsg.Manager
 	flow    *flowClocks
 
+	// waiterTab is the waiter-table layer: transactions parked in §5
+	// step 3, sharded by TxnID (see waiters.go).
+	waiterTab *waiterTable
+
 	// ckptMu fences Checkpoint against every append+apply pair: the
 	// mutating paths (commit, Vm create/accept) hold the read side
 	// from log append through store apply, so under the write side
@@ -218,18 +267,19 @@ type Site struct {
 	// enough — spans are observability, not protocol state).
 	spanCtr atomic.Uint64
 
-	// epochUp mirrors (epoch, up) as epoch<<1|upBit so the fast path
-	// can check liveness without s.mu. Written only under s.mu (Start
-	// and Crash), read lock-free. The fast path reads it under
+	// epochUp mirrors (epoch, up) as epoch<<1|upBit so every hot path
+	// checks liveness without s.mu. Written only under s.mu (Start
+	// and Crash), read lock-free. The commit paths read it under
 	// lifeMu.RLock, which is what makes the check-then-append pair
-	// atomic against Crash's fence — same argument as the slow path's
-	// sameEpoch under lifeMu.
+	// atomic against Crash's fence.
 	epochUp atomic.Uint64
 
-	// fastCommitted counts fast-path commits without touching s.mu
-	// (the whole point of the fast path); Stats folds it into
-	// Committed so observers see one number.
-	fastCommitted atomic.Uint64
+	// stats are the site's event counters — all atomics, never behind
+	// a lock (see statCounters).
+	stats statCounters
+
+	// askCursor rotates the starting peer for narrow-fanout asks.
+	askCursor atomic.Uint64
 
 	// demand is the demand-driven rebalancer's state: local EWMA
 	// demand per item plus the freshest advert from each peer. Always
@@ -269,47 +319,21 @@ type Site struct {
 	ckptHookMu sync.Mutex
 	ckptHook   func(stage string) error
 
-	mu        sync.Mutex // guards waiters, up, epoch, stats, askCursor
+	// mu is the lifecycle core's lock and nothing else's: it guards
+	// up, epoch and the loop channels across Start/Crash/Restart/epoch
+	// transitions. The per-txn commit path and the per-message handler
+	// path never acquire it (check.sh's site-mutex gate greps for
+	// exactly this — the lock is taken only in lifecycle.go).
+	mu        sync.Mutex
 	lastRec   recovery.Summary
-	waiters   map[ident.TxnID]*waiter
 	up        bool
 	epoch     uint64
-	stats     Stats
 	stopRetx  chan struct{}
 	retxDone  chan struct{}
 	stopRebal chan struct{}
 	rebalDone chan struct{}
 	stopCkpt  chan struct{}
 	ckptDone  chan struct{}
-	askCursor int
-}
-
-// CheckpointStagePreCompact is the hook stage fired after the
-// checkpoint record is durably appended but before the log is
-// compacted behind it — the window where a crash leaves a usable
-// checkpoint atop an uncompacted log.
-const CheckpointStagePreCompact = "pre-compact"
-
-// waiter tracks one transaction blocked in §5 step 3 awaiting Vm.
-type waiter struct {
-	id    ident.TxnID
-	ts    tstamp.TS
-	epoch uint64
-	// needs: item → minimum local quota required.
-	needs map[ident.ItemID]core.Value
-	// reads: items requiring a full gather; responded tracks which
-	// peers have answered each.
-	reads     map[ident.ItemID]bool
-	responded map[ident.ItemID]map[ident.SiteID]bool
-	notify    chan struct{}
-	accepted  int
-}
-
-func (w *waiter) wake() {
-	select {
-	case w.notify <- struct{}{}:
-	default:
-	}
 }
 
 // New assembles a site and runs recovery on its log (a brand-new site
@@ -340,13 +364,16 @@ func New(cfg Config) (*Site, error) {
 	if cfg.CC.Scheme() == cc.Conc2 {
 		cfg.AdmissionStripes = 1
 	}
+	if cfg.WaiterShards <= 0 {
+		cfg.WaiterShards = defaultWaiterShards
+	}
 	cfg.Rebalance = cfg.Rebalance.withDefaults()
 	s := &Site{
 		cfg:        cfg,
 		policy:     cfg.CC,
 		grant:      cfg.Grant,
 		stripes:    make([]sync.Mutex, cfg.AdmissionStripes),
-		waiters:    make(map[ident.TxnID]*waiter),
+		waiterTab:  newWaiterTable(cfg.WaiterShards),
 		deferredVm: make(map[ident.ItemID][]deferredVm),
 		lamport:    tstamp.NewClock(cfg.ID),
 		locks:      lock.NewNoWait(),
@@ -396,190 +423,27 @@ func (s *Site) parkedCredits() int {
 	return n
 }
 
-// recover rebuilds volatile state from the stable log (§7). The
-// volatile objects are reset in place, never replaced.
-func (s *Site) recover() error {
-	s.lamport.Reset()
-	s.locks.Clear()
-	s.vm.Reset()
-	s.flow.reset()
-	s.demand.reset()
-	sum, err := recovery.RecoverOpts(s.cfg.Log, s.cfg.DB, s.vm, s.lamport,
-		recovery.Options{Workers: s.cfg.RecoveryWorkers})
-	if err != nil {
-		return fmt.Errorf("site %v: %w", s.cfg.ID, err)
-	}
-	if sum.NetworkCalls != 0 {
-		return fmt.Errorf("site %v: recovery made %d network calls", s.cfg.ID, sum.NetworkCalls)
-	}
-	s.obsm.recoverLat.Record(sum.Elapsed)
-	s.obsm.recoverRecords.Add(uint64(sum.RecordsScanned))
-	s.obsm.flight.Recordf(s.obsm.site, "recover",
-		"cp=%d skipped=%d scanned=%d redone=%d workers=%d elapsed=%s",
-		sum.CheckpointLSN, sum.CheckpointsSkipped, sum.RecordsScanned,
-		sum.ActionsRedone, sum.Workers, sum.Elapsed)
-	s.mu.Lock()
-	s.lastRec = sum
-	s.mu.Unlock()
-	return nil
-}
-
-// LastRecovery reports what the most recent recovery pass did —
-// experiment T3's per-site evidence that restart is independent and
-// bounded by the log suffix.
-func (s *Site) LastRecovery() recovery.Summary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.lastRec
-}
-
 // ID returns the site's identity.
 func (s *Site) ID() ident.SiteID { return s.cfg.ID }
 
-// Start attaches the site to the network and begins the Vm
-// retransmission loop. Idempotent while up.
-func (s *Site) Start() {
-	s.mu.Lock()
-	if s.up {
-		s.mu.Unlock()
-		return
-	}
-	s.up = true
-	s.epoch++
-	s.epochUp.Store(s.epoch<<1 | 1)
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	s.stopRetx = stop
-	s.retxDone = done
-	var stopRebal, rebalDone chan struct{}
-	if s.cfg.Rebalance.Enabled {
-		stopRebal = make(chan struct{})
-		rebalDone = make(chan struct{})
-		s.stopRebal = stopRebal
-		s.rebalDone = rebalDone
-	}
-	var stopCkpt, ckptDone chan struct{}
-	if s.autoCheckpoint() {
-		stopCkpt = make(chan struct{})
-		ckptDone = make(chan struct{})
-		s.stopCkpt = stopCkpt
-		s.ckptDone = ckptDone
-	}
-	s.mu.Unlock()
-
-	s.cfg.Endpoint.SetHandler(s.handle)
-	_ = s.cfg.Endpoint.Open()
-	go s.retransmitLoop(stop, done)
-	if stopRebal != nil {
-		go s.rebalanceLoop(stopRebal, rebalDone)
-	}
-	if stopCkpt != nil {
-		go s.checkpointLoop(stopCkpt, ckptDone)
-	}
-	s.obsm.flight.Recordf(s.obsm.site, "site-up", "epoch=%d", s.currentEpochValue())
-}
-
-// Crash kills the site: volatile state is lost, in-progress
-// transactions abort (as seen by their clients), the network handler
-// detaches. The stable log and durable store survive.
-func (s *Site) Crash() {
-	s.mu.Lock()
-	if !s.up {
-		s.mu.Unlock()
-		return
-	}
-	s.up = false
-	s.epochUp.Store(s.epoch << 1)
-	close(s.stopRetx)
-	s.stopRetx = nil
-	done := s.retxDone
-	s.retxDone = nil
-	rebalDone := s.rebalDone
-	if s.stopRebal != nil {
-		close(s.stopRebal)
-		s.stopRebal = nil
-		s.rebalDone = nil
-	}
-	ckptDone := s.ckptDone
-	if s.stopCkpt != nil {
-		close(s.stopCkpt)
-		s.stopCkpt = nil
-		s.ckptDone = nil
-	}
-	ws := s.waiters
-	s.waiters = make(map[ident.TxnID]*waiter)
-	s.mu.Unlock()
-
-	s.cfg.Endpoint.Close()
-	// Fence: once the write lock is held, no message handler is
-	// mid-flight, so nothing further reaches the log or store.
-	s.lifeMu.Lock()
-	s.lifeMu.Unlock() // empty critical section is the fence (SA2001, excluded in staticcheck.conf)
-	// Join the retransmission, rebalancer and checkpointer loops.
-	<-done
-	if rebalDone != nil {
-		<-rebalDone
-	}
-	if ckptDone != nil {
-		<-ckptDone
-	}
-	// Wake every waiting transaction; they observe the epoch change
-	// and report SiteDown.
-	for _, w := range ws {
-		w.wake()
-	}
-	// Volatile lock table is gone — recovery starts clean (§7). So
-	// are parked Vm: retransmission re-covers them.
-	s.locks.Clear()
-	s.defMu.Lock()
-	dropped := 0
-	for _, q := range s.deferredVm {
-		dropped += len(q)
-	}
-	s.deferredVm = make(map[ident.ItemID][]deferredVm)
-	s.defMu.Unlock()
-	s.obsm.flight.Recordf(s.obsm.site, "site-down", "waiters=%d parked_dropped=%d", len(ws), dropped)
-}
-
-// currentEpochValue reads the epoch without the up gate (lifecycle
-// flight events fire on both sides of the transition).
-func (s *Site) currentEpochValue() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.epoch
-}
-
-// Restart recovers from the stable log and rejoins the network,
-// without talking to any other site.
-func (s *Site) Restart() error {
-	s.mu.Lock()
-	if s.up {
-		s.mu.Unlock()
-		return fmt.Errorf("site %v: restart while up", s.cfg.ID)
-	}
-	s.mu.Unlock()
-	if err := s.recover(); err != nil {
-		return err
-	}
-	s.Start()
-	return nil
-}
-
-// Up reports whether the site is currently running.
-func (s *Site) Up() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.up
-}
-
-// Stats returns a snapshot of the site's counters. Fast-path commits
-// are counted in an atomic off s.mu and folded in here.
+// Stats returns a snapshot of the site's counters. Every counter is an
+// atomic; no lock is involved, so the snapshot is exact whenever the
+// site is quiescent and merely consistent-per-counter under load.
 func (s *Site) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Committed += s.fastCommitted.Load()
-	return st
+	return Stats{
+		Committed:         s.stats.committed.Load(),
+		AbortLockConflict: s.stats.abortLockConflict.Load(),
+		AbortCCRejected:   s.stats.abortCCRejected.Load(),
+		AbortTimeout:      s.stats.abortTimeout.Load(),
+		AbortSiteDown:     s.stats.abortSiteDown.Load(),
+		RequestsSent:      s.stats.requestsSent.Load(),
+		RequestsHonored:   s.stats.requestsHonored.Load(),
+		RequestsDeclined:  s.stats.requestsDeclined.Load(),
+		VmCreated:         s.stats.vmCreated.Load(),
+		VmAccepted:        s.stats.vmAccepted.Load(),
+		VmDuplicates:      s.stats.vmDuplicates.Load(),
+		Retransmissions:   s.stats.retransmissions.Load(),
+	}
 }
 
 // DB exposes the durable store (monitors, conservation checks).
@@ -596,191 +460,6 @@ func (s *Site) Log() wal.Log { return s.cfg.Log }
 // created-but-unaccepted sets on both sides of each channel).
 func (s *Site) VM() *vmsg.Manager { return s.vm }
 
-// stripeOf maps an item to its admission stripe (FNV-1a).
-func (s *Site) stripeOf(item ident.ItemID) int {
-	if len(s.stripes) == 1 {
-		return 0
-	}
-	h := uint32(2166136261)
-	for i := 0; i < len(item); i++ {
-		h ^= uint32(item[i])
-		h *= 16777619
-	}
-	return int(h % uint32(len(s.stripes)))
-}
-
-// lockStripesFor acquires the stripes covering items (deduplicated,
-// ascending — the deadlock-free total order) and returns the release.
-func (s *Site) lockStripesFor(items []ident.ItemID) func() {
-	if len(s.stripes) == 1 {
-		s.stripes[0].Lock()
-		return s.stripes[0].Unlock
-	}
-	need := make([]bool, len(s.stripes))
-	for _, it := range items {
-		need[s.stripeOf(it)] = true
-	}
-	var held []int
-	for i := range s.stripes {
-		if need[i] {
-			s.stripes[i].Lock()
-			held = append(held, i)
-		}
-	}
-	return func() {
-		for _, i := range held {
-			s.stripes[i].Unlock()
-		}
-	}
-}
-
-// lockAllStripes takes every stripe in ascending order (Checkpoint's
-// whole-site quiescent point) and returns the release.
-func (s *Site) lockAllStripes() func() {
-	for i := range s.stripes {
-		s.stripes[i].Lock()
-	}
-	return func() {
-		for i := range s.stripes {
-			s.stripes[i].Unlock()
-		}
-	}
-}
-
-// Checkpoint writes a checkpoint record capturing store and Vm state,
-// bounding future recovery scans (§7), then compacts the log: records
-// before the checkpoint are no longer needed (the checkpoint carries
-// the store snapshot, channel cursors, pending Vm and clock).
-//
-// All stripes plus ckptMu's write side make the cut exact even
-// against the commit path (which runs outside the stripes): every
-// record below the compaction horizon is applied, every unapplied
-// record survives compaction.
-func (s *Site) Checkpoint() error {
-	defer s.lockAllStripes()()
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-	rec := &wal.CheckpointRec{
-		Items:    s.cfg.DB.Snapshot(),
-		Channels: s.vm.SnapshotChannels(),
-		Clock:    s.lamport.Current(),
-	}
-	payload := rec.Encode()
-	lsn, err := s.cfg.Log.Append(wal.RecCheckpoint, payload)
-	if err != nil {
-		return err
-	}
-	// The record is durable: restart the growth counters even if the
-	// compaction below is skipped or fails — recovery can already use
-	// this checkpoint.
-	s.ckptBytes.Store(0)
-	s.ckptRecs.Store(0)
-	s.obsm.ckptTotal.Inc()
-	s.obsm.ckptBytes.Add(uint64(len(payload)))
-	s.obsm.flight.Recordf(s.obsm.site, "checkpoint", "lsn=%d bytes=%d items=%d", lsn, len(payload), len(rec.Items))
-	if h := s.checkpointHook(); h != nil {
-		if err := h(CheckpointStagePreCompact); err != nil {
-			return fmt.Errorf("site %v: checkpoint %s hook: %w", s.cfg.ID, CheckpointStagePreCompact, err)
-		}
-	}
-	return s.cfg.Log.Compact(lsn - 1)
-}
-
-// autoCheckpoint reports whether the automatic checkpointer is armed.
-func (s *Site) autoCheckpoint() bool {
-	return s.cfg.CheckpointEveryBytes > 0 || s.cfg.CheckpointEveryRecords > 0
-}
-
-// logAppend is the site-internal append path: it writes to the stable
-// log and feeds the automatic checkpointer's growth thresholds. All
-// normal-processing appends (commit, Vm create/accept) go through it;
-// Checkpoint itself appends directly so a checkpoint record never
-// re-arms the trigger it just cleared.
-func (s *Site) logAppend(kind wal.RecordKind, data []byte) (uint64, error) {
-	lsn, err := s.cfg.Log.Append(kind, data)
-	if err == nil {
-		s.noteAppend(int64(len(data)))
-	}
-	return lsn, err
-}
-
-// noteAppend bumps the since-last-checkpoint counters and kicks the
-// checkpointer goroutine when a threshold is crossed. The kick channel
-// has one slot and drops when full: the loop coalesces bursts into one
-// checkpoint, and a missed kick re-arms on the next append.
-func (s *Site) noteAppend(n int64) {
-	if !s.autoCheckpoint() {
-		return
-	}
-	b := s.ckptBytes.Add(n)
-	r := s.ckptRecs.Add(1)
-	if (s.cfg.CheckpointEveryBytes > 0 && b >= s.cfg.CheckpointEveryBytes) ||
-		(s.cfg.CheckpointEveryRecords > 0 && r >= int64(s.cfg.CheckpointEveryRecords)) {
-		select {
-		case s.ckptKick <- struct{}{}:
-		default:
-		}
-	}
-}
-
-// checkpointLoop runs automatic checkpoints. It cannot run inline in
-// the append paths — an appender holds its stripe and ckptMu's read
-// side, exactly the locks Checkpoint needs — so threshold crossings
-// kick this goroutine instead. It starts and stops with the site.
-func (s *Site) checkpointLoop(stop, done chan struct{}) {
-	defer close(done)
-	for {
-		select {
-		case <-stop:
-			return
-		case <-s.ckptKick:
-		}
-		if s.ckptPaused.Load() {
-			continue // a later append past the threshold re-kicks
-		}
-		s.ckptRunMu.Lock()
-		var err error
-		if !s.ckptPaused.Load() {
-			err = s.Checkpoint()
-		}
-		s.ckptRunMu.Unlock()
-		if err != nil {
-			s.obsm.flight.Recordf(s.obsm.site, "checkpoint-failed", "err=%v", err)
-		}
-	}
-}
-
-// SetCheckpointPaused gates the automatic checkpointer. Pausing joins
-// any in-flight checkpoint before returning, so after the call no
-// background compaction is running or will start — fault harnesses
-// pause it across barrier audits that compare log and durable state.
-// Like the rebalance pause, the flag survives crash/restart cycles.
-func (s *Site) SetCheckpointPaused(p bool) {
-	s.ckptPaused.Store(p)
-	if p {
-		s.ckptRunMu.Lock()
-		s.ckptRunMu.Unlock() // empty critical section joins an in-flight run (SA2001, excluded in staticcheck.conf)
-	}
-}
-
-// SetCheckpointHook installs a hook invoked at named stages inside
-// Checkpoint (see CheckpointStagePreCompact). A hook returning an
-// error makes Checkpoint return without compacting. Hooks must not
-// block on site lifecycle transitions: Checkpoint holds every stripe
-// while the hook runs, so a hook that wants to crash the site must do
-// so from a fresh goroutine and return.
-func (s *Site) SetCheckpointHook(h func(stage string) error) {
-	s.ckptHookMu.Lock()
-	s.ckptHook = h
-	s.ckptHookMu.Unlock()
-}
-
-func (s *Site) checkpointHook() func(stage string) error {
-	s.ckptHookMu.Lock()
-	defer s.ckptHookMu.Unlock()
-	return s.ckptHook
-}
-
 // peersExceptSelf returns every other site, in canonical order.
 func (s *Site) peersExceptSelf() []ident.SiteID {
 	out := make([]ident.SiteID, 0, len(s.cfg.Peers)-1)
@@ -790,34 +469,4 @@ func (s *Site) peersExceptSelf() []ident.SiteID {
 		}
 	}
 	return out
-}
-
-// currentEpoch returns the epoch if up, or 0,false if down.
-func (s *Site) currentEpoch() (uint64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.up {
-		return 0, false
-	}
-	return s.epoch, true
-}
-
-func (s *Site) sameEpoch(e uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.up && s.epoch == e
-}
-
-// send stamps and dispatches one message with piggybacked Lamport
-// clock and cumulative Vm ack (§4.2).
-func (s *Site) send(to ident.SiteID, msg wire.Msg) {
-	env := &wire.Envelope{
-		To:      to,
-		Lamport: tstamp.Make(s.lamport.Current(), s.cfg.ID),
-		AckUpTo: s.vm.AckFor(to),
-		Msg:     msg,
-	}
-	// Send errors are indistinguishable from message loss to the
-	// protocol; the failure model already covers loss.
-	_ = s.cfg.Endpoint.Send(env)
 }

@@ -1,0 +1,182 @@
+package site
+
+import (
+	"sync"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/tstamp"
+)
+
+// This file is the waiter-table layer: the registry of transactions
+// blocked in §5 step 3 awaiting Vm. It is sharded by TxnID with one
+// mutex per shard, so a commit registering its waiter, a message
+// handler waking one, and Crash failing all of them never meet on a
+// single lock — the whole-site freeze the old site mutex imposed.
+// Entries are epoch-tagged: Crash drains shard by shard and wakes only
+// the waiters of the epoch it is ending, so a transaction that parked
+// across a Crash/Restart boundary observes exactly one SiteDown wake
+// and a stale drain can never re-wake a waiter from a newer epoch.
+
+// waiter tracks one transaction blocked in §5 step 3 awaiting Vm. The
+// identity fields (id, ts, epoch, needs, reads) are immutable after
+// publication; the progress fields (accepted, responded) are guarded
+// by mu, which is only ever taken while holding no other lock.
+type waiter struct {
+	id    ident.TxnID
+	ts    tstamp.TS
+	epoch uint64
+	// needs: item → minimum local quota required.
+	needs map[ident.ItemID]core.Value
+	// reads: items requiring a full gather (immutable set).
+	reads  map[ident.ItemID]bool
+	notify chan struct{}
+
+	// mu guards the progress fields below — the per-waiter critical
+	// section that used to ride the site mutex.
+	mu sync.Mutex
+	// responded tracks, per fully-read item, which peers have answered.
+	responded map[ident.ItemID]map[ident.SiteID]bool
+	accepted  int
+}
+
+// newWaiter builds a waiter for a transaction entering §5 step 3 in
+// the given epoch, needing the listed per-item quota and full reads.
+func newWaiter(id ident.TxnID, ts tstamp.TS, epoch uint64, needs map[ident.ItemID]core.Value, reads []ident.ItemID) *waiter {
+	w := &waiter{
+		id: id, ts: ts, epoch: epoch, needs: needs,
+		reads:     make(map[ident.ItemID]bool, len(reads)),
+		responded: make(map[ident.ItemID]map[ident.SiteID]bool, len(reads)),
+		notify:    make(chan struct{}, 1),
+	}
+	for _, item := range reads {
+		w.reads[item] = true
+		w.responded[item] = make(map[ident.SiteID]bool)
+	}
+	return w
+}
+
+func (w *waiter) wake() {
+	select {
+	case w.notify <- struct{}{}:
+	default:
+	}
+}
+
+// noteAccept records one accepted Vm toward this waiter, marking the
+// responding peer for a full-read item.
+func (w *waiter) noteAccept(item ident.ItemID, from ident.SiteID) {
+	w.mu.Lock()
+	w.accepted++
+	if w.reads[item] {
+		w.responded[item][from] = true
+	}
+	w.mu.Unlock()
+}
+
+// acceptedCount reads the accepted tally (a late Vm may still be
+// crediting concurrently; the count is a progress report, not a gate).
+func (w *waiter) acceptedCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.accepted
+}
+
+// allResponded reports whether every listed peer has answered every
+// full-read item.
+func (w *waiter) allResponded(peers []ident.SiteID) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for item := range w.reads {
+		resp := w.responded[item]
+		for _, p := range peers {
+			if !resp[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// defaultWaiterShards is the waiter-table shard count when the config
+// leaves it zero.
+const defaultWaiterShards = 16
+
+// waiterTable is the sharded waiter registry.
+type waiterTable struct {
+	shards []waiterShard
+}
+
+type waiterShard struct {
+	mu sync.Mutex
+	m  map[ident.TxnID]*waiter
+}
+
+func newWaiterTable(shards int) *waiterTable {
+	if shards <= 0 {
+		shards = defaultWaiterShards
+	}
+	t := &waiterTable{shards: make([]waiterShard, shards)}
+	for i := range t.shards {
+		t.shards[i].m = make(map[ident.TxnID]*waiter)
+	}
+	return t
+}
+
+// shard maps a TxnID to its shard (Fibonacci multiplicative hash: the
+// low TxnID bits carry the site id, so plain modulo would pile every
+// local transaction into one shard).
+func (t *waiterTable) shard(id ident.TxnID) *waiterShard {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return &t.shards[h>>32%uint64(len(t.shards))]
+}
+
+// add publishes a waiter.
+func (t *waiterTable) add(w *waiter) {
+	sh := t.shard(w.id)
+	sh.mu.Lock()
+	sh.m[w.id] = w
+	sh.mu.Unlock()
+}
+
+// remove unpublishes the waiter with the given id (a no-op if a drain
+// already took it).
+func (t *waiterTable) remove(id ident.TxnID) {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
+// lookup returns the waiter with the given id, or nil.
+func (t *waiterTable) lookup(id ident.TxnID) *waiter {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	w := sh.m[id]
+	sh.mu.Unlock()
+	return w
+}
+
+// drain removes and returns every waiter registered under the given
+// epoch, with the per-shard counts (Crash's one flight event per epoch
+// transition reports them). Waiters tagged with a different epoch —
+// registered against a newer incarnation by a racing transaction —
+// stay put: waking them here would double-fail a transaction that the
+// next Crash, and only it, is entitled to fail.
+func (t *waiterTable) drain(epoch uint64) (ws []*waiter, counts []int) {
+	counts = make([]int, len(t.shards))
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for id, w := range sh.m {
+			if w.epoch != epoch {
+				continue
+			}
+			delete(sh.m, id)
+			ws = append(ws, w)
+			counts[i]++
+		}
+		sh.mu.Unlock()
+	}
+	return ws, counts
+}

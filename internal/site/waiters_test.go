@@ -1,0 +1,208 @@
+package site
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dvp/internal/core"
+	"dvp/internal/ident"
+	"dvp/internal/obs"
+	"dvp/internal/simnet"
+	"dvp/internal/txn"
+)
+
+// TestWaiterTableDrainByEpoch exercises the epoch-tagged drain
+// directly: only waiters of the ending epoch come out, a second drain
+// of the same epoch finds nothing (no double-wake), and waiters of a
+// newer epoch survive for their own crash.
+func TestWaiterTableDrainByEpoch(t *testing.T) {
+	tab := newWaiterTable(4)
+	old := newWaiter(ident.TxnID(1), 0, 1, nil, nil)
+	young := newWaiter(ident.TxnID(2), 0, 2, nil, nil)
+	tab.add(old)
+	tab.add(young)
+
+	ws, counts := tab.drain(1)
+	if len(ws) != 1 || ws[0] != old {
+		t.Fatalf("drain(1) = %d waiters, want exactly the epoch-1 one", len(ws))
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 1 {
+		t.Errorf("drain(1) shard counts sum to %d, want 1", total)
+	}
+	if again, _ := tab.drain(1); len(again) != 0 {
+		t.Errorf("second drain(1) returned %d waiters, want 0 (double-wake)", len(again))
+	}
+	if tab.lookup(young.id) != young {
+		t.Errorf("epoch-2 waiter drained by epoch-1 crash")
+	}
+	ws, _ = tab.drain(2)
+	if len(ws) != 1 || ws[0] != young {
+		t.Fatalf("drain(2) = %d waiters, want exactly the epoch-2 one", len(ws))
+	}
+}
+
+// TestWaiterShardingSpreads guards the shard hash against the TxnID
+// encoding: the low TxnID bits carry the site id, so consecutive local
+// transactions must still spread across shards.
+func TestWaiterShardingSpreads(t *testing.T) {
+	tab := newWaiterTable(8)
+	used := make(map[*waiterShard]bool)
+	for i := 0; i < 64; i++ {
+		// Consecutive timestamps at one site: counter in the high
+		// bits, constant site id in the low bits.
+		id := ident.TxnID(uint64(i)<<16 | 3)
+		used[tab.shard(id)] = true
+	}
+	if len(used) < 4 {
+		t.Errorf("64 consecutive local txns landed on %d/8 shards; hash is degenerate", len(used))
+	}
+}
+
+// TestCrashWakesParkedWaiterExactlyOnce parks a transaction in its §5
+// step-3 wait, crash-cycles the site twice, and checks (a) the parked
+// transaction observes StatusSiteDown exactly once, (b) each Crash
+// emits exactly one site-down flight event tagged with its epoch and
+// the waiter-drain shard census, and (c) a waiter parked in the new
+// epoch is untouched by the old epoch's drain and is failed by the
+// next Crash, not before.
+func TestCrashWakesParkedWaiterExactlyOnce(t *testing.T) {
+	fl := obs.NewFlight(256)
+	tc := newTestCluster(t, 3, simnet.Config{Seed: 31}, func(i int, c *Config) {
+		if i == 0 {
+			c.Flight = fl
+		}
+	})
+	tc.createItem("wt/A", 0) // unsatisfiable: txns park in step 3
+
+	park := func() chan *txn.Result {
+		ch := make(chan *txn.Result, 2) // room for a double-wake to land
+		go func() {
+			ch <- tc.sites[0].Run(&txn.Txn{
+				Ops:     []txn.ItemOp{{Item: "wt/A", Op: core.Decr{M: 5}}},
+				Timeout: 5 * time.Second,
+				Ask:     txn.AskAll,
+			})
+		}()
+		return ch
+	}
+
+	siteDownEvents := func() []string {
+		var out []string
+		for _, e := range fl.Last(256) {
+			if e.Kind == "site-down" {
+				out = append(out, e.Detail)
+			}
+		}
+		return out
+	}
+
+	first := park()
+	waitUntil(t, 2*time.Second, "txn holds the lock", func() bool {
+		return lockHeld(tc.sites[0], "wt/A")
+	})
+	tc.sites[0].Crash()
+
+	select {
+	case res := <-first:
+		if res.Status != txn.StatusSiteDown {
+			t.Fatalf("parked txn status = %v, want site-down", res.Status)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("crash did not wake the parked waiter")
+	}
+
+	evs := siteDownEvents()
+	if len(evs) != 1 {
+		t.Fatalf("site-down flight events after first crash = %d, want 1 (%q)", len(evs), evs)
+	}
+	checkDrainEvent(t, evs[0], 1)
+
+	if err := tc.sites[0].Restart(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+
+	// Park a second transaction in the new epoch, then crash again:
+	// the old epoch's drain already happened, so only the new Crash
+	// may fail it — and the first waiter must see nothing further.
+	second := park()
+	waitUntil(t, 2*time.Second, "second txn holds the lock", func() bool {
+		return lockHeld(tc.sites[0], "wt/A")
+	})
+	tc.sites[0].Crash()
+
+	select {
+	case res := <-second:
+		if res.Status != txn.StatusSiteDown {
+			t.Fatalf("second parked txn status = %v, want site-down", res.Status)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second crash did not wake the parked waiter")
+	}
+
+	evs = siteDownEvents()
+	if len(evs) != 2 {
+		t.Fatalf("site-down flight events after second crash = %d, want 2 (%q)", len(evs), evs)
+	}
+	checkDrainEvent(t, evs[1], 1)
+	if evs[0] == evs[1] {
+		t.Errorf("both site-down events carry identical detail %q; epochs should differ", evs[0])
+	}
+
+	// Exactly once: the first waiter's channel has delivered its one
+	// result and nothing else arrives from the second epoch's drain.
+	select {
+	case res := <-first:
+		t.Errorf("first waiter woke twice; second result %v", res.Status)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	if err := tc.sites[0].Restart(); err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+}
+
+// checkDrainEvent asserts one site-down detail string reports the
+// epoch and a shard census summing to wantWaiters.
+func checkDrainEvent(t *testing.T, detail string, wantWaiters int) {
+	t.Helper()
+	if !strings.Contains(detail, "epoch=") {
+		t.Errorf("site-down detail %q lacks epoch tag", detail)
+	}
+	var waiters int
+	var shards string
+	for _, f := range strings.Fields(detail) {
+		if v, ok := strings.CutPrefix(f, "waiters="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				t.Fatalf("site-down detail %q: bad waiters: %v", detail, err)
+			}
+			waiters = n
+		}
+		if v, ok := strings.CutPrefix(f, "shards="); ok {
+			shards = v
+		}
+	}
+	if waiters != wantWaiters {
+		t.Errorf("site-down reports waiters=%d, want %d (%q)", waiters, wantWaiters, detail)
+	}
+	if shards == "" {
+		t.Fatalf("site-down detail %q lacks shard census", detail)
+	}
+	sum := 0
+	for _, part := range strings.Split(shards, ",") {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			t.Fatalf("site-down detail %q: bad shard count %q: %v", detail, part, err)
+		}
+		sum += n
+	}
+	if sum != wantWaiters {
+		t.Errorf("shard census %q sums to %d, want %d", shards, sum, wantWaiters)
+	}
+}
